@@ -1,0 +1,62 @@
+"""Table 1: random consistency entailments ``Pi /\\ Sigma |- false``.
+
+The paper's Table 1 reports, for n = 10..20 program variables, the time each
+prover needs for 1000 random instances drawn from the ``random_unsat``
+distribution (lseg density ``Plseg`` and disequality density ``Pneq``
+calibrated so that about half the instances are valid).  These entailments are
+decided entirely by the inner loop of the algorithm: superposition,
+normalisation and well-formedness reasoning.
+
+Each benchmark below times SLP on one row's batch; the jStar-style and
+Smallfoot-style baselines are run on the same batch and their timings recorded
+in ``extra_info`` so the full paper-style row can be reported.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.harness import compare_on_batch
+from repro.benchgen.random_unsat import UnsatParameters, random_unsat_batch
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover
+
+
+def _batch_for(variables: int, count: int):
+    return random_unsat_batch(UnsatParameters.paper(variables), count, seed=1000 + variables)
+
+
+@pytest.mark.parametrize("variables", [10, 12, 14, 16, 18, 20])
+def test_table1_slp(benchmark, variables, bench_instances, bench_timeout):
+    """Time SLP on one Table 1 row and record the baseline comparison."""
+    batch = _batch_for(variables, bench_instances)
+    prover = Prover(ProverConfig().for_benchmarking())
+
+    def run_slp():
+        return sum(1 for entailment in batch if prover.prove(entailment).is_valid)
+
+    valid = benchmark.pedantic(run_slp, rounds=1, iterations=1)
+
+    row = compare_on_batch(
+        "n={}".format(variables),
+        batch,
+        per_instance_timeout=bench_timeout,
+        budget_seconds=60.0,
+    )
+    benchmark.extra_info["variables"] = variables
+    benchmark.extra_info["instances"] = len(batch)
+    benchmark.extra_info["valid_fraction"] = valid / len(batch)
+    for name, run in row.runs.items():
+        benchmark.extra_info["{}_seconds".format(name)] = round(run.elapsed, 4)
+        benchmark.extra_info["{}_solved".format(name)] = run.solved
+    print(
+        "\n[table1] n={:<3} instances={:<4} valid={:>3.0f}%  "
+        "jstar={}  smallfoot={}  slp={}".format(
+            variables,
+            len(batch),
+            100.0 * valid / len(batch),
+            row.runs["jstar"].cell,
+            row.runs["smallfoot"].cell,
+            row.runs["slp"].cell,
+        )
+    )

@@ -1,0 +1,57 @@
+"""Table 2: random folding entailments ``Sigma |- Sigma'``.
+
+The paper's Table 2 stresses the unfolding rules: the left-hand side is a
+random well-formed permutation shape over n variables (``pnext = 0.7``) and
+the right-hand side folds random maximal paths of it into ``lseg`` atoms.
+As in ``bench_table1``, SLP is the timed subject and the two baselines are run
+on the same batch for the comparison row.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.harness import compare_on_batch
+from repro.benchgen.random_fold import FoldParameters, random_fold_batch
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover
+
+
+def _batch_for(variables: int, count: int):
+    return random_fold_batch(FoldParameters.paper(variables), count, seed=2000 + variables)
+
+
+@pytest.mark.parametrize("variables", [10, 12, 14, 16, 18, 20])
+def test_table2_slp(benchmark, variables, bench_instances, bench_timeout):
+    """Time SLP on one Table 2 row and record the baseline comparison."""
+    batch = _batch_for(variables, bench_instances)
+    prover = Prover(ProverConfig().for_benchmarking())
+
+    def run_slp():
+        return sum(1 for entailment in batch if prover.prove(entailment).is_valid)
+
+    valid = benchmark.pedantic(run_slp, rounds=1, iterations=1)
+
+    row = compare_on_batch(
+        "n={}".format(variables),
+        batch,
+        per_instance_timeout=bench_timeout,
+        budget_seconds=60.0,
+    )
+    benchmark.extra_info["variables"] = variables
+    benchmark.extra_info["instances"] = len(batch)
+    benchmark.extra_info["valid_fraction"] = valid / len(batch)
+    for name, run in row.runs.items():
+        benchmark.extra_info["{}_seconds".format(name)] = round(run.elapsed, 4)
+        benchmark.extra_info["{}_solved".format(name)] = run.solved
+    print(
+        "\n[table2] n={:<3} instances={:<4} valid={:>3.0f}%  "
+        "jstar={}  smallfoot={}  slp={}".format(
+            variables,
+            len(batch),
+            100.0 * valid / len(batch),
+            row.runs["jstar"].cell,
+            row.runs["smallfoot"].cell,
+            row.runs["slp"].cell,
+        )
+    )

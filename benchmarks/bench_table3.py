@@ -1,0 +1,66 @@
+"""Table 3: cloned verification conditions from the Smallfoot-style example suite.
+
+The paper's Table 3 takes the ~209 verification conditions that Smallfoot
+generates from its 18 example programs and scales their difficulty by
+*cloning*: each VC is replaced by the conjunction of k variable-renamed copies
+of itself, for k = 1..8.  Our front end (``repro.frontend``) generates the
+analogous suite of VCs from the 18 annotated example programs and the same
+cloning transformation is applied here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchgen.cloning import clone_entailment
+from repro.benchgen.harness import compare_on_batch
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover
+from repro.frontend.examples_suite import generate_suite_vcs
+
+import os
+
+_SUITE = [condition.entailment for condition in generate_suite_vcs()]
+if os.environ.get("REPRO_BENCH_FULL") != "1":
+    # Keep the default benchmark run short: a representative third of the VCs.
+    _SUITE = _SUITE[::3]
+
+_CLONE_FACTORS = [1, 2, 3, 4, 5, 6, 7, 8] if os.environ.get("REPRO_BENCH_FULL") == "1" else [1, 2, 4]
+
+
+@pytest.mark.parametrize("copies", _CLONE_FACTORS)
+def test_table3_slp(benchmark, copies, bench_timeout):
+    """Time SLP on the cloned VC suite and record the baseline comparison."""
+    batch = [clone_entailment(entailment, copies) for entailment in _SUITE]
+    prover = Prover(ProverConfig().for_benchmarking())
+
+    def run_slp():
+        return sum(1 for entailment in batch if prover.prove(entailment).is_valid)
+
+    valid = benchmark.pedantic(run_slp, rounds=1, iterations=1)
+
+    row = compare_on_batch(
+        "copies={}".format(copies),
+        batch,
+        per_instance_timeout=bench_timeout,
+        budget_seconds=120.0,
+    )
+    benchmark.extra_info["copies"] = copies
+    benchmark.extra_info["vcs"] = len(batch)
+    benchmark.extra_info["valid"] = valid
+    for name, run in row.runs.items():
+        benchmark.extra_info["{}_seconds".format(name)] = round(run.elapsed, 4)
+        benchmark.extra_info["{}_solved".format(name)] = run.solved
+        benchmark.extra_info["{}_proved_valid".format(name)] = run.valid
+    print(
+        "\n[table3] copies={:<2} vcs={:<4} valid={:<4}  "
+        "jstar={} (proved {})  smallfoot={}  slp={}".format(
+            copies,
+            len(batch),
+            valid,
+            row.runs["jstar"].cell,
+            row.runs["jstar"].valid,
+            row.runs["smallfoot"].cell,
+            row.runs["slp"].cell,
+        )
+    )

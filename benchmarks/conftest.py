@@ -1,0 +1,69 @@
+"""Shared configuration of the benchmark harness.
+
+The benchmarks reproduce the *structure* of the paper's evaluation (one bench
+per table or figure) at a scale that completes in minutes on a laptop.  The
+scale can be adjusted through environment variables:
+
+``REPRO_BENCH_INSTANCES``
+    Number of random entailments per table row (default 10; the paper uses
+    1000 per row).
+``REPRO_BENCH_TIMEOUT``
+    Per-instance timeout in seconds for the baseline provers (default 2.0; the
+    paper gives each prover 10 minutes per 1000-instance batch).
+``REPRO_BENCH_FULL``
+    When set to ``1``, benchmark every variable count 10..20 like the paper
+    instead of the representative subset {10, 12, 14}.
+
+Each pytest-benchmark measurement times the SLP prover on the batch; the
+comparison against the two baselines is attached to the benchmark's
+``extra_info`` and printed, so a single ``pytest benchmarks/ --benchmark-only``
+run regenerates every row reported in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def _int_env(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+def _float_env(name: str, default: float) -> float:
+    try:
+        return float(os.environ.get(name, default))
+    except ValueError:
+        return default
+
+
+@pytest.fixture(scope="session")
+def bench_instances() -> int:
+    """Number of entailments per table row."""
+    return _int_env("REPRO_BENCH_INSTANCES", 10)
+
+
+@pytest.fixture(scope="session")
+def bench_timeout() -> float:
+    """Per-instance timeout (seconds) for the baseline provers."""
+    return _float_env("REPRO_BENCH_TIMEOUT", 1.0)
+
+
+@pytest.fixture(scope="session")
+def bench_variable_counts() -> tuple:
+    """The variable counts benchmarked for Tables 1 and 2."""
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return tuple(range(10, 21))
+    return (10, 12, 14)
+
+
+@pytest.fixture(scope="session")
+def bench_clone_factors() -> tuple:
+    """The clone factors benchmarked for Table 3."""
+    if os.environ.get("REPRO_BENCH_FULL") == "1":
+        return (1, 2, 3, 4, 5, 6, 7, 8)
+    return (1, 2, 3, 4)

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Explore counterexamples and the equality-model machinery behind the prover.
+
+The completeness proof of the paper (Section 4.3) is constructive: when an
+entailment is invalid, the prover exhibits a stack and a heap that satisfy the
+left-hand side but not the right-hand side.  This example looks under the hood:
+
+* it builds entailments programmatically with the typed API (no parsing),
+* shows the clausal embedding ``cnf(E)``,
+* shows the equality model (a convergent rewrite relation) the superposition
+  engine produces for the pure part, and
+* prints and *semantically re-checks* the counterexamples of a few invalid
+  entailments.
+
+Run it with::
+
+    python examples/counterexample_explorer.py
+"""
+
+from repro import Entailment, prove
+from repro.logic.cnf import cnf
+from repro.logic.formula import eq, lseg, neq, pts
+from repro.logic.ordering import default_order
+from repro.logic.printer import format_rewrite_relation
+from repro.semantics import falsifies_entailment
+from repro.superposition.model import generate_model
+from repro.superposition.saturation import SaturationEngine
+
+
+def show_embedding(entailment: Entailment) -> None:
+    """Print the clausal embedding of the negated entailment."""
+    print("entailment:", entailment)
+    print("cnf(E):")
+    for clause in cnf(entailment):
+        print("   ", clause)
+
+
+def show_equality_model(entailment: Entailment) -> None:
+    """Saturate the pure part and display the generated rewrite relation."""
+    embedding = cnf(entailment)
+    order = default_order(entailment.constants())
+    engine = SaturationEngine(order)
+    engine.add_clauses(embedding.pure_clauses)
+    result = engine.saturate()
+    if result.refuted:
+        print("pure part is unsatisfiable (the entailment is valid for pure reasons)")
+        return
+    model = generate_model(result.clauses, order)
+    print("equality model R =", format_rewrite_relation(model.relation.edges))
+
+
+def explore(entailment: Entailment) -> None:
+    """Prove or refute the entailment and re-check any counterexample semantically."""
+    print("=" * 78)
+    show_embedding(entailment)
+    show_equality_model(entailment)
+    result = prove(entailment)
+    print("verdict:", result.verdict)
+    if result.counterexample is not None:
+        cex = result.counterexample
+        print("counterexample ({}):".format(cex.description))
+        print("    stack:", cex.stack)
+        print("    heap :", cex.heap)
+        genuine = falsifies_entailment(cex.stack, cex.heap, entailment)
+        print("    semantic re-check: {}".format("genuine" if genuine else "NOT genuine (bug!)"))
+    print()
+
+
+def main() -> None:
+    # A segment is not a single cell: the counterexample stretches it.
+    explore(Entailment.build(lhs=[lseg("x", "y")], rhs=[pts("x", "y")]))
+
+    # Transitivity of segments fails: the counterexample re-routes the first
+    # segment through the end point of the second.
+    explore(Entailment.build(lhs=[lseg("x", "y"), lseg("y", "z")], rhs=[lseg("x", "z")]))
+
+    # Aliasing matters: with the disequality the entailment becomes valid, so
+    # the counterexample disappears.
+    explore(Entailment.build(lhs=[pts("x", "y")], rhs=[lseg("x", "y")]))
+    explore(Entailment.build(lhs=[neq("x", "y"), pts("x", "y")], rhs=[lseg("x", "y")]))
+
+    # A pure right-hand side can also fail: nothing forces x and y to alias.
+    explore(Entailment.build(lhs=[lseg("x", "nil"), lseg("y", "nil")], rhs=[eq("x", "y")]))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare SLP against the two baseline provers on the paper's random workloads.
+
+A miniature version of the Section 6 evaluation: the script draws small
+batches from the two synthetic distributions (Table 1: ``F |- false``
+consistency checks; Table 2: folding entailments ``Sigma |- Sigma'``), runs
+the jStar-style, Smallfoot-style and SLP provers on every batch, and prints
+paper-style rows (total seconds per batch, or the percentage of instances
+solved when a prover exhausts its budget).
+
+Run it with::
+
+    python examples/prover_shootout.py [instances-per-row]
+"""
+
+import sys
+
+from repro.benchgen.harness import compare_on_batch, format_table
+from repro.benchgen.random_fold import FoldParameters, random_fold_batch
+from repro.benchgen.random_unsat import UnsatParameters, random_unsat_batch
+
+
+def main() -> None:
+    count = int(sys.argv[1]) if len(sys.argv) > 1 else 25
+    per_instance_timeout = 2.0
+    budget = 60.0
+
+    rows = []
+    for variables in (10, 12, 14):
+        batch = random_unsat_batch(UnsatParameters.paper(variables), count, seed=variables)
+        row = compare_on_batch(
+            "n={}".format(variables),
+            batch,
+            per_instance_timeout=per_instance_timeout,
+            budget_seconds=budget,
+            extra={"valid%": "{:.0f}".format(100.0 * _valid_fraction(batch))},
+        )
+        rows.append(row)
+    print(
+        format_table(
+            "Table 1 style: {} random consistency entailments per row "
+            "(seconds per batch, (p%) = solved fraction on timeout)".format(count),
+            rows,
+            extra_columns=("valid%",),
+        )
+    )
+    print()
+
+    rows = []
+    for variables in (10, 12, 14):
+        batch = random_fold_batch(FoldParameters.paper(variables), count, seed=variables)
+        row = compare_on_batch(
+            "n={}".format(variables),
+            batch,
+            per_instance_timeout=per_instance_timeout,
+            budget_seconds=budget,
+            extra={"valid%": "{:.0f}".format(100.0 * _valid_fraction(batch))},
+        )
+        rows.append(row)
+    print(
+        format_table(
+            "Table 2 style: {} random folding entailments per row".format(count),
+            rows,
+            extra_columns=("valid%",),
+        )
+    )
+
+
+def _valid_fraction(batch) -> float:
+    from repro import prove
+
+    valid = sum(1 for entailment in batch if prove(entailment).is_valid)
+    return valid / len(batch) if batch else 0.0
+
+
+if __name__ == "__main__":
+    main()

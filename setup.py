@@ -1,0 +1,4 @@
+"""Setup shim so that legacy `python setup.py develop` works in offline environments."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""SLP: a separation-logic entailment prover built on superposition.
+
+This package is a from-scratch Python reproduction of
+
+    Juan Antonio Navarro Pérez and Andrey Rybalchenko,
+    "Separation Logic + Superposition Calculus = Heap Theorem Prover",
+    PLDI 2011.
+
+The public API is intentionally small.  The central entry points are:
+
+``prove(entailment)``
+    Run the SLP algorithm (Figure 3 of the paper) and return a
+    :class:`~repro.core.result.ProofResult` that is either *valid*, carrying a
+    proof object, or *invalid*, carrying a stack/heap counterexample.
+
+``parse_entailment(text)``
+    Parse an entailment written in the textual surface syntax, e.g.
+    ``"x != y /\\ lseg(x, y) |- next(x, z) * lseg(z, y)"``.
+
+``Entailment`` and the atom constructors ``eq``, ``neq``, ``pts`` (``next``)
+and ``lseg``
+    Build entailments programmatically.
+
+Sub-packages
+------------
+
+``repro.logic``
+    Syntax of the fragment: constants, pure and spatial atoms, formulas,
+    clauses, the clausal embedding ``cnf`` and term orderings.
+``repro.superposition``
+    The ground superposition calculus *I*, saturation and model generation.
+``repro.spatial``
+    The spatial inference rules of the *SI* proof system.
+``repro.core``
+    The ``prove`` algorithm, proofs and results.
+``repro.semantics``
+    Stack/heap models, the satisfaction relation and a bounded enumeration
+    oracle used for testing.
+``repro.baselines``
+    Reimplementations of the two baseline provers used in the paper's
+    evaluation (a Smallfoot-style complete prover with backtracking search and
+    a jStar-style incomplete rewriting prover).
+``repro.frontend``
+    A small heap-manipulating programming language, a separation-logic
+    symbolic executor that generates verification conditions, and the suite of
+    example programs used for the Table 3 benchmark.
+``repro.benchgen``
+    Random entailment generators for the paper's synthetic benchmarks.
+"""
+
+from repro.core.prover import Prover, prove
+from repro.core.config import ProverConfig
+from repro.core.result import ProofResult, Verdict
+from repro.logic.atoms import EqAtom, PointsTo, ListSegment, SpatialFormula, emp
+from repro.logic.formula import (
+    Entailment,
+    PureLiteral,
+    const,
+    consts,
+    eq,
+    lseg,
+    neq,
+    nil,
+    pts,
+)
+from repro.logic.parser import parse_entailment, parse_spatial_formula
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Prover",
+    "ProverConfig",
+    "ProofResult",
+    "Verdict",
+    "prove",
+    "parse_entailment",
+    "parse_spatial_formula",
+    "Entailment",
+    "PureLiteral",
+    "EqAtom",
+    "PointsTo",
+    "ListSegment",
+    "SpatialFormula",
+    "emp",
+    "const",
+    "consts",
+    "nil",
+    "eq",
+    "neq",
+    "pts",
+    "lseg",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""Baseline entailment provers used by the paper's evaluation.
+
+The paper compares SLP against two existing tools:
+
+* **Smallfoot** (Berdine, Calcagno, O'Hearn) — its entailment checker
+  implements the original proof system for the fragment, which interleaves
+  equality and shape reasoning through explicit, unguided case splits; it is
+  sound and complete but its proof search is exponential in the number of
+  undetermined aliasing decisions.  :class:`repro.baselines.smallfoot.SmallfootProver`
+  reimplements that style of prover.
+* **jStar** (Distefano, Parkinson) — a heuristic sequent rewriting prover
+  whose distributed rule set is *incomplete* for the fragment (footnote in
+  Section 6: it fails to prove 59 of the 209 Smallfoot verification
+  conditions).  :class:`repro.baselines.jstar.JStarProver` reimplements a
+  greedy rewriting prover with a comparable blind spot (it cannot perform the
+  general ``lseg``/``lseg`` composition).
+
+Both baselines share the small amount of pure-reasoning machinery in
+:mod:`repro.baselines.common`.
+"""
+
+from repro.baselines.common import BaselineResult, BaselineVerdict, ResourceBudget, ResourceExhausted
+from repro.baselines.jstar import JStarProver
+from repro.baselines.smallfoot import SmallfootProver
+
+__all__ = [
+    "BaselineResult",
+    "BaselineVerdict",
+    "ResourceBudget",
+    "ResourceExhausted",
+    "SmallfootProver",
+    "JStarProver",
+]

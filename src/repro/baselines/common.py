@@ -1,0 +1,253 @@
+"""Shared machinery for the baseline provers.
+
+Both baselines manipulate *sequent states*: a set of equalities, a set of
+disequalities and multisets of spatial atoms for the two sides of the
+entailment.  The pure part is handled with a small union-find, and atoms are
+kept normalised (every constant replaced by its class representative, with
+``nil`` always chosen as the representative of its class).
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from repro.logic.atoms import EqAtom, ListSegment, PointsTo, SpatialAtom
+from repro.logic.formula import Entailment, PureLiteral
+from repro.logic.terms import Const, NIL
+
+
+class ResourceExhausted(RuntimeError):
+    """Raised when a baseline exceeds its step or time budget."""
+
+
+@dataclass
+class ResourceBudget:
+    """A combined step and wall-clock budget shared across a proof search."""
+
+    max_steps: Optional[int] = None
+    max_seconds: Optional[float] = None
+    steps: int = 0
+    _deadline: Optional[float] = field(default=None, repr=False)
+
+    def start(self) -> None:
+        """Arm the wall-clock deadline (called once per ``prove``)."""
+        if self.max_seconds is not None:
+            self._deadline = time.perf_counter() + self.max_seconds
+
+    def tick(self, amount: int = 1) -> None:
+        """Consume budget; raises :class:`ResourceExhausted` when spent."""
+        self.steps += amount
+        if self.max_steps is not None and self.steps > self.max_steps:
+            raise ResourceExhausted("step budget of {} exceeded".format(self.max_steps))
+        if self._deadline is not None and time.perf_counter() > self._deadline:
+            raise ResourceExhausted("time budget of {}s exceeded".format(self.max_seconds))
+
+
+class BaselineVerdict(enum.Enum):
+    """Answers a baseline prover can give."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+    UNKNOWN = "unknown"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of a baseline prover run."""
+
+    verdict: BaselineVerdict
+    entailment: Entailment
+    steps: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the baseline proved the entailment."""
+        return self.verdict is BaselineVerdict.VALID
+
+    @property
+    def is_invalid(self) -> bool:
+        """True when the baseline refuted the entailment."""
+        return self.verdict is BaselineVerdict.INVALID
+
+
+# ---------------------------------------------------------------------------
+# Union-find over constants
+# ---------------------------------------------------------------------------
+
+
+class UnionFind:
+    """A small union-find with ``nil`` forced to be its class representative."""
+
+    def __init__(self, equalities: Iterable[Tuple[Const, Const]] = ()):
+        self._parent: Dict[Const, Const] = {}
+        for left, right in equalities:
+            self.union(left, right)
+
+    def find(self, constant: Const) -> Const:
+        """The representative of ``constant``'s class."""
+        parent = self._parent.get(constant, constant)
+        if parent == constant:
+            return constant
+        root = self.find(parent)
+        self._parent[constant] = root
+        return root
+
+    def union(self, left: Const, right: Const) -> None:
+        """Merge the classes of the two constants (``nil`` stays a representative)."""
+        root_left, root_right = self.find(left), self.find(right)
+        if root_left == root_right:
+            return
+        # Keep nil as a representative so that substitution never renames nil away.
+        if root_left.is_nil:
+            self._parent[root_right] = root_left
+        elif root_right.is_nil:
+            self._parent[root_left] = root_right
+        elif root_left.name <= root_right.name:
+            self._parent[root_right] = root_left
+        else:
+            self._parent[root_left] = root_right
+
+    def same(self, left: Const, right: Const) -> bool:
+        """True when the two constants are known equal."""
+        return self.find(left) == self.find(right)
+
+    def copy(self) -> "UnionFind":
+        """An independent copy."""
+        clone = UnionFind()
+        clone._parent = dict(self._parent)
+        return clone
+
+
+# ---------------------------------------------------------------------------
+# Sequent states
+# ---------------------------------------------------------------------------
+
+
+def canonical_pair(left: Const, right: Const) -> Tuple[Const, Const]:
+    """A canonical unordered pair of constants (used as a disequality key)."""
+    return (left, right) if left.name <= right.name else (right, left)
+
+
+@dataclass(frozen=True)
+class SequentState:
+    """A normalised sequent ``Pi /\\ Sigma |- Pi' /\\ Sigma'``.
+
+    ``equalities`` are kept only implicitly: all constants in the state are
+    already replaced by their class representatives, so the equalities are
+    exactly the trivial ones.  ``disequalities`` is a set of canonical pairs of
+    representatives.  The right-hand pure part is kept as literals over
+    representatives.
+    """
+
+    disequalities: FrozenSet[Tuple[Const, Const]]
+    lhs_atoms: Tuple[SpatialAtom, ...]
+    rhs_pure: Tuple[PureLiteral, ...]
+    rhs_atoms: Tuple[SpatialAtom, ...]
+
+    def distinct(self, left: Const, right: Const) -> bool:
+        """Known-distinct test (an explicit disequality between the representatives)."""
+        return canonical_pair(left, right) in self.disequalities
+
+
+def normalize_state(
+    union_find: UnionFind,
+    disequalities: Iterable[Tuple[Const, Const]],
+    lhs_atoms: Iterable[SpatialAtom],
+    rhs_pure: Iterable[PureLiteral],
+    rhs_atoms: Iterable[SpatialAtom],
+) -> Optional[SequentState]:
+    """Normalise a sequent: substitute representatives and drop trivial atoms.
+
+    Returns ``None`` when the pure left-hand side is already inconsistent
+    (some disequality relates two equal constants), in which case the
+    entailment holds vacuously.
+    """
+    new_diseqs: Set[Tuple[Const, Const]] = set()
+    for left, right in disequalities:
+        rep_left, rep_right = union_find.find(left), union_find.find(right)
+        if rep_left == rep_right:
+            return None
+        new_diseqs.add(canonical_pair(rep_left, rep_right))
+
+    def rename(atom: SpatialAtom) -> SpatialAtom:
+        return atom.with_ends(union_find.find(atom.source), union_find.find(atom.target))
+
+    new_lhs = tuple(
+        renamed
+        for renamed in (rename(atom) for atom in lhs_atoms)
+        if not renamed.is_trivial
+    )
+    new_rhs = tuple(rename(atom) for atom in rhs_atoms)
+    new_rhs_pure = tuple(
+        PureLiteral(
+            EqAtom(union_find.find(literal.atom.left), union_find.find(literal.atom.right)),
+            literal.positive,
+        )
+        for literal in rhs_pure
+    )
+    return SequentState(frozenset(new_diseqs), new_lhs, new_rhs_pure, new_rhs)
+
+
+def initial_state(entailment: Entailment) -> Optional[SequentState]:
+    """Build the initial sequent state from an entailment (``None`` if the LHS pure part is inconsistent)."""
+    union_find = UnionFind(
+        (literal.atom.left, literal.atom.right)
+        for literal in entailment.lhs_pure
+        if literal.positive
+    )
+    disequalities = [
+        (literal.atom.left, literal.atom.right)
+        for literal in entailment.lhs_pure
+        if not literal.positive
+    ]
+    return normalize_state(
+        union_find,
+        disequalities,
+        entailment.lhs_spatial.atoms,
+        entailment.rhs_pure,
+        entailment.rhs_spatial.atoms,
+    )
+
+
+def state_with_equality(state: SequentState, left: Const, right: Const) -> Optional[SequentState]:
+    """The state obtained by assuming ``left = right`` (``None`` when that is inconsistent)."""
+    union_find = UnionFind([(left, right)])
+    return normalize_state(
+        union_find, state.disequalities, state.lhs_atoms, state.rhs_pure, state.rhs_atoms
+    )
+
+
+def state_with_disequality(state: SequentState, left: Const, right: Const) -> Optional[SequentState]:
+    """The state obtained by assuming ``left != right`` (``None`` when that is inconsistent)."""
+    if left == right:
+        return None
+    union_find = UnionFind()
+    return normalize_state(
+        union_find,
+        set(state.disequalities) | {canonical_pair(left, right)},
+        state.lhs_atoms,
+        state.rhs_pure,
+        state.rhs_atoms,
+    )
+
+
+def replace_rhs(state: SequentState, rhs_atoms: Iterable[SpatialAtom]) -> SequentState:
+    """A copy of the state with the right-hand spatial atoms replaced."""
+    return SequentState(state.disequalities, state.lhs_atoms, state.rhs_pure, tuple(rhs_atoms))
+
+
+def replace_lhs(state: SequentState, lhs_atoms: Iterable[SpatialAtom]) -> SequentState:
+    """A copy of the state with the left-hand spatial atoms replaced."""
+    return SequentState(state.disequalities, tuple(lhs_atoms), state.rhs_pure, state.rhs_atoms)
+
+
+def drop_rhs_pure(state: SequentState) -> SequentState:
+    """A copy of the state with the right-hand pure literals removed."""
+    return SequentState(state.disequalities, state.lhs_atoms, (), state.rhs_atoms)

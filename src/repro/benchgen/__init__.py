@@ -1,0 +1,30 @@
+"""Workload generators for the paper's evaluation (Section 6).
+
+Three workloads are used:
+
+* :mod:`repro.benchgen.random_unsat` — the Table 1 distribution: random
+  entailments of the form ``Pi /\\ Sigma |- false`` whose validity reduces to
+  the (un)satisfiability of the left-hand side; parameters ``Plseg`` and
+  ``Pneq`` control the density of segments and disequalities, the latter being
+  calibrated so that roughly half of the instances are valid;
+* :mod:`repro.benchgen.random_fold` — the Table 2 distribution: a random
+  functional graph over the variables is written as a spatial formula and the
+  right-hand side is obtained by folding maximal paths into single ``lseg``
+  atoms; the parameter ``pnext`` controls the mix of ``next``/``lseg`` atoms
+  and thereby the proportion of valid instances;
+* :mod:`repro.benchgen.cloning` — the Table 3 transformation: the conjunction
+  of ``k`` variable-renamed copies of a verification condition, which scales
+  the difficulty of the Smallfoot-example VCs.
+"""
+
+from repro.benchgen.cloning import clone_entailment
+from repro.benchgen.random_fold import FoldParameters, random_fold_entailment
+from repro.benchgen.random_unsat import UnsatParameters, random_unsat_entailment
+
+__all__ = [
+    "UnsatParameters",
+    "random_unsat_entailment",
+    "FoldParameters",
+    "random_fold_entailment",
+    "clone_entailment",
+]

@@ -1,0 +1,162 @@
+"""A small harness that reproduces the layout of the paper's Tables 1-3.
+
+The paper reports, for each row of each table, the total wall-clock time each
+prover spends on a batch of entailments, showing ``(p%)`` — the fraction of
+instances solved — when the prover hits its time budget.  The harness below
+runs the three provers (SLP, the Smallfoot-style baseline and the jStar-style
+baseline) over a batch with a configurable per-batch budget and renders the
+same row format.
+
+The benchmark scripts in ``benchmarks/`` use this module both for the
+pytest-benchmark measurements and for printing the full comparison tables that
+``EXPERIMENTS.md`` records.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
+
+from repro.baselines.jstar import JStarProver
+from repro.baselines.smallfoot import SmallfootProver
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover
+from repro.logic.formula import Entailment
+
+
+@dataclass
+class ProverRun:
+    """The result of running one prover over one batch of entailments."""
+
+    name: str
+    elapsed: float = 0.0
+    attempted: int = 0
+    solved: int = 0
+    valid: int = 0
+    timed_out: bool = False
+
+    @property
+    def cell(self) -> str:
+        """The paper-style table cell: seconds, or ``(p%)`` on a timeout."""
+        if self.timed_out:
+            fraction = 0.0 if self.attempted == 0 else self.solved / self.attempted
+            return "({:.0f}%)".format(100.0 * fraction)
+        return "{:.2f}".format(self.elapsed)
+
+
+def _slp_checker(config: Optional[ProverConfig] = None) -> Callable[[Entailment], Optional[bool]]:
+    prover = Prover((config or ProverConfig()).for_benchmarking())
+
+    def check(entailment: Entailment) -> Optional[bool]:
+        return prover.prove(entailment).is_valid
+
+    return check
+
+
+def _smallfoot_checker(max_seconds: float = 5.0) -> Callable[[Entailment], Optional[bool]]:
+    prover = SmallfootProver(max_seconds=max_seconds)
+
+    def check(entailment: Entailment) -> Optional[bool]:
+        result = prover.prove(entailment)
+        if result.verdict.value == "unknown":
+            return None
+        return result.is_valid
+
+    return check
+
+
+def _jstar_checker(max_seconds: float = 5.0) -> Callable[[Entailment], Optional[bool]]:
+    prover = JStarProver(max_seconds=max_seconds)
+
+    def check(entailment: Entailment) -> Optional[bool]:
+        result = prover.prove(entailment)
+        # The jStar rule set is incomplete: "unknown" counts as an answer (it
+        # is what the real tool reports), so the run is never a timeout, it is
+        # simply unable to prove some instances.
+        return result.is_valid
+
+    return check
+
+
+def default_checkers(
+    per_instance_timeout: float = 5.0,
+) -> Dict[str, Callable[[Entailment], Optional[bool]]]:
+    """The three provers compared throughout the evaluation."""
+    return {
+        "jstar": _jstar_checker(per_instance_timeout),
+        "smallfoot": _smallfoot_checker(per_instance_timeout),
+        "slp": _slp_checker(),
+    }
+
+
+def run_batch(
+    name: str,
+    check: Callable[[Entailment], Optional[bool]],
+    entailments: Sequence[Entailment],
+    budget_seconds: Optional[float] = None,
+) -> ProverRun:
+    """Run one prover over a batch, honouring a total wall-clock budget.
+
+    The checker returns ``True``/``False`` for a decided instance and ``None``
+    when it gave up (only the Smallfoot baseline does, when its per-instance
+    budget is exhausted); undecided instances count as unsolved.
+    """
+    run = ProverRun(name=name)
+    start = time.perf_counter()
+    for entailment in entailments:
+        run.attempted += 1
+        answer = check(entailment)
+        if answer is not None:
+            run.solved += 1
+            if answer:
+                run.valid += 1
+        run.elapsed = time.perf_counter() - start
+        if budget_seconds is not None and run.elapsed > budget_seconds:
+            run.timed_out = run.attempted < len(entailments) or answer is None
+            break
+    run.elapsed = time.perf_counter() - start
+    return run
+
+
+@dataclass
+class TableRow:
+    """One row of a paper-style comparison table."""
+
+    label: str
+    runs: Dict[str, ProverRun] = field(default_factory=dict)
+    extra: Dict[str, str] = field(default_factory=dict)
+
+    def cells(self, order: Sequence[str]) -> List[str]:
+        return [self.runs[name].cell if name in self.runs else "-" for name in order]
+
+
+def format_table(
+    title: str,
+    rows: Sequence[TableRow],
+    prover_order: Sequence[str] = ("jstar", "smallfoot", "slp"),
+    extra_columns: Sequence[str] = (),
+) -> str:
+    """Render rows in the style of the paper's tables."""
+    header = ["", *extra_columns, *prover_order]
+    lines = [title, "  ".join("{:>12}".format(column) for column in header)]
+    for row in rows:
+        cells = [row.label]
+        cells.extend(row.extra.get(column, "-") for column in extra_columns)
+        cells.extend(row.cells(prover_order))
+        lines.append("  ".join("{:>12}".format(cell) for cell in cells))
+    return "\n".join(lines)
+
+
+def compare_on_batch(
+    label: str,
+    entailments: Sequence[Entailment],
+    per_instance_timeout: float = 5.0,
+    budget_seconds: Optional[float] = None,
+    extra: Optional[Dict[str, str]] = None,
+) -> TableRow:
+    """Run all three provers on a batch and collect a table row."""
+    row = TableRow(label=label, extra=dict(extra or {}))
+    for name, check in default_checkers(per_instance_timeout).items():
+        row.runs[name] = run_batch(name, check, entailments, budget_seconds)
+    return row

@@ -1,0 +1,111 @@
+"""The Table 2 random distribution: folding entailments ``Sigma |- Sigma'``.
+
+Quoting the paper: fix ``n`` program variables and draw a random permutation
+``pi`` of their indices without fixed points.  The left-hand side is
+
+    Sigma = f(x1, x_pi(1)) * ... * f(xn, x_pi(n))
+
+where each ``f`` is independently ``next`` (with probability ``pnext``) or
+``lseg``.  By construction ``Sigma`` is well-formed.  The right-hand side
+``Sigma'`` starts as a copy of ``Sigma`` and paths are then randomly *folded*:
+repeatedly pick a variable ``xi`` that is the address of a not-yet-folded
+atom, follow the longest run of not-yet-folded atoms starting there and
+replace the whole run by the single atom ``lseg(xi, xi*)`` where ``xi*`` is
+the last variable reached.  The process stops when every atom has been folded.
+
+Checking ``Sigma |- Sigma'`` exercises the unfolding rules (the outer loop of
+the Figure 3 algorithm); the parameter ``pnext`` tunes the proportion of valid
+instances (a fold over a run containing only ``lseg`` atoms need not be
+valid, because the folded segment could stop early).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.logic.atoms import ListSegment, PointsTo, SpatialAtom, SpatialFormula
+from repro.logic.formula import Entailment
+from repro.logic.terms import Const, variable_pool
+
+
+@dataclass(frozen=True)
+class FoldParameters:
+    """Parameters of the Table 2 distribution."""
+
+    variables: int
+    p_next: float = 0.7
+
+    @classmethod
+    def paper(cls, variables: int) -> "FoldParameters":
+        """The parameters used for Table 2 (``pnext = 0.7`` throughout)."""
+        return cls(variables=variables, p_next=0.7)
+
+
+def _fixed_point_free_permutation(count: int, rng: random.Random) -> List[int]:
+    """A random permutation of ``range(count)`` without fixed points (a derangement)."""
+    if count < 2:
+        raise ValueError("a fixed-point-free permutation needs at least two elements")
+    while True:
+        permutation = list(range(count))
+        rng.shuffle(permutation)
+        if all(permutation[i] != i for i in range(count)):
+            return permutation
+
+
+def random_fold_entailment(
+    parameters: FoldParameters, rng: Optional[random.Random] = None
+) -> Entailment:
+    """Draw one folding entailment ``Sigma |- Sigma'`` from the Table 2 distribution."""
+    rng = rng or random.Random()
+    pool = variable_pool(parameters.variables)
+    permutation = _fixed_point_free_permutation(len(pool), rng)
+
+    lhs_atoms: List[SpatialAtom] = []
+    successor: Dict[Const, Const] = {}
+    for index, source in enumerate(pool):
+        target = pool[permutation[index]]
+        successor[source] = target
+        if rng.random() < parameters.p_next:
+            lhs_atoms.append(PointsTo(source, target))
+        else:
+            lhs_atoms.append(ListSegment(source, target))
+
+    # Fold maximal simple paths of yet-unfolded atoms in the copy of Sigma.
+    # The walk from the picked variable keeps absorbing atoms as long as the
+    # next atom is still unfolded and extending keeps the path simple (it never
+    # revisits a variable); the run is replaced by a single lseg from the start
+    # to the last variable reached.
+    unfolded = {atom.source for atom in lhs_atoms}
+    rhs_atoms: List[SpatialAtom] = []
+    candidates = list(pool)
+    rng.shuffle(candidates)
+    for start in candidates:
+        if start not in unfolded:
+            continue
+        current = start
+        visited = {start}
+        while current in unfolded:
+            following = successor[current]
+            if following in visited:
+                break
+            unfolded.discard(current)
+            visited.add(following)
+            current = following
+        rhs_atoms.append(ListSegment(start, current))
+
+    return Entailment(
+        lhs_pure=(),
+        lhs_spatial=SpatialFormula(lhs_atoms),
+        rhs_pure=(),
+        rhs_spatial=SpatialFormula(rhs_atoms),
+    )
+
+
+def random_fold_batch(
+    parameters: FoldParameters, count: int, seed: Optional[int] = None
+) -> List[Entailment]:
+    """Draw a reproducible batch of entailments from the Table 2 distribution."""
+    rng = random.Random(seed)
+    return [random_fold_entailment(parameters, rng) for _ in range(count)]

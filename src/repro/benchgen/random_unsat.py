@@ -1,0 +1,88 @@
+"""The Table 1 random distribution: entailments ``Pi /\\ Sigma |- false``.
+
+Quoting the paper: with ``n`` program variables ``Var = {x1, ..., xn}``,
+
+* for every ordered pair ``i != j``, the atom ``lseg(xi, xj)`` is included in
+  ``Sigma`` with probability ``Plseg``;
+* for every unordered pair ``i < j``, the disequality ``xi != xj`` is included
+  in ``Pi`` with probability ``Pneq``.
+
+The resulting entailment ``Pi /\\ Sigma |- false`` is valid exactly when the
+left-hand side is unsatisfiable, which only requires equality, normalisation
+and well-formedness reasoning (the inner loop of the Figure 3 algorithm).  The
+probability ``Pneq`` is used to calibrate the proportion of valid instances to
+roughly one half; the parameter tables below reproduce the per-``n`` values of
+``Plseg``/``Pneq`` reported in Table 1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic.formula import Entailment, lseg, neq
+from repro.logic.terms import variable_pool
+
+
+#: The per-variable-count parameters reported in Table 1 of the paper.
+TABLE1_PARAMETERS: Dict[int, Tuple[float, float]] = {
+    10: (0.10, 0.20),
+    11: (0.09, 0.15),
+    12: (0.09, 0.11),
+    13: (0.08, 0.11),
+    14: (0.07, 0.11),
+    15: (0.06, 0.12),
+    16: (0.05, 0.17),
+    17: (0.05, 0.13),
+    18: (0.04, 0.20),
+    19: (0.04, 0.15),
+    20: (0.04, 0.11),
+}
+
+
+@dataclass(frozen=True)
+class UnsatParameters:
+    """Parameters of the Table 1 distribution."""
+
+    variables: int
+    p_lseg: float
+    p_neq: float
+
+    @classmethod
+    def paper(cls, variables: int) -> "UnsatParameters":
+        """The calibrated parameters used for Table 1 (``n`` between 10 and 20)."""
+        if variables not in TABLE1_PARAMETERS:
+            raise ValueError(
+                "the paper only reports parameters for 10..20 variables, not {}".format(variables)
+            )
+        p_lseg, p_neq = TABLE1_PARAMETERS[variables]
+        return cls(variables=variables, p_lseg=p_lseg, p_neq=p_neq)
+
+
+def random_unsat_entailment(
+    parameters: UnsatParameters, rng: Optional[random.Random] = None
+) -> Entailment:
+    """Draw one entailment ``Pi /\\ Sigma |- false`` from the Table 1 distribution."""
+    rng = rng or random.Random()
+    pool = variable_pool(parameters.variables)
+
+    conjuncts: List = []
+    for i, source in enumerate(pool):
+        for j, target in enumerate(pool):
+            if i != j and rng.random() < parameters.p_lseg:
+                conjuncts.append(lseg(source, target))
+    for i in range(len(pool)):
+        for j in range(i + 1, len(pool)):
+            if rng.random() < parameters.p_neq:
+                conjuncts.append(neq(pool[i], pool[j]))
+
+    return Entailment.with_false_rhs(conjuncts)
+
+
+def random_unsat_batch(
+    parameters: UnsatParameters, count: int, seed: Optional[int] = None
+) -> List[Entailment]:
+    """Draw a reproducible batch of entailments from the Table 1 distribution."""
+    rng = random.Random(seed)
+    return [random_unsat_entailment(parameters, rng) for _ in range(count)]

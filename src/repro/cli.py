@@ -1,0 +1,121 @@
+"""Command-line interface of the prover.
+
+The ``slp`` console script checks entailments written one per line in the
+textual surface syntax (see :mod:`repro.logic.parser`)::
+
+    $ slp entailments.txt
+    valid    c != e /\\ lseg(a, b) * ... |- lseg(b, c) * lseg(c, e)
+    invalid  lseg(x, y) |- next(x, y)
+
+    $ echo "x |-> y * y |-> nil |- lseg(x, nil)" | slp -
+    valid    x |-> y * y |-> nil |- lseg(x, nil)
+
+Options allow printing proofs and counterexamples and selecting one of the
+baseline provers for comparison.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Iterable, List, Optional
+
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover
+from repro.logic.parser import ParseError, parse_entailment
+
+
+def _read_lines(path: str) -> List[str]:
+    if path == "-":
+        return sys.stdin.read().splitlines()
+    with open(path, "r", encoding="utf-8") as handle:
+        return handle.read().splitlines()
+
+
+def _select_prover(name: str):
+    """Return a callable ``entailment -> bool`` for the requested engine."""
+    if name == "slp":
+        prover = Prover(ProverConfig())
+        return lambda entailment: prover.prove(entailment).is_valid
+    if name == "smallfoot":
+        from repro.baselines.smallfoot import SmallfootProver
+
+        baseline = SmallfootProver()
+        return lambda entailment: baseline.prove(entailment).is_valid
+    if name == "jstar":
+        from repro.baselines.jstar import JStarProver
+
+        baseline = JStarProver()
+        return lambda entailment: baseline.prove(entailment).is_valid
+    raise SystemExit("unknown prover {!r}; choose slp, smallfoot or jstar".format(name))
+
+
+def main(argv: Optional[Iterable[str]] = None) -> int:
+    """Entry point of the ``slp`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="slp",
+        description="Check separation-logic entailments with list segments.",
+    )
+    parser.add_argument(
+        "input",
+        help="a file with one entailment per line, or '-' for standard input",
+    )
+    parser.add_argument(
+        "--prover",
+        default="slp",
+        choices=("slp", "smallfoot", "jstar"),
+        help="which engine to use (default: slp)",
+    )
+    parser.add_argument(
+        "--proof",
+        action="store_true",
+        help="print the SI proof for valid entailments (slp prover only)",
+    )
+    parser.add_argument(
+        "--counterexample",
+        action="store_true",
+        help="print the counterexample interpretation for invalid entailments (slp only)",
+    )
+    parser.add_argument(
+        "--time",
+        action="store_true",
+        help="print the total wall-clock time at the end",
+    )
+    arguments = parser.parse_args(list(argv) if argv is not None else None)
+
+    lines = [line.strip() for line in _read_lines(arguments.input)]
+    lines = [line for line in lines if line and not line.startswith("#")]
+
+    use_full_result = arguments.prover == "slp" and (arguments.proof or arguments.counterexample)
+    slp_prover = Prover(ProverConfig()) if use_full_result else None
+    check = _select_prover(arguments.prover)
+
+    start = time.perf_counter()
+    exit_code = 0
+    for line in lines:
+        try:
+            entailment = parse_entailment(line)
+        except ParseError as error:
+            print("error    {}  ({})".format(line, error))
+            exit_code = 2
+            continue
+        if slp_prover is not None:
+            result = slp_prover.prove(entailment)
+            verdict = "valid" if result.is_valid else "invalid"
+            print("{:<8} {}".format(verdict, line))
+            if arguments.proof and result.proof is not None:
+                print(result.proof.format())
+            if arguments.counterexample and result.counterexample is not None:
+                print("    counterexample: {}".format(result.counterexample))
+        else:
+            verdict = "valid" if check(entailment) else "invalid"
+            print("{:<8} {}".format(verdict, line))
+
+    if arguments.time:
+        print("total time: {:.3f}s".format(time.perf_counter() - start))
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via the console script
+    sys.exit(main())

@@ -1,0 +1,19 @@
+"""The core of the prover: the Figure 3 algorithm, proofs and results."""
+
+from repro.core.config import ProverConfig
+from repro.core.proof import Proof, ProofStep, ProofTrace
+from repro.core.prover import Prover, ProverInternalError, prove
+from repro.core.result import ProofResult, ProverStatistics, Verdict
+
+__all__ = [
+    "ProverConfig",
+    "Proof",
+    "ProofStep",
+    "ProofTrace",
+    "Prover",
+    "ProverInternalError",
+    "prove",
+    "ProofResult",
+    "ProverStatistics",
+    "Verdict",
+]

@@ -1,0 +1,154 @@
+"""Proof recording and reconstruction (the Figure 4 proof trees).
+
+The prover records every inference it performs — superposition steps on pure
+clauses, normalisation, well-formedness and unfolding steps on spatial clauses
+— in a :class:`ProofTrace`.  When the empty clause is derived, the trace is
+turned into a :class:`Proof`: a numbered, topologically sorted derivation in
+which every step names the rule applied and the indices of its premises, i.e.
+a linearised form of the proof tree shown in Figure 4 of the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.logic.clauses import Clause, EMPTY_CLAUSE
+from repro.logic.printer import format_clause
+
+#: Rule name used for clauses that come straight from the clausal embedding.
+INPUT_RULE = "cnf"
+
+
+@dataclass(frozen=True)
+class ProofStep:
+    """One line of a linearised proof."""
+
+    index: int
+    clause: Clause
+    rule: str
+    premises: Tuple[int, ...] = ()
+    note: str = ""
+
+    def __str__(self) -> str:
+        premise_text = ", ".join(str(p) for p in self.premises)
+        rule_text = self.rule if not premise_text else "{}: {}".format(self.rule, premise_text)
+        return "{:>3}. {:<60} [{}]".format(self.index, format_clause(self.clause), rule_text)
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """How one clause was derived: the rule and the premise clauses."""
+
+    conclusion: Clause
+    rule: str
+    premises: Tuple[Clause, ...] = ()
+    note: str = ""
+
+
+class ProofTrace:
+    """An append-only log of every inference performed during a proof attempt.
+
+    The first record for a clause wins: if a clause is later re-derived by a
+    different inference, the original derivation is kept, which keeps the
+    reconstructed proof well-founded.
+    """
+
+    def __init__(self) -> None:
+        self._records: List[TraceRecord] = []
+        self._by_clause: Dict[Clause, TraceRecord] = {}
+
+    def record(
+        self,
+        conclusion: Clause,
+        rule: str,
+        premises: Sequence[Clause] = (),
+        note: str = "",
+    ) -> None:
+        """Log the derivation of ``conclusion`` from ``premises`` by ``rule``."""
+        record = TraceRecord(conclusion, rule, tuple(premises), note)
+        self._records.append(record)
+        if conclusion not in self._by_clause:
+            self._by_clause[conclusion] = record
+
+    def record_input(self, clause: Clause, note: str = "") -> None:
+        """Log an input clause (a member of ``cnf(E)``)."""
+        self.record(clause, INPUT_RULE, (), note)
+
+    def derivation_of(self, clause: Clause) -> Optional[TraceRecord]:
+        """The recorded derivation of ``clause``, if any."""
+        return self._by_clause.get(clause)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    # -- reconstruction -------------------------------------------------------
+    def build_refutation(self, root: Clause = EMPTY_CLAUSE) -> "Proof":
+        """Reconstruct the sub-derivation ending in ``root`` (usually the empty clause)."""
+        numbering: Dict[Clause, int] = {}
+        steps: List[ProofStep] = []
+
+        def visit(clause: Clause, path: Tuple[Clause, ...]) -> int:
+            if clause in numbering:
+                return numbering[clause]
+            record = self._by_clause.get(clause)
+            if record is None or clause in path:
+                index = len(steps) + 1
+                numbering[clause] = index
+                steps.append(ProofStep(index, clause, INPUT_RULE))
+                return index
+            premise_indices = tuple(
+                visit(premise, path + (clause,)) for premise in record.premises
+            )
+            index = len(steps) + 1
+            numbering[clause] = index
+            steps.append(ProofStep(index, clause, record.rule, premise_indices, record.note))
+            return index
+
+        visit(root, ())
+        return Proof(tuple(steps))
+
+
+@dataclass(frozen=True)
+class Proof:
+    """A linearised SI derivation (ending, for refutations, in the empty clause)."""
+
+    steps: Tuple[ProofStep, ...]
+
+    @property
+    def conclusion(self) -> Clause:
+        """The clause established by the last step."""
+        return self.steps[-1].clause
+
+    @property
+    def is_refutation(self) -> bool:
+        """True when the proof derives the empty clause."""
+        return self.conclusion.is_empty
+
+    def rules_used(self) -> Tuple[str, ...]:
+        """The distinct rule names appearing in the proof, in order of first use."""
+        seen: List[str] = []
+        for step in self.steps:
+            if step.rule not in seen:
+                seen.append(step.rule)
+        return tuple(seen)
+
+    def step_for(self, clause: Clause) -> Optional[ProofStep]:
+        """The step deriving ``clause``, if present in the proof."""
+        for step in self.steps:
+            if step.clause == clause:
+                return step
+        return None
+
+    def format(self) -> str:
+        """Render the proof as numbered lines (a linearised Figure 4)."""
+        return "\n".join(str(step) for step in self.steps)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __iter__(self):
+        return iter(self.steps)
+
+    def __str__(self) -> str:
+        return self.format()

@@ -1,0 +1,259 @@
+"""The SLP entailment-checking algorithm (Figure 3 of the paper).
+
+The algorithm interleaves four kinds of inference:
+
+1. **superposition** saturates the pure clauses collected so far and either
+   derives the empty clause (the entailment is valid) or yields an equality
+   model ``<R, g>``;
+2. **normalisation** uses the model to rewrite the left-hand spatial formula
+   to its normal form;
+3. **well-formedness** rules turn inconsistencies of the normalised formula
+   into new pure clauses, feeding them back to superposition (the inner loop);
+4. once the left-hand formula is well-formed, **unfolding** tries to rewrite
+   the right-hand formula into it; success yields a new pure clause via
+   spatial resolution (the outer loop iterates), failure yields a
+   counterexample.
+
+The loop terminates because every iteration adds at least one genuinely new
+pure clause over the finite vocabulary of the entailment.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.core.config import ProverConfig
+from repro.core.proof import Proof, ProofTrace
+from repro.core.result import ProofResult, ProverStatistics, Verdict
+from repro.logic.clauses import Clause
+from repro.logic.cnf import CnfEmbedding, cnf
+from repro.logic.formula import Entailment
+from repro.logic.ordering import TermOrder, default_order
+from repro.semantics.counterexample import Counterexample, build_counterexample
+from repro.spatial.normalization import normalize_clause
+from repro.spatial.unfolding import UnfoldingOutcome, unfold
+from repro.spatial.wellformedness import well_formedness_consequences
+from repro.superposition.model import EqualityModel, ModelGenerationError, generate_model
+from repro.superposition.saturation import SaturationEngine
+
+
+class ProverInternalError(RuntimeError):
+    """Raised when an invariant of the algorithm is violated (indicates a bug)."""
+
+
+class Prover:
+    """The SLP theorem prover for separation-logic entailments with list segments.
+
+    A prover instance is stateless between calls; it can be reused for many
+    entailments (as the benchmark harness does).
+    """
+
+    def __init__(self, config: Optional[ProverConfig] = None):
+        self.config = config or ProverConfig()
+
+    # ------------------------------------------------------------------
+    def prove(self, entailment: Entailment) -> ProofResult:
+        """Decide the validity of ``entailment``.
+
+        Returns a :class:`~repro.core.result.ProofResult` carrying either a
+        proof (for valid entailments, when proof recording is enabled) or a
+        verified stack/heap counterexample (for invalid ones).
+        """
+        start = time.perf_counter()
+        statistics = ProverStatistics()
+
+        embedding = cnf(entailment)
+        order = default_order(entailment.constants())
+        engine = SaturationEngine(order, max_clauses=self.config.max_saturation_clauses)
+        trace = ProofTrace() if self.config.record_proof else None
+
+        if trace is not None:
+            for clause in embedding.all_clauses():
+                trace.record_input(clause)
+
+        engine.add_clauses(embedding.pure_clauses)
+
+        verdict: Optional[Verdict] = None
+        proof: Optional[Proof] = None
+        counterexample: Optional[Counterexample] = None
+
+        for _ in range(self.config.max_iterations):
+            statistics.iterations += 1
+
+            # ---------------- inner loop: saturate + normalise + well-formedness
+            model: Optional[EqualityModel] = None
+            positive: Optional[Clause] = None
+            refuted = False
+            while True:
+                model = self._saturate_and_generate_model(engine, order, statistics)
+                if model is None:
+                    refuted = True
+                    break
+                positive, steps = normalize_clause(embedding.positive_spatial, model)
+                statistics.normalization_steps += len(steps)
+                if trace is not None:
+                    self._trace_normalization(trace, steps)
+                consequences = well_formedness_consequences(positive)
+                fresh = [
+                    consequence
+                    for consequence in consequences
+                    if not engine.is_known(consequence.conclusion)
+                ]
+                statistics.wellformedness_consequences += len(fresh)
+                if trace is not None:
+                    for consequence in consequences:
+                        trace.record(
+                            consequence.conclusion,
+                            consequence.rule,
+                            (consequence.premise,),
+                        )
+                if not fresh:
+                    break
+                engine.add_clauses(consequence.conclusion for consequence in fresh)
+
+            if refuted:
+                verdict = Verdict.VALID
+                if trace is not None:
+                    self._trace_saturation(trace, engine)
+                    proof = trace.build_refutation()
+                break
+
+            assert model is not None and positive is not None
+
+            # ---------------- line 11: does the model satisfy the right-hand pure part?
+            if not self._model_satisfies_rhs_pure(model, entailment):
+                counterexample = build_counterexample(
+                    entailment,
+                    model,
+                    positive,
+                    outcome=None,
+                    verify=self.config.verify_counterexamples,
+                )
+                verdict = Verdict.INVALID
+                break
+
+            # ---------------- lines 12-14: normalise the right-hand side and unfold
+            negative, neg_steps = normalize_clause(embedding.negative_spatial, model)
+            statistics.normalization_steps += len(neg_steps)
+            if trace is not None:
+                self._trace_normalization(trace, neg_steps)
+
+            outcome = unfold(positive, negative)
+            statistics.unfolding_steps += len(outcome.steps)
+
+            if not outcome.success:
+                counterexample = build_counterexample(
+                    entailment,
+                    model,
+                    positive,
+                    outcome=outcome,
+                    verify=self.config.verify_counterexamples,
+                )
+                verdict = Verdict.INVALID
+                break
+
+            derived = outcome.derived_pure
+            assert derived is not None
+            if engine.is_known(derived):
+                # Line 14 of Figure 3: no new pure clause was discovered, so the
+                # clause set has reached a fixpoint and a counterexample exists.
+                # (For a correct saturation this branch is unreachable when the
+                # unfolding succeeds — see Lemma 4.4 — but following the paper's
+                # algorithm keeps the prover robust: the counterexample below is
+                # verified against the exact semantics.)
+                counterexample = build_counterexample(
+                    entailment,
+                    model,
+                    positive,
+                    outcome=None,
+                    verify=self.config.verify_counterexamples,
+                )
+                verdict = Verdict.INVALID
+                break
+            if trace is not None:
+                self._trace_unfolding(trace, outcome)
+            engine.add_clauses([derived])
+        else:
+            raise ProverInternalError(
+                "the prover did not terminate within {} iterations".format(
+                    self.config.max_iterations
+                )
+            )
+
+        statistics.elapsed_seconds = time.perf_counter() - start
+        assert verdict is not None
+        return ProofResult(
+            verdict=verdict,
+            entailment=entailment,
+            proof=proof,
+            counterexample=counterexample,
+            statistics=statistics,
+        )
+
+    # ------------------------------------------------------------------
+    def _saturate_and_generate_model(
+        self, engine: SaturationEngine, order: TermOrder, statistics: ProverStatistics
+    ) -> Optional[EqualityModel]:
+        """Saturate (lazily) until a verified equality model exists, or refute.
+
+        Returns ``None`` when the empty clause is derived.  With model
+        verification enabled (the default) the engine saturates in chunks and
+        stops as soon as the candidate model satisfies every known pure clause
+        and has well-behaved generating clauses; otherwise it saturates fully
+        before generating the model, which is the textbook behaviour.
+        """
+        lazy = self.config.verify_model
+        while True:
+            chunk = self.config.saturation_chunk if lazy else None
+            saturation = engine.saturate(max_given=chunk)
+            statistics.saturation_rounds += 1
+            statistics.generated_clauses = engine.generated_count
+            if saturation.refuted:
+                return None
+            try:
+                return generate_model(
+                    engine.known_pure_clauses(), order, verify=self.config.verify_model
+                )
+            except ModelGenerationError:
+                if saturation.complete:
+                    # The set is fully saturated and the candidate still fails:
+                    # this would contradict the completeness theorem, so it
+                    # indicates a genuine bug rather than insufficient work.
+                    raise
+                # Not saturated yet: keep working and try again.
+                continue
+
+    @staticmethod
+    def _model_satisfies_rhs_pure(model: EqualityModel, entailment: Entailment) -> bool:
+        """The line-11 test ``R |~ Pi'``."""
+        return all(
+            model.satisfies_literal(literal.atom, literal.positive)
+            for literal in entailment.rhs_pure
+        )
+
+    @staticmethod
+    def _trace_normalization(trace: ProofTrace, steps) -> None:
+        for step in steps:
+            premises = [step.before]
+            if step.pure_premise is not None:
+                premises.append(step.pure_premise)
+            trace.record(step.after, step.rule, premises)
+
+    @staticmethod
+    def _trace_unfolding(trace: ProofTrace, outcome: UnfoldingOutcome) -> None:
+        for step in outcome.steps:
+            premises = [step.before]
+            if step.positive_premise is not None:
+                premises.append(step.positive_premise)
+            trace.record(step.after, step.rule, premises, step.description)
+
+    @staticmethod
+    def _trace_saturation(trace: ProofTrace, engine: SaturationEngine) -> None:
+        for conclusion, inference in engine.derivations.items():
+            trace.record(conclusion, inference.rule, inference.premises)
+
+
+def prove(entailment: Entailment, config: Optional[ProverConfig] = None) -> ProofResult:
+    """Convenience wrapper: check one entailment with a fresh :class:`Prover`."""
+    return Prover(config).prove(entailment)

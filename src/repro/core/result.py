@@ -1,0 +1,66 @@
+"""Results returned by the prover."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.core.proof import Proof
+from repro.logic.formula import Entailment
+from repro.semantics.counterexample import Counterexample
+
+
+class Verdict(enum.Enum):
+    """The prover's answer for an entailment."""
+
+    VALID = "valid"
+    INVALID = "invalid"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass
+class ProverStatistics:
+    """Work counters collected during one ``prove`` call."""
+
+    iterations: int = 0
+    saturation_rounds: int = 0
+    generated_clauses: int = 0
+    normalization_steps: int = 0
+    wellformedness_consequences: int = 0
+    unfolding_steps: int = 0
+    elapsed_seconds: float = 0.0
+
+
+@dataclass
+class ProofResult:
+    """The outcome of checking one entailment.
+
+    A valid entailment carries a :class:`~repro.core.proof.Proof` (when proof
+    recording is enabled); an invalid one carries a verified
+    :class:`~repro.semantics.counterexample.Counterexample`.
+    """
+
+    verdict: Verdict
+    entailment: Entailment
+    proof: Optional[Proof] = None
+    counterexample: Optional[Counterexample] = None
+    statistics: ProverStatistics = field(default_factory=ProverStatistics)
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the entailment was proved valid."""
+        return self.verdict is Verdict.VALID
+
+    @property
+    def is_invalid(self) -> bool:
+        """True when a counterexample was found."""
+        return self.verdict is Verdict.INVALID
+
+    def __bool__(self) -> bool:
+        return self.is_valid
+
+    def __str__(self) -> str:
+        return "{}: {}".format(self.verdict, self.entailment)

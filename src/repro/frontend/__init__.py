@@ -1,0 +1,56 @@
+"""A small verification front end playing the role of Smallfoot's VC generator.
+
+The paper's Table 3 benchmark does not check hand-written entailments: it
+checks the ~209 verification conditions that Smallfoot's symbolic execution
+generates from 18 annotated list-manipulating C programs.  Since the Smallfoot
+distribution is not available here, this package provides an equivalent
+substrate built from scratch:
+
+* :mod:`repro.frontend.programs` — an abstract syntax for a small imperative
+  heap language (assignment, heap lookup and update, allocation, disposal,
+  conditionals and loops with invariants) together with separation-logic
+  assertions and procedure specifications;
+* :mod:`repro.frontend.symexec` — a symbolic executor in the style of
+  "Symbolic Execution with Separation Logic" that runs a procedure body over
+  symbolic states ``Pi /\\ Sigma`` and emits the entailments that must be
+  valid for the specification to hold (loop-invariant establishment and
+  preservation, postcondition checks, memory-safety side conditions);
+* :mod:`repro.frontend.examples_suite` — eighteen annotated example programs
+  (traversals, insertions, deletions, reversal, disposal, queue operations,
+  ...) whose verification conditions form the Table 3 workload.
+"""
+
+from repro.frontend.programs import (
+    Assertion,
+    Assign,
+    Command,
+    Dispose,
+    IfThenElse,
+    Lookup,
+    Mutate,
+    New,
+    Procedure,
+    Skip,
+    While,
+)
+from repro.frontend.symexec import SymbolicExecutionError, VerificationCondition, generate_vcs
+from repro.frontend.examples_suite import all_programs, generate_suite_vcs
+
+__all__ = [
+    "Assertion",
+    "Assign",
+    "Command",
+    "Dispose",
+    "IfThenElse",
+    "Lookup",
+    "Mutate",
+    "New",
+    "Procedure",
+    "Skip",
+    "While",
+    "SymbolicExecutionError",
+    "VerificationCondition",
+    "generate_vcs",
+    "all_programs",
+    "generate_suite_vcs",
+]

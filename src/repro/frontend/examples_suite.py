@@ -1,0 +1,384 @@
+"""The eighteen annotated example programs (the Table 3 workload).
+
+The paper benchmarks the provers on the verification conditions that Smallfoot
+generates for the list-manipulating example programs shipped with its
+distribution — about 209 entailments over 18 programs.  This module provides
+an equivalent suite written in our small heap language: eighteen classic
+singly-linked-list procedures, each annotated with a precondition, loop
+invariants and a postcondition, from which :func:`generate_suite_vcs` produces
+the verification-condition entailments via symbolic execution.
+
+All the programs are memory safe and their specifications hold, so every
+generated verification condition is a *valid* entailment — which matches the
+footnote in Section 6: the interesting difference between the provers on this
+suite is that the incomplete jStar-style baseline fails to prove a substantial
+subset of them (the ones that need general list-segment compositions), while
+both SLP and the Smallfoot-style baseline prove them all.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.frontend.programs import (
+    Assertion,
+    Assign,
+    Dispose,
+    IfThenElse,
+    Lookup,
+    Mutate,
+    New,
+    Procedure,
+    While,
+)
+from repro.frontend.symexec import VerificationCondition, generate_vcs
+from repro.logic.formula import eq, lseg, neq, pts
+
+
+def _traverse() -> Procedure:
+    """Walk a null-terminated list to its end."""
+    return Procedure(
+        name="list_traverse",
+        variables=["c", "t"],
+        precondition=Assertion.of(lseg("c", "nil")),
+        body=[
+            Assign("t", "c"),
+            While(
+                neq("t", "nil"),
+                Assertion.of(lseg("c", "t"), lseg("t", "nil")),
+                [Lookup("t", "t")],
+            ),
+        ],
+        postcondition=Assertion.of(eq("t", "nil"), lseg("c", "nil")),
+        description="cursor walk over a complete list",
+    )
+
+
+def _dispose_list() -> Procedure:
+    """Deallocate every node of a list."""
+    return Procedure(
+        name="list_dispose",
+        variables=["c", "t"],
+        precondition=Assertion.of(lseg("c", "nil")),
+        body=[
+            While(
+                neq("c", "nil"),
+                Assertion.of(lseg("c", "nil")),
+                [Lookup("t", "c"), Dispose("c"), Assign("c", "t")],
+            ),
+        ],
+        postcondition=Assertion.of(eq("c", "nil")),
+        description="iterative disposal of a complete list",
+    )
+
+
+def _insert_front() -> Procedure:
+    """Push a freshly allocated node on the front of a list."""
+    return Procedure(
+        name="list_insert_front",
+        variables=["c", "t"],
+        precondition=Assertion.of(lseg("c", "nil")),
+        body=[New("t"), Mutate("t", "c"), Assign("c", "t")],
+        postcondition=Assertion.of(lseg("c", "nil")),
+        description="cons a new head cell",
+    )
+
+
+def _copy() -> Procedure:
+    """Copy a list (the copy is built in reverse order, which has the same shape)."""
+    return Procedure(
+        name="list_copy",
+        variables=["c", "d", "t", "u"],
+        precondition=Assertion.of(lseg("c", "nil")),
+        body=[
+            Assign("t", "c"),
+            Assign("d", "nil"),
+            While(
+                neq("t", "nil"),
+                Assertion.of(lseg("c", "t"), lseg("t", "nil"), lseg("d", "nil")),
+                [New("u"), Mutate("u", "d"), Assign("d", "u"), Lookup("t", "t")],
+            ),
+        ],
+        postcondition=Assertion.of(lseg("c", "nil"), lseg("d", "nil")),
+        description="structural copy of a list",
+    )
+
+
+def _reverse() -> Procedure:
+    """In-place list reversal."""
+    return Procedure(
+        name="list_reverse",
+        variables=["c", "d", "t"],
+        precondition=Assertion.of(lseg("c", "nil")),
+        body=[
+            Assign("d", "nil"),
+            While(
+                neq("c", "nil"),
+                Assertion.of(lseg("c", "nil"), lseg("d", "nil")),
+                [Lookup("t", "c"), Mutate("c", "d"), Assign("d", "c"), Assign("c", "t")],
+            ),
+        ],
+        postcondition=Assertion.of(eq("c", "nil"), lseg("d", "nil")),
+        description="classic three-pointer reversal",
+    )
+
+
+def _append() -> Procedure:
+    """Append list ``d`` at the end of the non-empty list ``c``."""
+    return Procedure(
+        name="list_append",
+        variables=["c", "d", "t", "u"],
+        precondition=Assertion.of(neq("c", "nil"), lseg("c", "nil"), lseg("d", "nil")),
+        body=[
+            Assign("t", "c"),
+            Lookup("u", "t"),
+            While(
+                neq("u", "nil"),
+                Assertion.of(lseg("c", "t"), pts("t", "u"), lseg("u", "nil"), lseg("d", "nil")),
+                [Assign("t", "u"), Lookup("u", "u")],
+            ),
+            Mutate("t", "d"),
+        ],
+        postcondition=Assertion.of(lseg("c", "nil")),
+        description="find the last node and link the second list there",
+    )
+
+
+def _insert_after() -> Procedure:
+    """Insert a freshly allocated node right after a given interior node ``p``."""
+    return Procedure(
+        name="list_insert_after",
+        variables=["c", "p", "q", "u"],
+        precondition=Assertion.of(lseg("c", "p"), pts("p", "q"), lseg("q", "nil")),
+        body=[New("u"), Mutate("u", "q"), Mutate("p", "u")],
+        postcondition=Assertion.of(lseg("c", "p"), pts("p", "u"), pts("u", "q"), lseg("q", "nil")),
+        description="splice a node into the middle of a list",
+    )
+
+
+def _delete_after() -> Procedure:
+    """Unlink and dispose the node following ``p``."""
+    return Procedure(
+        name="list_delete_after",
+        variables=["c", "p", "q", "r"],
+        precondition=Assertion.of(lseg("c", "p"), pts("p", "q"), pts("q", "r"), lseg("r", "nil")),
+        body=[Mutate("p", "r"), Dispose("q")],
+        postcondition=Assertion.of(lseg("c", "p"), pts("p", "r"), lseg("r", "nil")),
+        description="remove the successor of an interior node",
+    )
+
+
+def _head_dispose() -> Procedure:
+    """Dispose the head node of a non-empty list."""
+    return Procedure(
+        name="list_head_dispose",
+        variables=["c", "d"],
+        precondition=Assertion.of(pts("c", "d"), lseg("d", "nil")),
+        body=[Dispose("c"), Assign("c", "d")],
+        postcondition=Assertion.of(lseg("c", "nil")),
+        description="pop the head cell",
+    )
+
+
+def _queue_enqueue() -> Procedure:
+    """Enqueue on a queue represented as a segment plus a sentinel cell."""
+    return Procedure(
+        name="queue_enqueue",
+        variables=["f", "b", "u"],
+        precondition=Assertion.of(lseg("f", "b"), pts("b", "nil")),
+        body=[New("u"), Mutate("u", "nil"), Mutate("b", "u"), Assign("b", "u")],
+        postcondition=Assertion.of(lseg("f", "b"), pts("b", "nil")),
+        description="append a sentinel cell at the back of a queue",
+    )
+
+
+def _queue_dequeue() -> Procedure:
+    """Dequeue from a non-empty queue."""
+    return Procedure(
+        name="queue_dequeue",
+        variables=["f", "b", "q"],
+        precondition=Assertion.of(pts("f", "q"), lseg("q", "b"), pts("b", "nil")),
+        body=[Dispose("f"), Assign("f", "q")],
+        postcondition=Assertion.of(lseg("f", "b"), pts("b", "nil")),
+        description="drop the front cell of a queue",
+    )
+
+
+def _find_last() -> Procedure:
+    """Position a cursor on the last node of a non-empty list."""
+    return Procedure(
+        name="list_find_last",
+        variables=["c", "t", "u"],
+        precondition=Assertion.of(neq("c", "nil"), lseg("c", "nil")),
+        body=[
+            Assign("t", "c"),
+            Lookup("u", "t"),
+            While(
+                neq("u", "nil"),
+                Assertion.of(lseg("c", "t"), pts("t", "u"), lseg("u", "nil")),
+                [Assign("t", "u"), Lookup("u", "u")],
+            ),
+        ],
+        postcondition=Assertion.of(lseg("c", "t"), pts("t", "nil")),
+        description="walk to the last cell without modifying the list",
+    )
+
+
+def _double_traverse() -> Procedure:
+    """Traverse two independent lists one after the other."""
+    return Procedure(
+        name="list_double_traverse",
+        variables=["a", "b", "t"],
+        precondition=Assertion.of(lseg("a", "nil"), lseg("b", "nil")),
+        body=[
+            Assign("t", "a"),
+            While(
+                neq("t", "nil"),
+                Assertion.of(lseg("a", "t"), lseg("t", "nil"), lseg("b", "nil")),
+                [Lookup("t", "t")],
+            ),
+            Assign("t", "b"),
+            While(
+                neq("t", "nil"),
+                Assertion.of(lseg("a", "nil"), lseg("b", "t"), lseg("t", "nil")),
+                [Lookup("t", "t")],
+            ),
+        ],
+        postcondition=Assertion.of(lseg("a", "nil"), lseg("b", "nil")),
+        description="two successive cursor walks",
+    )
+
+
+def _partial_traverse() -> Procedure:
+    """Traverse a list up to a distinguished sentinel node ``s``."""
+    return Procedure(
+        name="list_partial_traverse",
+        variables=["c", "s", "t"],
+        precondition=Assertion.of(lseg("c", "s"), pts("s", "nil")),
+        body=[
+            Assign("t", "c"),
+            While(
+                neq("t", "s"),
+                Assertion.of(lseg("c", "t"), lseg("t", "s"), pts("s", "nil")),
+                [Lookup("t", "t")],
+            ),
+        ],
+        postcondition=Assertion.of(eq("t", "s"), lseg("c", "s"), pts("s", "nil")),
+        description="cursor walk that stops at an allocated sentinel",
+    )
+
+
+def _swap_tails() -> Procedure:
+    """Swap the tails of two non-empty lists."""
+    return Procedure(
+        name="list_swap_tails",
+        variables=["a", "b", "x", "y"],
+        precondition=Assertion.of(pts("a", "x"), lseg("x", "nil"), pts("b", "y"), lseg("y", "nil")),
+        body=[Mutate("a", "y"), Mutate("b", "x")],
+        postcondition=Assertion.of(
+            pts("a", "y"), lseg("y", "nil"), pts("b", "x"), lseg("x", "nil")
+        ),
+        description="exchange the successors of two head cells",
+    )
+
+
+def _build_three() -> Procedure:
+    """Build a three-element list from nothing."""
+    return Procedure(
+        name="list_build_three",
+        variables=["c", "t"],
+        precondition=Assertion.of(),
+        body=[
+            Assign("c", "nil"),
+            New("t"),
+            Mutate("t", "c"),
+            Assign("c", "t"),
+            New("t"),
+            Mutate("t", "c"),
+            Assign("c", "t"),
+            New("t"),
+            Mutate("t", "c"),
+            Assign("c", "t"),
+        ],
+        postcondition=Assertion.of(lseg("c", "nil")),
+        description="allocate and link three cells",
+    )
+
+
+def _dispose_two() -> Procedure:
+    """Dispose two lists one after the other."""
+    return Procedure(
+        name="list_dispose_two",
+        variables=["a", "b", "t"],
+        precondition=Assertion.of(lseg("a", "nil"), lseg("b", "nil")),
+        body=[
+            While(
+                neq("a", "nil"),
+                Assertion.of(lseg("a", "nil"), lseg("b", "nil")),
+                [Lookup("t", "a"), Dispose("a"), Assign("a", "t")],
+            ),
+            While(
+                neq("b", "nil"),
+                Assertion.of(eq("a", "nil"), lseg("b", "nil")),
+                [Lookup("t", "b"), Dispose("b"), Assign("b", "t")],
+            ),
+        ],
+        postcondition=Assertion.of(eq("a", "nil"), eq("b", "nil")),
+        description="sequential disposal of two lists",
+    )
+
+
+def _skip_one() -> Procedure:
+    """Advance a cursor by one or two cells depending on a test."""
+    return Procedure(
+        name="list_skip_one",
+        variables=["c", "t"],
+        precondition=Assertion.of(neq("c", "nil"), lseg("c", "nil")),
+        body=[
+            Lookup("t", "c"),
+            IfThenElse(neq("t", "nil"), [Lookup("t", "t")], []),
+        ],
+        postcondition=Assertion.of(lseg("c", "nil")),
+        description="conditional double dereference",
+    )
+
+
+def all_programs() -> List[Procedure]:
+    """The full example suite (18 annotated procedures)."""
+    return [
+        _traverse(),
+        _dispose_list(),
+        _insert_front(),
+        _copy(),
+        _reverse(),
+        _append(),
+        _insert_after(),
+        _delete_after(),
+        _head_dispose(),
+        _queue_enqueue(),
+        _queue_dequeue(),
+        _find_last(),
+        _double_traverse(),
+        _partial_traverse(),
+        _swap_tails(),
+        _build_three(),
+        _dispose_two(),
+        _skip_one(),
+    ]
+
+
+def generate_suite_vcs(programs: Sequence[Procedure] = ()) -> List[VerificationCondition]:
+    """Generate the verification conditions of the whole suite (or of a subset)."""
+    selected = list(programs) if programs else all_programs()
+    conditions: List[VerificationCondition] = []
+    for procedure in selected:
+        conditions.extend(generate_vcs(procedure))
+    return conditions
+
+
+def vcs_by_program() -> Dict[str, List[VerificationCondition]]:
+    """The suite's verification conditions grouped by procedure name."""
+    grouped: Dict[str, List[VerificationCondition]] = {}
+    for condition in generate_suite_vcs():
+        grouped.setdefault(condition.procedure, []).append(condition)
+    return grouped

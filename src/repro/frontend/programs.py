@@ -1,0 +1,218 @@
+"""Abstract syntax of the annotated heap-programming language.
+
+The language is the tiny imperative core that Smallfoot-style tools verify:
+program variables hold pointers, the heap stores singly linked records with a
+single ``next`` field, and specifications are separation-logic assertions over
+the fragment handled by the prover (pure equalities/disequalities plus
+``next``/``lseg`` spatial atoms).
+
+Commands
+--------
+
+``Assign(x, e)``          ``x = e``            (``e`` a variable or ``nil``)
+``Lookup(x, y)``          ``x = y->next``
+``Mutate(x, e)``          ``x->next = e``
+``New(x)``                ``x = new()``        (allocates a cell with an arbitrary next field)
+``Dispose(x)``            ``dispose(x)``
+``Skip()``                no-op
+``IfThenElse(c, t, f)``   branching on a pure condition
+``While(c, inv, body)``   loop with a user-supplied invariant
+
+A :class:`Procedure` bundles a name, the program variables it uses, a
+precondition, a body (a sequence of commands) and a postcondition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+
+from repro.logic.atoms import SpatialAtom, SpatialFormula
+from repro.logic.formula import Entailment, PureLiteral
+from repro.logic.terms import Const, make_const
+
+
+@dataclass(frozen=True)
+class Assertion:
+    """A separation-logic assertion ``Pi /\\ Sigma`` (one side of an entailment)."""
+
+    pure: Tuple[PureLiteral, ...] = ()
+    spatial: SpatialFormula = field(default_factory=SpatialFormula)
+
+    @classmethod
+    def of(cls, *items: Union[PureLiteral, SpatialAtom, SpatialFormula]) -> "Assertion":
+        """Build an assertion from a mixed list of pure literals and spatial atoms."""
+        pure = []
+        atoms = []
+        for item in items:
+            if isinstance(item, PureLiteral):
+                pure.append(item)
+            elif isinstance(item, SpatialAtom):
+                atoms.append(item)
+            elif isinstance(item, SpatialFormula):
+                atoms.extend(item.atoms)
+            else:
+                raise TypeError("unexpected assertion item {!r}".format(item))
+        return cls(tuple(pure), SpatialFormula(atoms))
+
+    def constants(self) -> FrozenSet[Const]:
+        """All constants mentioned by the assertion."""
+        result = set(self.spatial.constants())
+        for literal in self.pure:
+            result.update(literal.constants())
+        return frozenset(result)
+
+    def substitute(self, mapping: Dict[Const, Const]) -> "Assertion":
+        """Apply a constant substitution."""
+        return Assertion(
+            tuple(literal.substitute(mapping) for literal in self.pure),
+            self.spatial.substitute(mapping),
+        )
+
+    def with_pure(self, *literals: PureLiteral) -> "Assertion":
+        """A copy of the assertion with extra pure conjuncts."""
+        return Assertion(self.pure + tuple(literals), self.spatial)
+
+    def with_spatial(self, sigma: SpatialFormula) -> "Assertion":
+        """A copy of the assertion with the spatial part replaced."""
+        return Assertion(self.pure, sigma)
+
+    def entails(self, other: "Assertion") -> Entailment:
+        """The entailment ``self |- other``."""
+        return Entailment(self.pure, self.spatial, other.pure, other.spatial)
+
+    def __str__(self) -> str:
+        parts = [str(literal) for literal in self.pure]
+        parts.append(str(self.spatial))
+        return " /\\ ".join(parts)
+
+
+class Command:
+    """Base class of all commands (purely a marker; commands are frozen dataclasses)."""
+
+
+@dataclass(frozen=True)
+class Skip(Command):
+    """The no-op command."""
+
+
+@dataclass(frozen=True)
+class Assign(Command):
+    """``target = value`` where ``value`` is a variable or ``nil``."""
+
+    target: Const
+    value: Const
+
+    def __init__(self, target: Union[str, Const], value: Union[str, Const]) -> None:
+        object.__setattr__(self, "target", make_const(target))
+        object.__setattr__(self, "value", make_const(value))
+
+
+@dataclass(frozen=True)
+class Lookup(Command):
+    """``target = source->next``."""
+
+    target: Const
+    source: Const
+
+    def __init__(self, target: Union[str, Const], source: Union[str, Const]) -> None:
+        object.__setattr__(self, "target", make_const(target))
+        object.__setattr__(self, "source", make_const(source))
+
+
+@dataclass(frozen=True)
+class Mutate(Command):
+    """``target->next = value``."""
+
+    target: Const
+    value: Const
+
+    def __init__(self, target: Union[str, Const], value: Union[str, Const]) -> None:
+        object.__setattr__(self, "target", make_const(target))
+        object.__setattr__(self, "value", make_const(value))
+
+
+@dataclass(frozen=True)
+class New(Command):
+    """``target = new()``: allocate a fresh cell with an arbitrary ``next`` field."""
+
+    target: Const
+
+    def __init__(self, target: Union[str, Const]) -> None:
+        object.__setattr__(self, "target", make_const(target))
+
+
+@dataclass(frozen=True)
+class Dispose(Command):
+    """``dispose(target)``: free the cell at ``target``."""
+
+    target: Const
+
+    def __init__(self, target: Union[str, Const]) -> None:
+        object.__setattr__(self, "target", make_const(target))
+
+
+@dataclass(frozen=True)
+class IfThenElse(Command):
+    """Branch on a pure condition."""
+
+    condition: PureLiteral
+    then_branch: Tuple[Command, ...]
+    else_branch: Tuple[Command, ...] = ()
+
+    def __init__(
+        self,
+        condition: PureLiteral,
+        then_branch: Sequence[Command],
+        else_branch: Sequence[Command] = (),
+    ) -> None:
+        object.__setattr__(self, "condition", condition)
+        object.__setattr__(self, "then_branch", tuple(then_branch))
+        object.__setattr__(self, "else_branch", tuple(else_branch))
+
+
+@dataclass(frozen=True)
+class While(Command):
+    """A loop annotated with its invariant."""
+
+    condition: PureLiteral
+    invariant: Assertion
+    body: Tuple[Command, ...]
+
+    def __init__(
+        self, condition: PureLiteral, invariant: Assertion, body: Sequence[Command]
+    ) -> None:
+        object.__setattr__(self, "condition", condition)
+        object.__setattr__(self, "invariant", invariant)
+        object.__setattr__(self, "body", tuple(body))
+
+
+@dataclass(frozen=True)
+class Procedure:
+    """An annotated procedure: precondition, body, postcondition."""
+
+    name: str
+    variables: Tuple[Const, ...]
+    precondition: Assertion
+    body: Tuple[Command, ...]
+    postcondition: Assertion
+    description: str = ""
+
+    def __init__(
+        self,
+        name: str,
+        variables: Iterable[Union[str, Const]],
+        precondition: Assertion,
+        body: Sequence[Command],
+        postcondition: Assertion,
+        description: str = "",
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "variables", tuple(make_const(v) for v in variables))
+        object.__setattr__(self, "precondition", precondition)
+        object.__setattr__(self, "body", tuple(body))
+        object.__setattr__(self, "postcondition", postcondition)
+        object.__setattr__(self, "description", description)
+
+    def __str__(self) -> str:
+        return "procedure {}({})".format(self.name, ", ".join(str(v) for v in self.variables))

@@ -1,0 +1,249 @@
+"""Symbolic execution with separation logic (the verification-condition generator).
+
+This module plays the part of Smallfoot's symbolic executor: given an
+annotated :class:`~repro.frontend.programs.Procedure` it runs the body over
+symbolic states of the form ``Pi /\\ Sigma`` and emits the entailments whose
+validity establishes the specification:
+
+* *loop entry*: the state reaching a loop must entail the loop invariant;
+* *loop preservation*: executing the body from the invariant (plus the loop
+  condition) must re-establish the invariant;
+* *postcondition*: every state reaching the end of the body must entail the
+  postcondition.
+
+Heap-accessing commands additionally require the accessed cell to be present
+in the symbolic state; when the cell is hidden inside a list segment that the
+pure part guarantees to be non-empty, the executor unfolds one cell off the
+segment (the same rearrangement step Smallfoot performs).  If the cell cannot
+be exhibited the program is rejected with :class:`SymbolicExecutionError` —
+the example suite only contains memory-safe programs, so this is a programming
+error in the example rather than a prover task.
+
+The generated entailments fall squarely in the fragment the prover handles, so
+``generate_vcs`` composed with :func:`repro.core.prover.prove` is a miniature
+but faithful version of the Smallfoot pipeline used for Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.common import UnionFind, canonical_pair
+from repro.frontend.programs import (
+    Assertion,
+    Assign,
+    Command,
+    Dispose,
+    IfThenElse,
+    Lookup,
+    Mutate,
+    New,
+    Procedure,
+    Skip,
+    While,
+)
+from repro.logic.atoms import EqAtom, ListSegment, PointsTo, SpatialFormula
+from repro.logic.formula import Entailment, PureLiteral, eq
+from repro.logic.terms import Const, NIL
+from repro.utils.naming import FreshNames
+
+
+class SymbolicExecutionError(RuntimeError):
+    """Raised when a heap access cannot be justified by the symbolic state."""
+
+
+@dataclass(frozen=True)
+class VerificationCondition:
+    """One entailment that must be valid for a procedure's specification to hold."""
+
+    procedure: str
+    description: str
+    entailment: Entailment
+
+    def __str__(self) -> str:
+        return "[{}] {}: {}".format(self.procedure, self.description, self.entailment)
+
+
+class _Executor:
+    """Symbolic execution of a single procedure."""
+
+    def __init__(self, procedure: Procedure):
+        self.procedure = procedure
+        used = {constant.name for constant in procedure.variables}
+        used.update(c.name for c in procedure.precondition.constants())
+        used.update(c.name for c in procedure.postcondition.constants())
+        for command in _all_commands(procedure.body):
+            if isinstance(command, While):
+                used.update(c.name for c in command.invariant.constants())
+        self.fresh = FreshNames(used)
+        self.vcs: List[VerificationCondition] = []
+
+    # ------------------------------------------------------------------
+    def run(self) -> List[VerificationCondition]:
+        """Execute the whole procedure body and return the collected VCs."""
+        final_states = self._run_block(self.procedure.body, [self.procedure.precondition])
+        for index, state in enumerate(final_states):
+            self._emit(
+                state,
+                self.procedure.postcondition,
+                "postcondition (path {})".format(index + 1),
+            )
+        return self.vcs
+
+    # ------------------------------------------------------------------
+    def _run_block(self, block: Sequence[Command], states: List[Assertion]) -> List[Assertion]:
+        current = list(states)
+        for command in block:
+            next_states: List[Assertion] = []
+            for state in current:
+                next_states.extend(self._step(command, state))
+            current = next_states
+        return current
+
+    def _step(self, command: Command, state: Assertion) -> List[Assertion]:
+        if isinstance(command, Skip):
+            return [state]
+        if isinstance(command, Assign):
+            return [self._assign(state, command.target, command.value)]
+        if isinstance(command, Lookup):
+            return [self._lookup(state, command.target, command.source)]
+        if isinstance(command, Mutate):
+            return [self._mutate(state, command.target, command.value)]
+        if isinstance(command, New):
+            return [self._new(state, command.target)]
+        if isinstance(command, Dispose):
+            return [self._dispose(state, command.target)]
+        if isinstance(command, IfThenElse):
+            then_states = self._run_block(
+                command.then_branch, [state.with_pure(command.condition)]
+            )
+            else_states = self._run_block(
+                command.else_branch, [state.with_pure(command.condition.negated)]
+            )
+            return then_states + else_states
+        if isinstance(command, While):
+            self._emit(state, command.invariant, "loop invariant established")
+            body_start = command.invariant.with_pure(command.condition)
+            body_end_states = self._run_block(command.body, [body_start])
+            for index, body_end in enumerate(body_end_states):
+                self._emit(
+                    body_end,
+                    command.invariant,
+                    "loop invariant preserved (path {})".format(index + 1),
+                )
+            return [command.invariant.with_pure(command.condition.negated)]
+        raise TypeError("unknown command {!r}".format(command))
+
+    # ------------------------------------------------------------------
+    def _emit(self, state: Assertion, target: Assertion, description: str) -> None:
+        self.vcs.append(
+            VerificationCondition(
+                procedure=self.procedure.name,
+                description=description,
+                entailment=state.entails(target),
+            )
+        )
+
+    # -- individual commands -------------------------------------------------
+    def _rename_modified(self, state: Assertion, variable: Const) -> Tuple[Assertion, Const]:
+        """Rename ``variable`` to a fresh "old value" constant throughout the state."""
+        old = Const(self.fresh.fresh("{}_0".format(variable.name)))
+        return state.substitute({variable: old}), old
+
+    def _assign(self, state: Assertion, target: Const, value: Const) -> Assertion:
+        renamed, old = self._rename_modified(state, target)
+        new_value = old if value == target else value
+        return renamed.with_pure(eq(target, new_value))
+
+    def _lookup(self, state: Assertion, target: Const, source: Const) -> Assertion:
+        renamed, old = self._rename_modified(state, target)
+        actual_source = old if source == target else source
+        exposed, cell = self._materialise_cell(renamed, actual_source)
+        return exposed.with_pure(eq(target, cell.target))
+
+    def _mutate(self, state: Assertion, target: Const, value: Const) -> Assertion:
+        exposed, cell = self._materialise_cell(state, target)
+        updated = exposed.spatial.replace(cell, [PointsTo(cell.source, value)])
+        return exposed.with_spatial(updated)
+
+    def _new(self, state: Assertion, target: Const) -> Assertion:
+        renamed, _ = self._rename_modified(state, target)
+        junk = Const(self.fresh.fresh("{}_junk".format(target.name)))
+        return renamed.with_spatial(renamed.spatial.add(PointsTo(target, junk)))
+
+    def _dispose(self, state: Assertion, target: Const) -> Assertion:
+        exposed, cell = self._materialise_cell(state, target)
+        return exposed.with_spatial(exposed.spatial.remove(cell))
+
+    # -- heap access ---------------------------------------------------------
+    def _emit_safety(self, state: Assertion, address: Const) -> None:
+        """Emit the memory-safety condition for an access to ``address``.
+
+        Smallfoot checks, for every heap dereference, that the accessed
+        address is not ``nil``; the corresponding entailment keeps the state's
+        spatial part on both sides so that it stays within the exact-match
+        fragment handled by the provers.
+        """
+        target = Assertion(
+            state.pure + (PureLiteral(EqAtom(address, NIL), positive=False),),
+            state.spatial,
+        )
+        self._emit(state, target, "memory safety of access to {}".format(address))
+
+    def _materialise_cell(self, state: Assertion, address: Const) -> Tuple[Assertion, PointsTo]:
+        """Exhibit the ``next`` cell at ``address``, unfolding a list segment if needed."""
+        self._emit_safety(state, address)
+        aliases = UnionFind(
+            (literal.atom.left, literal.atom.right)
+            for literal in state.pure
+            if literal.positive
+        )
+        disequalities = {
+            canonical_pair(aliases.find(literal.atom.left), aliases.find(literal.atom.right))
+            for literal in state.pure
+            if not literal.positive
+        }
+        address_rep = aliases.find(address)
+
+        for atom in state.spatial:
+            if aliases.find(atom.source) != address_rep:
+                continue
+            if isinstance(atom, PointsTo):
+                return state, atom
+            source_rep = aliases.find(atom.source)
+            target_rep = aliases.find(atom.target)
+            known_nonempty = (
+                canonical_pair(source_rep, target_rep) in disequalities
+                and source_rep != target_rep
+            )
+            if not known_nonempty:
+                continue
+            middle = Const(self.fresh.fresh("cursor"))
+            cell = PointsTo(atom.source, middle)
+            unfolded = state.spatial.replace(atom, [cell, ListSegment(middle, atom.target)])
+            return state.with_spatial(unfolded), cell
+
+        raise SymbolicExecutionError(
+            "procedure {}: cannot establish that {} is allocated in state {}".format(
+                self.procedure.name, address, state
+            )
+        )
+
+
+def _all_commands(block: Sequence[Command]) -> List[Command]:
+    """Flatten a command block, including the bodies of conditionals and loops."""
+    result: List[Command] = []
+    for command in block:
+        result.append(command)
+        if isinstance(command, IfThenElse):
+            result.extend(_all_commands(command.then_branch))
+            result.extend(_all_commands(command.else_branch))
+        elif isinstance(command, While):
+            result.extend(_all_commands(command.body))
+    return result
+
+
+def generate_vcs(procedure: Procedure) -> List[VerificationCondition]:
+    """Generate all verification conditions of an annotated procedure."""
+    return _Executor(procedure).run()

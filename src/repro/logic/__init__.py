@@ -1,0 +1,56 @@
+"""Syntax of the separation-logic fragment with list segments.
+
+The modules in this package define the object language of the prover:
+
+* :mod:`repro.logic.terms` — constant symbols (program variables) and ``nil``;
+* :mod:`repro.logic.atoms` — pure equality atoms ``x ~ y`` and the basic
+  spatial atoms ``next(x, y)`` and ``lseg(x, y)``, together with spatial
+  formulas (multisets of basic atoms joined by the separating conjunction);
+* :mod:`repro.logic.formula` — pure literals and entailments
+  ``Pi /\\ Sigma |- Pi' /\\ Sigma'``;
+* :mod:`repro.logic.clauses` — the clause representation ``Gamma -> Delta``
+  with at most one spatial atom;
+* :mod:`repro.logic.cnf` — the clausal embedding ``cnf(E)`` of the negated
+  entailment (Section 3.2 of the paper);
+* :mod:`repro.logic.ordering` — the ground term/literal/clause orderings used
+  by the superposition calculus, with ``nil`` as the minimal constant;
+* :mod:`repro.logic.parser` — a textual surface syntax;
+* :mod:`repro.logic.printer` — human-readable rendering of every syntactic
+  category.
+"""
+
+from repro.logic.terms import Const, NIL
+from repro.logic.atoms import EqAtom, PointsTo, ListSegment, SpatialAtom, SpatialFormula, emp
+from repro.logic.formula import Entailment, PureLiteral, const, consts, eq, neq, pts, lseg, nil
+from repro.logic.clauses import Clause, EMPTY_CLAUSE
+from repro.logic.cnf import CnfEmbedding, cnf
+from repro.logic.ordering import TermOrder
+from repro.logic.parser import ParseError, parse_entailment, parse_spatial_formula
+
+__all__ = [
+    "Const",
+    "NIL",
+    "EqAtom",
+    "PointsTo",
+    "ListSegment",
+    "SpatialAtom",
+    "SpatialFormula",
+    "emp",
+    "Entailment",
+    "PureLiteral",
+    "const",
+    "consts",
+    "eq",
+    "neq",
+    "pts",
+    "lseg",
+    "nil",
+    "Clause",
+    "EMPTY_CLAUSE",
+    "CnfEmbedding",
+    "cnf",
+    "TermOrder",
+    "ParseError",
+    "parse_entailment",
+    "parse_spatial_formula",
+]

@@ -1,0 +1,335 @@
+"""Pure and spatial atoms of the fragment (Section 3.1 of the paper).
+
+Three kinds of atoms exist:
+
+* the *pure* equality atom ``x ~ y`` (written ``x ' y`` in the paper), which
+  constrains the stack only;
+* the basic *spatial* atoms ``next(x, y)`` (a single heap cell at ``x``
+  pointing to ``y``) and ``lseg(x, y)`` (a possibly empty acyclic list segment
+  from ``x`` to ``y``);
+* *spatial formulas* ``S1 * ... * Sn`` — finite multisets of basic spatial
+  atoms joined by the separating conjunction, with ``emp`` for the empty
+  multiset.
+
+Disequalities ``x != y`` are not a separate atom kind: they are negated
+equality atoms and are represented at the literal/clause level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
+
+from repro.logic.terms import Const, NIL, make_const
+
+
+def _order_pair(a: Const, b: Const) -> Tuple[Const, Const]:
+    """Canonical presentation order for the two sides of an equality.
+
+    Equality is symmetric, so ``EqAtom(x, y)`` and ``EqAtom(y, x)`` must be
+    the same object value.  We therefore store the two sides in a fixed order:
+    ``nil`` always last, otherwise lexicographically by name.
+    """
+    if a.is_nil and not b.is_nil:
+        return b, a
+    if b.is_nil and not a.is_nil:
+        return a, b
+    return (a, b) if a.name <= b.name else (b, a)
+
+
+@dataclass(frozen=True)
+class EqAtom:
+    """The pure atom ``left ~ right`` asserting that two constants are aliases.
+
+    Instances are canonicalised so that the atom is symmetric:
+    ``EqAtom(x, y) == EqAtom(y, x)``.
+    """
+
+    left: Const
+    right: Const
+
+    def __init__(self, left: "Const | str", right: "Const | str") -> None:
+        first, second = _order_pair(make_const(left), make_const(right))
+        object.__setattr__(self, "left", first)
+        object.__setattr__(self, "right", second)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for atoms of the form ``x ~ x`` (always true)."""
+        return self.left == self.right
+
+    @property
+    def sides(self) -> Tuple[Const, Const]:
+        """The two constants related by the atom."""
+        return (self.left, self.right)
+
+    def mentions(self, constant: Const) -> bool:
+        """True if ``constant`` occurs in the atom."""
+        return constant == self.left or constant == self.right
+
+    def other(self, constant: Const) -> Const:
+        """Given one side of the atom, return the other side."""
+        if constant == self.left:
+            return self.right
+        if constant == self.right:
+            return self.left
+        raise ValueError("{} does not occur in {}".format(constant, self))
+
+    def constants(self) -> FrozenSet[Const]:
+        """The set of constants occurring in the atom."""
+        return frozenset((self.left, self.right))
+
+    def substitute(self, mapping: Dict[Const, Const]) -> "EqAtom":
+        """Simultaneously replace constants according to ``mapping``."""
+        return EqAtom(mapping.get(self.left, self.left), mapping.get(self.right, self.right))
+
+    def __str__(self) -> str:
+        return "{} = {}".format(self.left, self.right)
+
+    def __repr__(self) -> str:
+        return "EqAtom({!r}, {!r})".format(self.left.name, self.right.name)
+
+
+class SpatialAtom:
+    """Common interface of the two basic spatial atoms.
+
+    Both ``next(x, y)`` and ``lseg(x, y)`` describe a piece of heap reachable
+    from the *address* ``x`` and ending at ``y``.  The class is an abstract
+    base; use :class:`PointsTo` and :class:`ListSegment`.
+    """
+
+    source: Const
+    target: Const
+
+    #: Short tag used by the printer and by rule implementations ("next"/"lseg").
+    kind: str = ""
+
+    @property
+    def address(self) -> Const:
+        """The address of the atom (the paper calls ``x`` the address of ``f(x, y)``)."""
+        return self.source
+
+    @property
+    def is_trivial(self) -> bool:
+        """True only for ``lseg(x, x)``, which is satisfied by the empty heap."""
+        return False
+
+    def constants(self) -> FrozenSet[Const]:
+        """The set of constants occurring in the atom."""
+        return frozenset((self.source, self.target))
+
+    def substitute(self, mapping: Dict[Const, Const]) -> "SpatialAtom":
+        """Simultaneously replace constants according to ``mapping``."""
+        raise NotImplementedError
+
+    def with_ends(self, source: Const, target: Const) -> "SpatialAtom":
+        """Return an atom of the same kind with the given endpoints."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class PointsTo(SpatialAtom):
+    """The basic spatial atom ``next(x, y)``: a single cell at ``x`` storing ``y``."""
+
+    source: Const
+    target: Const
+    kind = "next"
+
+    def __init__(self, source: "Const | str", target: "Const | str") -> None:
+        object.__setattr__(self, "source", make_const(source))
+        object.__setattr__(self, "target", make_const(target))
+
+    def substitute(self, mapping: Dict[Const, Const]) -> "PointsTo":
+        return PointsTo(
+            mapping.get(self.source, self.source), mapping.get(self.target, self.target)
+        )
+
+    def with_ends(self, source: Const, target: Const) -> "PointsTo":
+        return PointsTo(source, target)
+
+    def __str__(self) -> str:
+        return "next({}, {})".format(self.source, self.target)
+
+    def __repr__(self) -> str:
+        return "PointsTo({!r}, {!r})".format(self.source.name, self.target.name)
+
+
+@dataclass(frozen=True)
+class ListSegment(SpatialAtom):
+    """The basic spatial atom ``lseg(x, y)``: an acyclic list segment from ``x`` to ``y``.
+
+    The segment may be empty, in which case ``x`` and ``y`` denote the same
+    location and the atom occupies no heap cells.
+    """
+
+    source: Const
+    target: Const
+    kind = "lseg"
+
+    def __init__(self, source: "Const | str", target: "Const | str") -> None:
+        object.__setattr__(self, "source", make_const(source))
+        object.__setattr__(self, "target", make_const(target))
+
+    @property
+    def is_trivial(self) -> bool:
+        return self.source == self.target
+
+    def substitute(self, mapping: Dict[Const, Const]) -> "ListSegment":
+        return ListSegment(
+            mapping.get(self.source, self.source), mapping.get(self.target, self.target)
+        )
+
+    def with_ends(self, source: Const, target: Const) -> "ListSegment":
+        return ListSegment(source, target)
+
+    def __str__(self) -> str:
+        return "lseg({}, {})".format(self.source, self.target)
+
+    def __repr__(self) -> str:
+        return "ListSegment({!r}, {!r})".format(self.source.name, self.target.name)
+
+
+def _atom_sort_key(atom: SpatialAtom) -> Tuple[str, str, str]:
+    return (atom.source.name, atom.target.name, atom.kind)
+
+
+class SpatialFormula:
+    """A spatial formula ``S1 * ... * Sn``: a multiset of basic spatial atoms.
+
+    The separating conjunction is associative and commutative, so a spatial
+    formula is represented as a canonically sorted tuple of its basic atoms.
+    It is *not* idempotent — the multiplicity of atoms matters — hence a
+    multiset rather than a set.  The empty formula is ``emp``.
+
+    Instances are immutable and hashable; all "mutators" return new formulas.
+    """
+
+    __slots__ = ("_atoms",)
+
+    def __init__(self, atoms: Iterable[SpatialAtom] = ()):  # noqa: D107
+        atom_list = list(atoms)
+        for atom in atom_list:
+            if not isinstance(atom, SpatialAtom):
+                raise TypeError("expected a spatial atom, got {!r}".format(atom))
+        self._atoms: Tuple[SpatialAtom, ...] = tuple(sorted(atom_list, key=_atom_sort_key))
+
+    # -- basic protocol ----------------------------------------------------
+    @property
+    def atoms(self) -> Tuple[SpatialAtom, ...]:
+        """The basic atoms in canonical order."""
+        return self._atoms
+
+    @property
+    def is_emp(self) -> bool:
+        """True for the empty spatial formula ``emp``."""
+        return not self._atoms
+
+    def __iter__(self) -> Iterator[SpatialAtom]:
+        return iter(self._atoms)
+
+    def __len__(self) -> int:
+        return len(self._atoms)
+
+    def __contains__(self, atom: SpatialAtom) -> bool:
+        return atom in self._atoms
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SpatialFormula):
+            return NotImplemented
+        return self._atoms == other._atoms
+
+    def __hash__(self) -> int:
+        return hash(self._atoms)
+
+    def __str__(self) -> str:
+        if not self._atoms:
+            return "emp"
+        return " * ".join(str(atom) for atom in self._atoms)
+
+    def __repr__(self) -> str:
+        return "SpatialFormula({})".format(list(self._atoms))
+
+    # -- queries -----------------------------------------------------------
+    def count(self, atom: SpatialAtom) -> int:
+        """Multiplicity of ``atom`` in the formula."""
+        return sum(1 for candidate in self._atoms if candidate == atom)
+
+    def constants(self) -> FrozenSet[Const]:
+        """All constants occurring in the formula."""
+        result = set()
+        for atom in self._atoms:
+            result.update(atom.constants())
+        return frozenset(result)
+
+    def addresses(self) -> Tuple[Const, ...]:
+        """The addresses of the basic atoms, with multiplicities, in order."""
+        return tuple(atom.address for atom in self._atoms)
+
+    def atoms_at(self, address: Const) -> Tuple[SpatialAtom, ...]:
+        """All basic atoms whose address is ``address``."""
+        return tuple(atom for atom in self._atoms if atom.address == address)
+
+    def atom_at(self, address: Const) -> Optional[SpatialAtom]:
+        """The unique atom at ``address`` in a well-formed formula, or ``None``."""
+        candidates = self.atoms_at(address)
+        return candidates[0] if candidates else None
+
+    def is_well_formed(self) -> bool:
+        """Check the paper's well-formedness condition.
+
+        A spatial formula is well formed when no basic atom has a ``nil``
+        address and no two basic atoms share the same address.
+        """
+        seen = set()
+        for atom in self._atoms:
+            if atom.address.is_nil:
+                return False
+            if atom.address in seen:
+                return False
+            seen.add(atom.address)
+        return True
+
+    # -- constructive operations -------------------------------------------
+    def star(self, other: "SpatialFormula | SpatialAtom") -> "SpatialFormula":
+        """Separating conjunction with another formula or basic atom."""
+        if isinstance(other, SpatialAtom):
+            return SpatialFormula(self._atoms + (other,))
+        return SpatialFormula(self._atoms + other._atoms)
+
+    def __mul__(self, other: "SpatialFormula | SpatialAtom") -> "SpatialFormula":
+        return self.star(other)
+
+    def add(self, atom: SpatialAtom) -> "SpatialFormula":
+        """Return the formula with one extra occurrence of ``atom``."""
+        return SpatialFormula(self._atoms + (atom,))
+
+    def remove(self, atom: SpatialAtom) -> "SpatialFormula":
+        """Return the formula with one occurrence of ``atom`` removed."""
+        remaining = list(self._atoms)
+        try:
+            remaining.remove(atom)
+        except ValueError:
+            raise KeyError("atom {} not present in {}".format(atom, self))
+        return SpatialFormula(remaining)
+
+    def replace(self, old: SpatialAtom, new_atoms: Iterable[SpatialAtom]) -> "SpatialFormula":
+        """Remove one occurrence of ``old`` and add all atoms in ``new_atoms``."""
+        return SpatialFormula(list(self.remove(old)._atoms) + list(new_atoms))
+
+    def substitute(self, mapping: Dict[Const, Const]) -> "SpatialFormula":
+        """Simultaneously replace constants according to ``mapping``."""
+        return SpatialFormula(atom.substitute(mapping) for atom in self._atoms)
+
+    def drop_trivial(self) -> "SpatialFormula":
+        """Remove all trivial atoms ``lseg(x, x)`` (rule N2/N4 of the paper)."""
+        return SpatialFormula(atom for atom in self._atoms if not atom.is_trivial)
+
+
+def emp() -> SpatialFormula:
+    """The empty spatial formula ``emp``."""
+    return SpatialFormula(())
+
+
+def spatial(*atoms: SpatialAtom) -> SpatialFormula:
+    """Convenience constructor: ``spatial(pts(x, y), lseg(y, z))``."""
+    return SpatialFormula(atoms)

@@ -1,0 +1,179 @@
+"""The clause representation ``Gamma -> Delta`` (Section 3.2 of the paper).
+
+A clause is a disjunction of literals written in sequent form
+
+    A1, ..., An  ->  B1, ..., Bm
+
+meaning "if all atoms on the left hold then at least one atom on the right
+holds".  The atoms on the left therefore occur *negatively* in the clause and
+the atoms on the right occur *positively*.
+
+Following the paper we only ever need clauses that contain **at most one
+spatial atom** (a whole spatial formula ``Sigma`` counts as a single atom),
+which gives three clause shapes:
+
+* a *pure clause* ``Gamma -> Delta`` where both sides contain only equality
+  atoms;
+* a *positive spatial clause* ``Gamma -> Delta, Sigma``;
+* a *negative spatial clause* ``Gamma, Sigma -> Delta``.
+
+The class below represents all three with ``gamma``/``delta`` frozensets of
+:class:`~repro.logic.atoms.EqAtom` plus an optional spatial formula tagged
+with the side it occurs on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.logic.atoms import EqAtom, SpatialFormula
+from repro.logic.terms import Const
+
+
+@dataclass(frozen=True)
+class Clause:
+    """A clause ``Gamma -> Delta`` with at most one spatial formula.
+
+    Attributes
+    ----------
+    gamma:
+        The pure atoms on the left of the sequent arrow (negative occurrences).
+    delta:
+        The pure atoms on the right of the sequent arrow (positive occurrences).
+    spatial:
+        The spatial formula occurring in the clause, or ``None`` for a pure
+        clause.
+    spatial_on_right:
+        ``True`` when the spatial formula occurs on the right of the arrow
+        (a positive spatial clause, asserting the heap shape), ``False`` when
+        it occurs on the left (a negative spatial clause, refuting the shape).
+        Ignored when ``spatial`` is ``None``.
+    """
+
+    gamma: FrozenSet[EqAtom] = frozenset()
+    delta: FrozenSet[EqAtom] = frozenset()
+    spatial: Optional[SpatialFormula] = None
+    spatial_on_right: bool = True
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def pure(gamma: Iterable[EqAtom] = (), delta: Iterable[EqAtom] = ()) -> "Clause":
+        """Build a pure clause ``Gamma -> Delta``."""
+        return Clause(frozenset(gamma), frozenset(delta), None, True)
+
+    @staticmethod
+    def positive_spatial(
+        sigma: SpatialFormula,
+        gamma: Iterable[EqAtom] = (),
+        delta: Iterable[EqAtom] = (),
+    ) -> "Clause":
+        """Build a positive spatial clause ``Gamma -> Delta, Sigma``."""
+        return Clause(frozenset(gamma), frozenset(delta), sigma, True)
+
+    @staticmethod
+    def negative_spatial(
+        sigma: SpatialFormula,
+        gamma: Iterable[EqAtom] = (),
+        delta: Iterable[EqAtom] = (),
+    ) -> "Clause":
+        """Build a negative spatial clause ``Gamma, Sigma -> Delta``."""
+        return Clause(frozenset(gamma), frozenset(delta), sigma, False)
+
+    # -- shape predicates ----------------------------------------------------
+    @property
+    def is_pure(self) -> bool:
+        """True when the clause contains no spatial formula."""
+        return self.spatial is None
+
+    @property
+    def is_positive_spatial(self) -> bool:
+        """True for clauses of the form ``Gamma -> Delta, Sigma``."""
+        return self.spatial is not None and self.spatial_on_right
+
+    @property
+    def is_negative_spatial(self) -> bool:
+        """True for clauses of the form ``Gamma, Sigma -> Delta``."""
+        return self.spatial is not None and not self.spatial_on_right
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty clause (the contradiction, written ``□``)."""
+        return not self.gamma and not self.delta and self.spatial is None
+
+    @property
+    def is_tautology(self) -> bool:
+        """Cheap syntactic tautology check for pure clauses.
+
+        A pure clause is a tautology when some atom appears on both sides or
+        when the right-hand side contains a trivial equality ``x = x``.
+        Spatial clauses are never considered tautologies by this check.
+        """
+        if self.spatial is not None:
+            return False
+        if any(atom.is_trivial for atom in self.delta):
+            return True
+        return bool(self.gamma & self.delta)
+
+    # -- queries -----------------------------------------------------------
+    def constants(self) -> FrozenSet[Const]:
+        """All constants occurring in the clause."""
+        result = set()
+        for atom in self.gamma | self.delta:
+            result.update(atom.constants())
+        if self.spatial is not None:
+            result.update(self.spatial.constants())
+        return frozenset(result)
+
+    def literals(self) -> Tuple[Tuple[EqAtom, bool], ...]:
+        """The pure literals of the clause as ``(atom, positive)`` pairs."""
+        negative = tuple((atom, False) for atom in sorted(self.gamma, key=str))
+        positive = tuple((atom, True) for atom in sorted(self.delta, key=str))
+        return negative + positive
+
+    def subsumes(self, other: "Clause") -> bool:
+        """Clause subsumption for pure clauses.
+
+        ``C`` subsumes ``D`` when every literal of ``C`` occurs in ``D`` (for
+        ground clauses subsumption is simply literal-set inclusion).  Spatial
+        clauses only subsume syntactically identical clauses.
+        """
+        if self.spatial is not None or other.spatial is not None:
+            return self == other
+        return self.gamma <= other.gamma and self.delta <= other.delta
+
+    # -- transformations ----------------------------------------------------
+    def substitute(self, mapping: Dict[Const, Const]) -> "Clause":
+        """Apply a constant substitution to every component of the clause."""
+        return Clause(
+            frozenset(atom.substitute(mapping) for atom in self.gamma),
+            frozenset(atom.substitute(mapping) for atom in self.delta),
+            None if self.spatial is None else self.spatial.substitute(mapping),
+            self.spatial_on_right,
+        )
+
+    def with_spatial(self, sigma: Optional[SpatialFormula], on_right: bool = True) -> "Clause":
+        """Return a copy of the clause with its spatial component replaced."""
+        return Clause(self.gamma, self.delta, sigma, on_right)
+
+    def add_gamma(self, atoms: Iterable[EqAtom]) -> "Clause":
+        """Return the clause with extra atoms added to the left-hand side."""
+        return Clause(self.gamma | frozenset(atoms), self.delta, self.spatial, self.spatial_on_right)
+
+    def add_delta(self, atoms: Iterable[EqAtom]) -> "Clause":
+        """Return the clause with extra atoms added to the right-hand side."""
+        return Clause(self.gamma, self.delta | frozenset(atoms), self.spatial, self.spatial_on_right)
+
+    def pure_part(self) -> "Clause":
+        """The pure clause obtained by dropping the spatial formula."""
+        return Clause(self.gamma, self.delta, None, True)
+
+    # -- presentation ---------------------------------------------------------
+    def __str__(self) -> str:
+        from repro.logic.printer import format_clause
+
+        return format_clause(self)
+
+
+#: The empty clause ``□`` — deriving it refutes the clause set.
+EMPTY_CLAUSE = Clause.pure()

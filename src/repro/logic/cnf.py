@@ -1,0 +1,84 @@
+"""The clausal embedding ``cnf(E)`` of a negated entailment (Section 3.2).
+
+Given an entailment
+
+    E  =  Pi /\\ Sigma  ->  Pi' /\\ Sigma'
+
+with ``Pi = P1 /\\ ... /\\ Pn /\\ !N1 /\\ ... /\\ !Nm`` and similarly for
+``Pi'``, the embedding returns a set of clauses logically equivalent to the
+*negation* of ``E``:
+
+* one unit clause ``∅ -> Pi`` for every positive pure conjunct of ``Pi``;
+* one unit clause ``Nj -> ∅`` for every negative pure conjunct of ``Pi``;
+* the positive spatial clause ``∅ -> Sigma`` asserting the left heap;
+* the single clause ``Pi'+, Sigma' -> Pi'-`` refuting the right-hand side.
+
+``E`` is valid if and only if ``cnf(E)`` is unsatisfiable, which is what the
+prover establishes by deriving the empty clause.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.logic.clauses import Clause
+from repro.logic.formula import Entailment
+
+
+@dataclass(frozen=True)
+class CnfEmbedding:
+    """The result of the clausal embedding, keeping the components apart.
+
+    The Figure 3 algorithm needs direct access to the three ingredients, so we
+    expose them separately rather than as one flat set:
+
+    ``pure_clauses``
+        The unit pure clauses encoding ``Pi``.
+    ``positive_spatial``
+        The clause ``∅ -> Sigma`` describing the left-hand heap.
+    ``negative_spatial``
+        The clause ``Pi'+, Sigma' -> Pi'-`` refuting the right-hand side.
+    """
+
+    pure_clauses: Tuple[Clause, ...]
+    positive_spatial: Clause
+    negative_spatial: Clause
+
+    def all_clauses(self) -> List[Clause]:
+        """The full clause set ``cnf(E)`` as a list."""
+        return list(self.pure_clauses) + [self.positive_spatial, self.negative_spatial]
+
+    def __iter__(self):
+        return iter(self.all_clauses())
+
+    def __len__(self) -> int:
+        return len(self.pure_clauses) + 2
+
+
+def cnf(entailment: Entailment) -> CnfEmbedding:
+    """Compute the clausal embedding of the negation of ``entailment``.
+
+    The embedding drops trivially true literals (``x = x`` on the left-hand
+    side) and keeps trivially false ones (they become unit clauses that the
+    superposition saturation immediately refutes), so the result is always
+    logically equivalent to ``¬E``.
+    """
+    pure_clauses: List[Clause] = []
+    for literal in entailment.lhs_pure:
+        if literal.positive:
+            # Pi asserts the equality: the clause ``∅ -> P``.
+            pure_clauses.append(Clause.pure(delta=[literal.atom]))
+        else:
+            # Pi asserts the disequality: the clause ``N -> ∅``.
+            pure_clauses.append(Clause.pure(gamma=[literal.atom]))
+
+    positive_spatial = Clause.positive_spatial(entailment.lhs_spatial)
+
+    rhs_positive = [literal.atom for literal in entailment.rhs_pure if literal.positive]
+    rhs_negative = [literal.atom for literal in entailment.rhs_pure if not literal.positive]
+    negative_spatial = Clause.negative_spatial(
+        entailment.rhs_spatial, gamma=rhs_positive, delta=rhs_negative
+    )
+
+    return CnfEmbedding(tuple(pure_clauses), positive_spatial, negative_spatial)

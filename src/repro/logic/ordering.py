@@ -1,0 +1,215 @@
+"""Term, literal and clause orderings for the ground superposition calculus.
+
+Superposition restricts its inferences to *maximal* literals with respect to a
+reduction ordering on terms, and the model-generation argument (Section 3.3 of
+the paper, following Nieuwenhuis and Rubio) processes clauses in increasing
+clause order.  Because the fragment is ground and has no function symbols, a
+reduction ordering is simply a total precedence on the constant symbols.
+
+The paper imposes one requirement on the precedence: ``nil`` must be the
+*minimal* constant, so that whenever a variable is equated with ``nil`` its
+normal form is ``nil`` and the induced stack maps it to the null location.
+
+Literal and clause orderings are the standard constructions:
+
+* a positive equality ``x = y`` is measured by the multiset ``{x, y}``;
+* a negative equality ``x != y`` is measured by the multiset ``{x, x, y, y}``
+  (so a negative literal is larger than the positive literal over the same
+  terms);
+* clauses are compared by the multiset extension of the literal ordering.
+
+For total ground orderings the multiset extension coincides with comparing the
+multisets as descending-sorted sequences, longest-prefix wins, which is what
+:func:`TermOrder.compare_key_multisets` implements.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.logic.atoms import EqAtom
+from repro.logic.terms import Const, NIL
+
+
+class TermOrder:
+    """A total precedence over constant symbols with ``nil`` minimal.
+
+    Parameters
+    ----------
+    precedence:
+        Optional explicit order, listed from *smallest* to *largest*.  Any
+        constant not listed is placed above the listed ones, ordered by name.
+        ``nil`` is always forced to be the minimum regardless of its position
+        in the list.
+    """
+
+    def __init__(self, precedence: Optional[Sequence[Const]] = None):
+        self._rank: Dict[Const, int] = {}
+        if precedence:
+            for index, constant in enumerate(precedence):
+                if constant.is_nil:
+                    continue
+                if constant not in self._rank:
+                    self._rank[constant] = index + 1
+        # Key computations sit in the innermost loops of saturation; both the
+        # term keys and the literal keys are memoised.
+        self._key_cache: Dict[Const, Tuple[int, int, str]] = {}
+        self._literal_key_cache: Dict[Tuple[EqAtom, bool], Tuple[Tuple[int, int, str], ...]] = {}
+
+    # -- term level ---------------------------------------------------------
+    def key(self, constant: Const) -> Tuple[int, int, str]:
+        """A sort key that realises the precedence (larger key = larger term)."""
+        cached = self._key_cache.get(constant)
+        if cached is not None:
+            return cached
+        if constant.is_nil:
+            result = (0, 0, "")
+        elif constant in self._rank:
+            result = (1, self._rank[constant], constant.name)
+        else:
+            result = (2, 0, constant.name)
+        self._key_cache[constant] = result
+        return result
+
+    def greater(self, left: Const, right: Const) -> bool:
+        """``left > right`` in the term ordering."""
+        return self.key(left) > self.key(right)
+
+    def gte(self, left: Const, right: Const) -> bool:
+        """``left >= right`` in the term ordering."""
+        return self.key(left) >= self.key(right)
+
+    def max_of(self, constants: Iterable[Const]) -> Const:
+        """The maximal constant of a non-empty collection."""
+        items = list(constants)
+        if not items:
+            raise ValueError("max_of requires at least one constant")
+        return max(items, key=self.key)
+
+    def sort_descending(self, constants: Iterable[Const]) -> List[Const]:
+        """Sort constants from largest to smallest."""
+        return sorted(constants, key=self.key, reverse=True)
+
+    def orient(self, atom: EqAtom) -> Tuple[Const, Const]:
+        """Return the sides of an equality as ``(larger, smaller)``.
+
+        For an atom ``x = x`` both components are the same constant.
+        """
+        if self.gte(atom.left, atom.right):
+            return atom.left, atom.right
+        return atom.right, atom.left
+
+    # -- literal level --------------------------------------------------------
+    def literal_key(self, atom: EqAtom, positive: bool) -> Tuple[Tuple[int, int, str], ...]:
+        """The measuring multiset of a literal, as a descending-sorted key tuple."""
+        cached = self._literal_key_cache.get((atom, positive))
+        if cached is not None:
+            return cached
+        big, small = self.orient(atom)
+        if positive:
+            terms = (big, small)
+        else:
+            terms = (big, big, small, small)
+        result = tuple(sorted((self.key(t) for t in terms), reverse=True))
+        self._literal_key_cache[(atom, positive)] = result
+        return result
+
+    def compare_key_multisets(
+        self,
+        left: Sequence[Tuple],
+        right: Sequence[Tuple],
+    ) -> int:
+        """Compare two descending-sorted key sequences as multisets.
+
+        Returns a negative number, zero, or a positive number when ``left`` is
+        respectively smaller than, equal to, or greater than ``right``.
+        """
+        for l_item, r_item in zip(left, right):
+            if l_item != r_item:
+                return -1 if l_item < r_item else 1
+        if len(left) == len(right):
+            return 0
+        return -1 if len(left) < len(right) else 1
+
+    def literal_greater(
+        self, atom_a: EqAtom, positive_a: bool, atom_b: EqAtom, positive_b: bool
+    ) -> bool:
+        """Strict literal ordering ``A > B``."""
+        return (
+            self.compare_key_multisets(
+                self.literal_key(atom_a, positive_a), self.literal_key(atom_b, positive_b)
+            )
+            > 0
+        )
+
+    # -- clause level -----------------------------------------------------------
+    def clause_key(
+        self, gamma: Iterable[EqAtom], delta: Iterable[EqAtom]
+    ) -> Tuple[Tuple, ...]:
+        """The measuring multiset of a pure clause ``Gamma -> Delta``."""
+        keys = [self.literal_key(atom, positive=False) for atom in gamma]
+        keys.extend(self.literal_key(atom, positive=True) for atom in delta)
+        return tuple(sorted(keys, reverse=True))
+
+    def clause_greater(
+        self,
+        gamma_a: Iterable[EqAtom],
+        delta_a: Iterable[EqAtom],
+        gamma_b: Iterable[EqAtom],
+        delta_b: Iterable[EqAtom],
+    ) -> bool:
+        """Strict clause ordering (multiset extension of the literal ordering)."""
+        return (
+            self.compare_key_multisets(
+                self.clause_key(gamma_a, delta_a), self.clause_key(gamma_b, delta_b)
+            )
+            > 0
+        )
+
+    # -- maximality checks --------------------------------------------------------
+    def is_maximal_in(
+        self,
+        atom: EqAtom,
+        positive: bool,
+        gamma: Iterable[EqAtom],
+        delta: Iterable[EqAtom],
+        strictly: bool = False,
+    ) -> bool:
+        """Check whether a literal is (strictly) maximal in a pure clause.
+
+        The literal itself is assumed to occur in the clause; one occurrence is
+        ignored when checking strict maximality.
+        """
+        own_key = self.literal_key(atom, positive)
+        skipped_self = False
+        for other_atom, other_positive in self._literals(gamma, delta):
+            if (
+                not skipped_self
+                and other_atom == atom
+                and other_positive == positive
+            ):
+                skipped_self = True
+                continue
+            comparison = self.compare_key_multisets(
+                own_key, self.literal_key(other_atom, other_positive)
+            )
+            if comparison < 0:
+                return False
+            if strictly and comparison == 0:
+                return False
+        return True
+
+    @staticmethod
+    def _literals(
+        gamma: Iterable[EqAtom], delta: Iterable[EqAtom]
+    ) -> Iterable[Tuple[EqAtom, bool]]:
+        for atom in gamma:
+            yield atom, False
+        for atom in delta:
+            yield atom, True
+
+
+def default_order(constants: Iterable[Const]) -> TermOrder:
+    """A deterministic order for a given constant pool: by name, ``nil`` minimal."""
+    ordered = sorted({c for c in constants if not c.is_nil}, key=lambda c: c.name)
+    return TermOrder([NIL] + ordered)

@@ -1,0 +1,226 @@
+"""A textual surface syntax for entailments.
+
+The grammar is a small superset of the notation used in the paper and of
+Smallfoot's assertion language:
+
+.. code-block:: text
+
+    entailment  ::=  side ('|-' | '==>') side
+    side        ::=  'false' | conjunct (('/\\' | '&&' | '&' | '*') conjunct)*
+    conjunct    ::=  'true' | 'emp' | pure | spatial
+    pure        ::=  ident ('=' | '==') ident
+                  |  ident ('!=' | '<>') ident
+    spatial     ::=  'next' '(' ident ',' ident ')'
+                  |  ident '|->' ident
+                  |  ('lseg' | 'ls') '(' ident ',' ident ')'
+    ident       ::=  [A-Za-z_][A-Za-z0-9_']*  |  'nil' | 'null' | 'NULL'
+
+Pure and spatial conjuncts may be freely interleaved; the parser sorts them
+into the pure part ``Pi`` and the spatial part ``Sigma`` of each side.  The
+keyword ``false`` may be used as the complete right-hand side to express the
+``F |- false`` entailments of the Table 1 benchmark.
+
+Examples::
+
+    parse_entailment("c != e /\\ lseg(a, b) * lseg(a, c) * next(c, d) * lseg(d, e) "
+                     "|- lseg(b, c) * lseg(c, e)")
+    parse_entailment("x |-> y * y |-> nil |- lseg(x, nil)")
+    parse_entailment("x != y /\\ lseg(x, y) |- false")
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Tuple, Union
+
+from repro.logic.atoms import SpatialAtom, SpatialFormula
+from repro.logic.formula import Entailment, PureLiteral, eq, lseg, neq, pts
+
+
+class ParseError(ValueError):
+    """Raised when the input text is not a well-formed entailment."""
+
+
+@dataclass(frozen=True)
+class _Token:
+    kind: str
+    text: str
+    position: int
+
+
+_TOKEN_SPEC = [
+    ("POINTS", r"\|->"),
+    ("TURNSTILE", r"\|-|==>"),
+    ("AND", r"/\\|&&|&"),
+    ("STAR", r"\*"),
+    ("NEQ", r"!=|<>"),
+    ("EQ", r"==|="),
+    ("LPAREN", r"\("),
+    ("RPAREN", r"\)"),
+    ("COMMA", r","),
+    ("IDENT", r"[A-Za-z_][A-Za-z0-9_']*"),
+    ("WS", r"\s+"),
+]
+
+_TOKEN_RE = re.compile("|".join("(?P<{}>{})".format(name, pattern) for name, pattern in _TOKEN_SPEC))
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    position = 0
+    while position < len(text):
+        match = _TOKEN_RE.match(text, position)
+        if match is None:
+            raise ParseError(
+                "unexpected character {!r} at position {}".format(text[position], position)
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), position))
+        position = match.end()
+    return tokens
+
+
+class _Parser:
+    """A tiny recursive-descent parser over the token stream."""
+
+    def __init__(self, tokens: List[_Token], text: str):
+        self._tokens = tokens
+        self._text = text
+        self._index = 0
+
+    # -- token helpers -------------------------------------------------------
+    def _peek(self) -> Optional[_Token]:
+        if self._index < len(self._tokens):
+            return self._tokens[self._index]
+        return None
+
+    def _advance(self) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise ParseError("unexpected end of input in {!r}".format(self._text))
+        self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> _Token:
+        token = self._advance()
+        if token.kind != kind:
+            raise ParseError(
+                "expected {} but found {!r} at position {}".format(kind, token.text, token.position)
+            )
+        return token
+
+    def _match(self, kind: str) -> bool:
+        token = self._peek()
+        if token is not None and token.kind == kind:
+            self._index += 1
+            return True
+        return False
+
+    # -- grammar -------------------------------------------------------------
+    def parse_entailment(self) -> Entailment:
+        lhs = self.parse_side()
+        self._expect("TURNSTILE")
+        rhs = self.parse_side()
+        if self._peek() is not None:
+            token = self._peek()
+            raise ParseError(
+                "unexpected trailing input {!r} at position {}".format(token.text, token.position)
+            )
+        if rhs == "false":
+            if lhs == "false":
+                raise ParseError("'false' can only appear as the whole right-hand side")
+            return Entailment.with_false_rhs(lhs)
+        if lhs == "false":
+            raise ParseError("'false' can only appear as the whole right-hand side")
+        return Entailment.build(lhs=lhs, rhs=rhs)
+
+    def parse_side(self) -> Union[str, List[Union[PureLiteral, SpatialAtom]]]:
+        token = self._peek()
+        if token is not None and token.kind == "IDENT" and token.text == "false":
+            self._advance()
+            return "false"
+        conjuncts: List[Union[PureLiteral, SpatialAtom]] = []
+        while True:
+            conjunct = self.parse_conjunct()
+            if conjunct is not None:
+                conjuncts.append(conjunct)
+            token = self._peek()
+            if token is not None and token.kind in ("AND", "STAR"):
+                self._advance()
+                continue
+            break
+        return conjuncts
+
+    def parse_conjunct(self) -> Optional[Union[PureLiteral, SpatialAtom]]:
+        token = self._advance()
+        if token.kind != "IDENT":
+            raise ParseError(
+                "expected an atom but found {!r} at position {}".format(token.text, token.position)
+            )
+        word = token.text
+
+        if word in ("true", "emp"):
+            return None
+
+        if word in ("next", "lseg", "ls"):
+            next_token = self._peek()
+            if next_token is not None and next_token.kind == "LPAREN":
+                self._advance()
+                first = self._expect("IDENT").text
+                self._expect("COMMA")
+                second = self._expect("IDENT").text
+                self._expect("RPAREN")
+                if word == "next":
+                    return pts(first, second)
+                return lseg(first, second)
+            # fall through: "next" or "lseg" used as a plain identifier
+
+        follower = self._peek()
+        if follower is None:
+            raise ParseError("dangling identifier {!r} at end of input".format(word))
+        if follower.kind == "EQ":
+            self._advance()
+            other = self._expect("IDENT").text
+            return eq(word, other)
+        if follower.kind == "NEQ":
+            self._advance()
+            other = self._expect("IDENT").text
+            return neq(word, other)
+        if follower.kind == "POINTS":
+            self._advance()
+            other = self._expect("IDENT").text
+            return pts(word, other)
+        raise ParseError(
+            "expected '=', '!=' or '|->' after {!r} at position {}".format(word, follower.position)
+        )
+
+
+def parse_entailment(text: str) -> Entailment:
+    """Parse an entailment from its textual form."""
+    parser = _Parser(_tokenize(text), text)
+    return parser.parse_entailment()
+
+
+def parse_spatial_formula(text: str) -> SpatialFormula:
+    """Parse a spatial formula such as ``"next(x, y) * lseg(y, nil)"``.
+
+    Pure conjuncts are not allowed here; use :func:`parse_entailment` for full
+    entailments.
+    """
+    parser = _Parser(_tokenize(text), text)
+    side = parser.parse_side()
+    if parser._peek() is not None:  # noqa: SLF001 - module-internal access
+        token = parser._peek()
+        raise ParseError(
+            "unexpected trailing input {!r} at position {}".format(token.text, token.position)
+        )
+    if side == "false":
+        raise ParseError("'false' is not a spatial formula")
+    atoms = []
+    for conjunct in side:
+        if isinstance(conjunct, PureLiteral):
+            raise ParseError("pure literal {} not allowed in a spatial formula".format(conjunct))
+        atoms.append(conjunct)
+    return SpatialFormula(atoms)

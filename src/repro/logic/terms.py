@@ -1,0 +1,94 @@
+"""Constant symbols of the fragment.
+
+The separation-logic fragment of Berdine, Calcagno and O'Hearn that the paper
+works with is *ground*: formulas are built from a finite set ``Var`` of
+constant symbols (program variables) plus the distinguished constant ``nil``
+denoting the null pointer.  There are no function symbols and no quantifiers,
+so a "term" is simply a constant.
+
+This module defines the :class:`Const` value type and the ``nil`` singleton.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+#: Reserved spelling of the null-pointer constant.
+NIL_NAME = "nil"
+
+
+@dataclass(frozen=True)
+class Const:
+    """A constant symbol (a program variable, or ``nil``).
+
+    Constants compare and hash by name, so they can be freely used in sets,
+    dictionaries and as members of frozen dataclasses.
+    """
+
+    name: str
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("constant symbols must have a non-empty name")
+
+    @property
+    def is_nil(self) -> bool:
+        """True if this constant is the null pointer ``nil``."""
+        return self.name == NIL_NAME
+
+    def __str__(self) -> str:
+        return self.name
+
+    def __repr__(self) -> str:
+        return "Const({!r})".format(self.name)
+
+    # A deterministic ordering by name is convenient for canonical printing;
+    # the *logical* ordering used by superposition lives in
+    # :mod:`repro.logic.ordering` and always makes ``nil`` minimal.
+    def __lt__(self, other: "Const") -> bool:
+        if not isinstance(other, Const):
+            return NotImplemented
+        return self.name < other.name
+
+
+#: The null pointer.  ``nil`` is not a program variable (``nil not in Var``)
+#: but may appear anywhere a constant may appear in a formula.
+NIL = Const(NIL_NAME)
+
+
+def make_const(name: "str | Const") -> Const:
+    """Coerce a string (or an existing :class:`Const`) into a constant."""
+    if isinstance(name, Const):
+        return name
+    if not isinstance(name, str):
+        raise TypeError("expected a constant name, got {!r}".format(name))
+    lowered = name.strip()
+    if lowered in ("nil", "null", "NULL", "0"):
+        return NIL
+    return Const(lowered)
+
+
+def make_consts(names: "str | Iterable[str]") -> Tuple[Const, ...]:
+    """Create several constants at once.
+
+    Accepts either an iterable of names or a single whitespace/comma separated
+    string, e.g. ``make_consts("a b c")`` or ``make_consts(["a", "b"])``.
+    """
+    if isinstance(names, str):
+        parts = [part for part in names.replace(",", " ").split() if part]
+    else:
+        parts = list(names)
+    return tuple(make_const(part) for part in parts)
+
+
+def variable_pool(count: int, prefix: str = "x") -> Tuple[Const, ...]:
+    """Return ``count`` distinct program variables ``prefix1 .. prefixN``.
+
+    The synthetic benchmark distributions of Section 6 are parameterised by a
+    number of program variables ``Var = {x1, ..., xn}``; this helper creates
+    that pool.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    return tuple(Const("{}{}".format(prefix, i + 1)) for i in range(count))

@@ -1,0 +1,44 @@
+"""Stack/heap semantics of the fragment and counterexample construction.
+
+The prover's soundness and completeness are stated with respect to the
+standard separation-logic semantics (Section 3.1 of the paper): an
+interpretation is a pair of a *stack* (a total map from program variables to
+locations) and a *heap* (a finite partial map from non-``nil`` locations to
+locations).  This package provides:
+
+* :mod:`repro.semantics.heap` — stacks, heaps and locations;
+* :mod:`repro.semantics.satisfaction` — the satisfaction relation
+  ``s, h |= F`` for pure literals, spatial formulas and entailments;
+* :mod:`repro.semantics.enumeration` — a bounded brute-force model enumerator
+  used as a ground-truth oracle in the test suite;
+* :mod:`repro.semantics.counterexample` — construction of concrete
+  counterexample interpretations from a failed proof attempt, following the
+  completeness argument of Section 4.3.
+"""
+
+from repro.semantics.counterexample import Counterexample, CounterexampleError, build_counterexample
+from repro.semantics.enumeration import enumerate_counterexample, is_valid_by_enumeration
+from repro.semantics.heap import Heap, Stack, NIL_LOC
+from repro.semantics.satisfaction import (
+    falsifies_entailment,
+    satisfies_entailment,
+    satisfies_pure_literal,
+    satisfies_side,
+    satisfies_spatial,
+)
+
+__all__ = [
+    "Stack",
+    "Heap",
+    "NIL_LOC",
+    "satisfies_pure_literal",
+    "satisfies_spatial",
+    "satisfies_side",
+    "satisfies_entailment",
+    "falsifies_entailment",
+    "is_valid_by_enumeration",
+    "enumerate_counterexample",
+    "Counterexample",
+    "CounterexampleError",
+    "build_counterexample",
+]

@@ -1,0 +1,169 @@
+"""Counterexample construction (the ``c-example`` calls of Figure 3).
+
+When the Figure 3 algorithm reaches a fixpoint without deriving the empty
+clause, the completeness argument (Section 4.3) shows how to exhibit an
+interpretation that satisfies the left-hand side of the entailment but not the
+right-hand side:
+
+* the *stack* is the stack ``s_R`` induced by the equality model ``R``
+  (Definition 3.1): every variable is mapped to the location named after its
+  ``R``-normal form;
+* the *heap* starts from the graph of the normalised left-hand side formula
+  ``gr_R Sigma_R`` — each basic atom realised as a single cell — and is then
+  possibly "tweaked" along the lines of Lemma 4.4 when the unfolding failed in
+  one of its case-(b) situations:
+
+  - ``next_expects_cell``: the right-hand side demands a single cell where the
+    left-hand side only guarantees a list segment; stretching that segment
+    into two cells (through a fresh anonymous location) keeps the left-hand
+    side satisfied but breaks the right-hand side;
+  - ``dangling_segment``: a right-hand segment must stop at a location that
+    the left-hand side never allocates; re-routing the corresponding left-hand
+    segment through that location again preserves the left side and breaks the
+    right side.
+
+Every candidate interpretation is verified against the exact satisfaction
+relation before being returned, so a returned counterexample is always
+genuine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.logic.clauses import Clause
+from repro.logic.formula import Entailment
+from repro.logic.terms import Const
+from repro.semantics.heap import Heap, Loc, NIL_LOC, Stack, induced_stack
+from repro.semantics.satisfaction import falsifies_entailment
+from repro.spatial.graph import spatial_graph
+from repro.spatial.unfolding import UnfoldingOutcome
+from repro.superposition.model import EqualityModel
+
+
+class CounterexampleError(RuntimeError):
+    """Raised when no candidate interpretation falsifies the entailment.
+
+    For a correct prover this never happens; the error exists so that a bug in
+    the proof search surfaces as a loud failure instead of a silently wrong
+    "invalid" verdict.
+    """
+
+
+@dataclass(frozen=True)
+class Counterexample:
+    """A concrete interpretation falsifying an entailment."""
+
+    stack: Stack
+    heap: Heap
+    description: str = ""
+
+    def __str__(self) -> str:
+        return "stack: {}; heap: {}".format(self.stack, self.heap)
+
+
+def _location_of(model: EqualityModel, constant: Const) -> Loc:
+    normal = model.normal_form(constant)
+    return NIL_LOC if normal.is_nil else normal.name
+
+
+def _base_heap(model: EqualityModel, positive: Clause) -> Dict[Loc, Loc]:
+    """The graph of the normalised left-hand side formula, as location cells."""
+    sigma = positive.spatial
+    assert sigma is not None
+    graph = spatial_graph(sigma, strict=True)
+    return {
+        _location_of(model, source): _location_of(model, target)
+        for source, target in graph.items()
+    }
+
+
+def _fresh_location(used: List[Loc]) -> Loc:
+    index = 0
+    while True:
+        candidate = "anon{}".format(index)
+        if candidate not in used:
+            return candidate
+        index += 1
+
+
+def build_counterexample(
+    entailment: Entailment,
+    model: EqualityModel,
+    positive: Clause,
+    outcome: Optional[UnfoldingOutcome] = None,
+    verify: bool = True,
+) -> Counterexample:
+    """Construct (and verify) a counterexample for an invalid entailment.
+
+    Parameters
+    ----------
+    entailment:
+        The entailment being refuted.
+    model:
+        The equality model ``<R, g>`` of the final saturated pure clause set.
+    positive:
+        The normalised positive spatial clause ``Gamma -> Delta, Sigma_R``
+        describing the left-hand heap.
+    outcome:
+        The failed unfolding outcome, when the refutation came from the
+        unfolding fixpoint (line 14 of Figure 3); ``None`` when it came from
+        the right-hand side's pure part (line 11).
+    verify:
+        Check each candidate against the exact semantics (recommended).
+    """
+    stack = induced_stack(model.normal_form, entailment.variables())
+    base_cells = _base_heap(model, positive)
+
+    candidates: List[Tuple[Dict[Loc, Loc], str]] = []
+
+    if outcome is not None and outcome.failure_kind == "next_expects_cell":
+        assert outcome.failure_edge is not None
+        source, target = outcome.failure_edge
+        source_loc = _location_of(model, source)
+        target_loc = _location_of(model, target)
+        used = list(base_cells) + list(base_cells.values()) + [NIL_LOC]
+        middle = _fresh_location(used)
+        stretched = dict(base_cells)
+        stretched[source_loc] = middle
+        stretched[middle] = target_loc
+        candidates.append(
+            (
+                stretched,
+                "the segment lseg({}, {}) stretched into two cells".format(source, target),
+            )
+        )
+
+    if outcome is not None and outcome.failure_kind == "dangling_segment":
+        assert outcome.failure_edge is not None and outcome.failure_target is not None
+        source, target = outcome.failure_edge
+        via = outcome.failure_target
+        source_loc = _location_of(model, source)
+        target_loc = _location_of(model, target)
+        via_loc = _location_of(model, via)
+        rerouted = dict(base_cells)
+        rerouted[source_loc] = via_loc
+        rerouted[via_loc] = target_loc
+        candidates.append(
+            (
+                rerouted,
+                "the segment lseg({}, {}) re-routed through {}".format(source, target, via),
+            )
+        )
+
+    candidates.append((base_cells, "the graph of the left-hand side"))
+
+    if not verify:
+        cells, description = candidates[0]
+        return Counterexample(stack=stack, heap=Heap(cells), description=description)
+
+    for cells, description in candidates:
+        heap = Heap(cells)
+        if falsifies_entailment(stack, heap, entailment):
+            return Counterexample(stack=stack, heap=heap, description=description)
+
+    raise CounterexampleError(
+        "no candidate interpretation falsifies the entailment {}; "
+        "this indicates a bug in the proof search".format(entailment)
+    )

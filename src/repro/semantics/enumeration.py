@@ -1,0 +1,103 @@
+"""A bounded brute-force validity oracle.
+
+This module is not part of the paper's system; it exists so that the test
+suite can cross-validate the prover (and the baseline provers) against the
+semantics on small entailments.  The enumerator exhaustively searches for a
+counterexample interpretation within a bounded universe of locations:
+
+* stacks are enumerated by considering every partition of the program
+  variables into alias classes, each class mapped either to the null location
+  or to a distinct fresh location;
+* heaps are enumerated as arbitrary partial functions from the allocated
+  candidate locations (the stack's locations plus ``extra_locations`` fresh
+  anonymous ones) to any location of the universe.
+
+The search is exponential and only suitable for entailments with a handful of
+variables; the test suite keeps within those limits.  A found counterexample
+is always genuine (the satisfaction check is exact).  Failure to find one only
+proves validity relative to the bound, which is why tests combine this oracle
+with exact checks of prover-produced counterexamples.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, List, Optional, Tuple
+
+from repro.logic.formula import Entailment
+from repro.logic.terms import Const
+from repro.semantics.heap import Heap, Loc, NIL_LOC, Stack
+from repro.semantics.satisfaction import falsifies_entailment
+
+
+def _partitions(items: List[Const]) -> Iterator[List[List[Const]]]:
+    """Enumerate all set partitions of ``items`` (standard recursive scheme)."""
+    if not items:
+        yield []
+        return
+    first, rest = items[0], items[1:]
+    for partition in _partitions(rest):
+        # Put ``first`` into each existing block...
+        for index in range(len(partition)):
+            yield partition[:index] + [[first] + partition[index]] + partition[index + 1 :]
+        # ... or into a block of its own.
+        yield [[first]] + partition
+
+
+def _candidate_stacks(variables: List[Const]) -> Iterator[Stack]:
+    """Enumerate stacks up to renaming of locations.
+
+    Validity of an entailment is invariant under bijective renaming of
+    locations, so it suffices to consider one representative stack per
+    partition of the variables into alias classes, with each class optionally
+    identified with ``nil``.
+    """
+    for partition in _partitions(variables):
+        block_count = len(partition)
+        # Choose which block (if any) is the nil block.
+        for nil_block in range(-1, block_count):
+            bindings = {}
+            for index, block in enumerate(partition):
+                location = NIL_LOC if index == nil_block else "l{}".format(index)
+                for variable in block:
+                    bindings[variable] = location
+            yield Stack(bindings)
+
+
+def _candidate_heaps(locations: List[Loc]) -> Iterator[Heap]:
+    """Enumerate all partial functions from the given locations to the universe."""
+    addresses = [location for location in locations if location != NIL_LOC]
+    universe = locations
+    # Each address is either unallocated (None) or stores some location.
+    choices: List[List[Optional[Loc]]] = [[None] + list(universe) for _ in addresses]
+    for assignment in itertools.product(*choices):
+        cells = {
+            address: value
+            for address, value in zip(addresses, assignment)
+            if value is not None
+        }
+        yield Heap(cells)
+
+
+def enumerate_counterexample(
+    entailment: Entailment, extra_locations: int = 1
+) -> Optional[Tuple[Stack, Heap]]:
+    """Search for a counterexample within the bounded universe.
+
+    Returns a falsifying ``(stack, heap)`` pair, or ``None`` when no
+    counterexample exists within the bound.
+    """
+    variables = sorted(entailment.variables(), key=lambda c: c.name)
+    for stack in _candidate_stacks(variables):
+        locations = sorted(stack.locations())
+        anonymous = ["a{}".format(i) for i in range(extra_locations)]
+        universe = locations + anonymous
+        for heap in _candidate_heaps(universe):
+            if falsifies_entailment(stack, heap, entailment):
+                return stack, heap
+    return None
+
+
+def is_valid_by_enumeration(entailment: Entailment, extra_locations: int = 1) -> bool:
+    """Bounded validity check: no counterexample exists within the universe bound."""
+    return enumerate_counterexample(entailment, extra_locations) is None

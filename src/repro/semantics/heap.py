@@ -1,0 +1,187 @@
+"""Stacks, heaps and locations.
+
+Locations are represented by plain strings; the distinguished string
+``"nil"`` plays the role of the null location.  A *stack* maps program
+variables (constants) to locations; a *heap* is a finite partial function
+from non-``nil`` locations to locations.  Both types are immutable value
+objects so that interpretations can be hashed, compared and safely shared.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple
+
+from repro.logic.terms import Const, NIL
+
+#: The null location.
+NIL_LOC = "nil"
+
+Loc = str
+
+
+class Stack:
+    """A stack ``s: Var -> Loc+`` mapping program variables to locations.
+
+    The evaluation function ``s^`` of the paper, which additionally maps
+    ``nil`` to the null location, is provided by :meth:`evaluate`.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Mapping[Const, Loc]):
+        cleaned: Dict[Const, Loc] = {}
+        for variable, location in bindings.items():
+            if variable.is_nil:
+                raise ValueError("nil is not a program variable and cannot be bound by a stack")
+            cleaned[variable] = location
+        self._bindings = dict(cleaned)
+
+    # -- basic protocol ----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Stack):
+            return NotImplemented
+        return self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def __iter__(self) -> Iterator[Const]:
+        return iter(sorted(self._bindings, key=lambda c: c.name))
+
+    def __contains__(self, variable: Const) -> bool:
+        return variable in self._bindings
+
+    def __repr__(self) -> str:
+        items = ", ".join(
+            "{} -> {}".format(variable, self._bindings[variable]) for variable in self
+        )
+        return "Stack({{{}}})".format(items)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def bindings(self) -> Dict[Const, Loc]:
+        """The bindings as a dictionary (a copy)."""
+        return dict(self._bindings)
+
+    def evaluate(self, constant: Const) -> Loc:
+        """The evaluation ``s^(x)``: ``nil`` maps to the null location."""
+        if constant.is_nil:
+            return NIL_LOC
+        try:
+            return self._bindings[constant]
+        except KeyError:
+            raise KeyError("the stack does not bind the variable {}".format(constant))
+
+    def locations(self) -> FrozenSet[Loc]:
+        """All locations in the range of the stack (plus the null location)."""
+        return frozenset(self._bindings.values()) | {NIL_LOC}
+
+    # -- constructive operations --------------------------------------------
+    def bind(self, variable: Const, location: Loc) -> "Stack":
+        """Return a stack with one binding added or replaced."""
+        updated = dict(self._bindings)
+        updated[variable] = location
+        return Stack(updated)
+
+
+class Heap:
+    """A heap ``h: Loc -> Loc+``: a finite partial map on non-``nil`` locations."""
+
+    __slots__ = ("_cells",)
+
+    def __init__(self, cells: Mapping[Loc, Loc] = ()):
+        cleaned: Dict[Loc, Loc] = {}
+        for address, value in dict(cells).items():
+            if address == NIL_LOC:
+                raise ValueError("a heap cannot have a cell at the nil location")
+            cleaned[address] = value
+        self._cells = cleaned
+
+    # -- basic protocol ----------------------------------------------------
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Heap):
+            return NotImplemented
+        return self._cells == other._cells
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._cells.items()))
+
+    def __len__(self) -> int:
+        return len(self._cells)
+
+    def __iter__(self) -> Iterator[Tuple[Loc, Loc]]:
+        return iter(sorted(self._cells.items()))
+
+    def __contains__(self, address: Loc) -> bool:
+        return address in self._cells
+
+    def __repr__(self) -> str:
+        cells = ", ".join("{} -> {}".format(address, value) for address, value in self)
+        return "Heap({{{}}})".format(cells)
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def cells(self) -> Dict[Loc, Loc]:
+        """The cells as a dictionary (a copy)."""
+        return dict(self._cells)
+
+    @property
+    def is_empty(self) -> bool:
+        """True for the empty heap."""
+        return not self._cells
+
+    def domain(self) -> FrozenSet[Loc]:
+        """The set of allocated locations."""
+        return frozenset(self._cells)
+
+    def lookup(self, address: Loc) -> Optional[Loc]:
+        """The value stored at ``address``, or ``None`` if unallocated."""
+        return self._cells.get(address)
+
+    def locations(self) -> FrozenSet[Loc]:
+        """All locations mentioned by the heap (domain and range)."""
+        return frozenset(self._cells) | frozenset(self._cells.values())
+
+    # -- constructive operations --------------------------------------------
+    def store(self, address: Loc, value: Loc) -> "Heap":
+        """Return a heap with the cell at ``address`` set to ``value``."""
+        updated = dict(self._cells)
+        updated[address] = value
+        return Heap(updated)
+
+    def dispose(self, address: Loc) -> "Heap":
+        """Return a heap with the cell at ``address`` removed."""
+        if address not in self._cells:
+            raise KeyError("cannot dispose unallocated location {}".format(address))
+        updated = dict(self._cells)
+        del updated[address]
+        return Heap(updated)
+
+    def disjoint_union(self, other: "Heap") -> "Heap":
+        """The separating conjunction of two heaps (domains must be disjoint)."""
+        if self.domain() & other.domain():
+            raise ValueError("heaps overlap on {}".format(self.domain() & other.domain()))
+        combined = dict(self._cells)
+        combined.update(other._cells)
+        return Heap(combined)
+
+
+def induced_stack(normal_form_of, variables) -> Stack:
+    """The stack ``s_R`` induced by a rewrite relation (Definition 3.1).
+
+    ``normal_form_of`` is a callable mapping constants to their normal forms;
+    each variable is mapped to the location named after its normal form, with
+    variables equivalent to ``nil`` mapped to the null location.  Distinct
+    normal forms are mapped to distinct locations, which realises the
+    injection ``iota`` of the paper.
+    """
+    bindings: Dict[Const, Loc] = {}
+    for variable in variables:
+        if variable.is_nil:
+            continue
+        normal = normal_form_of(variable)
+        bindings[variable] = NIL_LOC if normal == NIL else normal.name
+    return Stack(bindings)

@@ -1,0 +1,35 @@
+"""Spatial inference rules of the *SI* proof system (Figure 1 of the paper).
+
+The *SI* system augments the superposition calculus with three groups of
+rules that manipulate the spatial formula carried by a clause:
+
+* **Normalisation** (N1–N4, :mod:`repro.spatial.normalization`): rewrite the
+  constants of a spatial formula to their normal forms under the current
+  equality model and drop trivial ``lseg(x, x)`` atoms.
+* **Well-formedness** (W1–W5, :mod:`repro.spatial.wellformedness`): derive
+  pure clauses from positive spatial clauses whose heap description is
+  inconsistent (a ``nil`` address, or two atoms sharing an address).
+* **Unfolding** (U1–U5 and spatial resolution SR,
+  :mod:`repro.spatial.unfolding`): rewrite the spatial formula of a negative
+  spatial clause using the (already normalised and well-formed) positive
+  spatial clause, and resolve the two away, producing a new pure clause.
+
+:mod:`repro.spatial.graph` computes the graph ``gr_R Sigma`` of a spatial
+formula, i.e. the heap induced by reading every basic atom as a single cell.
+"""
+
+from repro.spatial.graph import spatial_graph
+from repro.spatial.normalization import NormalizationStep, normalize_clause
+from repro.spatial.unfolding import UnfoldingOutcome, UnfoldingStep, unfold
+from repro.spatial.wellformedness import WellFormednessConsequence, well_formedness_consequences
+
+__all__ = [
+    "spatial_graph",
+    "NormalizationStep",
+    "normalize_clause",
+    "WellFormednessConsequence",
+    "well_formedness_consequences",
+    "UnfoldingOutcome",
+    "UnfoldingStep",
+    "unfold",
+]

@@ -1,0 +1,62 @@
+"""The graph ``gr_R Sigma`` of a spatial formula (Definition 4.1).
+
+Once a spatial formula has been normalised with respect to the equality model
+``R``, every remaining basic atom contributes exactly one edge to its graph:
+
+* ``next(x, y)`` contributes the edge ``x => y``;
+* ``lseg(x, y)`` with ``x != y`` contributes the edge ``x => y`` (the
+  candidate model realises every non-empty list segment as a single cell);
+* trivial atoms ``lseg(x, x)`` contribute nothing (they describe the empty
+  heap).
+
+For a *well-formed* normalised formula the resulting edge set is a partial
+function on non-``nil`` constants — i.e. a heap — and Lemma 4.1 shows that
+this heap together with the induced stack is a model of the formula.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.logic.atoms import SpatialAtom, SpatialFormula
+from repro.logic.terms import Const
+
+
+class GraphConflictError(ValueError):
+    """Raised when the formula is not well-formed and its graph is not a function."""
+
+
+def spatial_graph(sigma: SpatialFormula, strict: bool = True) -> Dict[Const, Const]:
+    """Compute the graph of a (normalised) spatial formula.
+
+    Parameters
+    ----------
+    sigma:
+        The spatial formula.  Constants are taken at face value: callers that
+        want the graph with respect to an equality model should normalise the
+        formula first (:func:`repro.spatial.normalization.normalize_clause`)
+        so that every constant is its own normal form.
+    strict:
+        When true (default) raise :class:`GraphConflictError` if two atoms
+        share an address or an address is ``nil`` — i.e. when the formula is
+        not well-formed and its graph would not be a heap.
+    """
+    graph: Dict[Const, Const] = {}
+    for atom in sigma:
+        if atom.is_trivial:
+            continue
+        address = atom.address
+        if strict and address.is_nil:
+            raise GraphConflictError("atom {} has a nil address".format(atom))
+        if strict and address in graph:
+            raise GraphConflictError(
+                "two atoms share the address {} — the formula is not well-formed".format(address)
+            )
+        graph[address] = atom.target
+    return graph
+
+
+def graph_edges(sigma: SpatialFormula) -> Tuple[Tuple[Const, Const], ...]:
+    """The edges of the graph as a sorted tuple of pairs (convenience for tests)."""
+    graph = spatial_graph(sigma, strict=False)
+    return tuple(sorted(graph.items(), key=lambda edge: (edge[0].name, edge[1].name)))

@@ -1,0 +1,138 @@
+"""Normalisation rules N1–N4 (Figure 1) driven by the equality model.
+
+Normalisation rewrites the spatial formula of a clause so that every constant
+it mentions is in normal form with respect to the current rewrite relation
+``R``, and removes trivial ``lseg(x, x)`` atoms.
+
+Each rewrite step is an instance of rule N1 (for positive spatial clauses) or
+N3 (for negative ones): the pure premise is the *generating clause* of the
+rewrite edge being applied, and its leftover literals are added to the
+conclusion — exactly as in the worked example of Section 2, where normalising
+with the clause ``∅ -> a = b, a = c`` leaves the reminder literal ``a = b`` in
+the normalised clause.  Removing a trivial atom is an instance of N2/N4.
+
+The important property (Lemma 4.2) is that normalisation requires **no
+search**: the model tells us which constant to rewrite and which clause
+justifies the step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.logic.atoms import SpatialAtom, SpatialFormula
+from repro.logic.clauses import Clause
+from repro.logic.terms import Const
+from repro.superposition.model import EqualityModel
+
+
+@dataclass(frozen=True)
+class NormalizationStep:
+    """One application of a normalisation rule.
+
+    Attributes
+    ----------
+    rule:
+        ``"N1"``/``"N3"`` for a rewrite step, ``"N2"``/``"N4"`` for the removal
+        of a trivial atom.
+    before, after:
+        The clause before and after the step.
+    pure_premise:
+        The generating pure clause justifying a rewrite step (``None`` for
+        N2/N4 steps).
+    rewritten:
+        The pair ``(x, y)`` of the rewrite edge used (``None`` for N2/N4).
+    removed:
+        The trivial atom removed by an N2/N4 step (``None`` for N1/N3).
+    """
+
+    rule: str
+    before: Clause
+    after: Clause
+    pure_premise: Optional[Clause] = None
+    rewritten: Optional[Tuple[Const, Const]] = None
+    removed: Optional[SpatialAtom] = None
+
+
+def normalize_clause(clause: Clause, model: EqualityModel) -> Tuple[Clause, List[NormalizationStep]]:
+    """Normalise the spatial formula of ``clause`` with respect to ``model``.
+
+    Returns the normalised clause together with the list of rule applications
+    performed (used for proof reconstruction).  Pure clauses are returned
+    unchanged.
+
+    The rewriting applies single edges of the model's rewrite relation one at
+    a time, mirroring rule N1/N3 exactly: each step substitutes ``y`` for
+    ``x`` throughout the spatial formula, where ``x => y`` is an edge of ``R``
+    and the generating clause's leftover literals are merged into the clause.
+    """
+    if clause.is_pure or clause.spatial is None:
+        return clause, []
+
+    rewrite_rule = "N1" if clause.spatial_on_right else "N3"
+    removal_rule = "N2" if clause.spatial_on_right else "N4"
+
+    steps: List[NormalizationStep] = []
+    current = clause
+
+    # Phase 1: rewrite constants to their normal forms, one edge at a time.
+    while True:
+        sigma = current.spatial
+        assert sigma is not None
+        reducible = _find_reducible_constant(sigma, model)
+        if reducible is None:
+            break
+        source = reducible
+        target = model.relation.successor(source)
+        assert target is not None
+        generator = model.generator_for(source, target)
+        updated = Clause(
+            current.gamma | generator.leftover_gamma,
+            current.delta | generator.leftover_delta,
+            sigma.substitute({source: target}),
+            current.spatial_on_right,
+        )
+        steps.append(
+            NormalizationStep(
+                rule=rewrite_rule,
+                before=current,
+                after=updated,
+                pure_premise=generator.clause,
+                rewritten=(source, target),
+            )
+        )
+        current = updated
+
+    # Phase 2: drop trivial lseg(x, x) atoms.
+    while True:
+        sigma = current.spatial
+        assert sigma is not None
+        trivial = next((atom for atom in sigma if atom.is_trivial), None)
+        if trivial is None:
+            break
+        updated = Clause(
+            current.gamma,
+            current.delta,
+            sigma.remove(trivial),
+            current.spatial_on_right,
+        )
+        steps.append(
+            NormalizationStep(
+                rule=removal_rule,
+                before=current,
+                after=updated,
+                removed=trivial,
+            )
+        )
+        current = updated
+
+    return current, steps
+
+
+def _find_reducible_constant(sigma: SpatialFormula, model: EqualityModel) -> Optional[Const]:
+    """The first constant of the formula that is reducible under the model, if any."""
+    for constant in sorted(sigma.constants(), key=lambda c: c.name):
+        if not model.relation.is_irreducible(constant):
+            return constant
+    return None

@@ -1,0 +1,102 @@
+"""Well-formedness rules W1–W5 (Figure 1).
+
+A positive spatial clause ``Gamma -> Delta, Sigma`` asserts a heap shape; the
+well-formedness rules detect shapes that cannot be realised by any heap and
+turn them into *pure* clauses:
+
+* **W1** ``next(nil, y)`` occurs in ``Sigma``: no heap has a cell at ``nil``;
+  derive ``Gamma -> Delta``.
+* **W2** ``lseg(nil, y)`` occurs: the segment must be empty; derive
+  ``Gamma -> y = nil, Delta``.
+* **W3** two ``next`` atoms share an address: impossible; derive
+  ``Gamma -> Delta``.
+* **W4** ``next(x, y)`` and ``lseg(x, z)`` share the address ``x``: the
+  segment must be empty; derive ``Gamma -> x = z, Delta``.
+* **W5** ``lseg(x, y)`` and ``lseg(x, z)`` share the address ``x``: one of the
+  two segments must be empty; derive ``Gamma -> x = y, x = z, Delta``.
+
+Like normalisation, computing these consequences involves no search: it is a
+single pass over the (finitely many) atoms and pairs of atoms of ``Sigma``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.logic.atoms import EqAtom, ListSegment, PointsTo, SpatialAtom
+from repro.logic.clauses import Clause
+from repro.logic.terms import NIL
+
+
+@dataclass(frozen=True)
+class WellFormednessConsequence:
+    """A pure clause derived by one of the rules W1–W5."""
+
+    rule: str
+    conclusion: Clause
+    premise: Clause
+    offending: Tuple[SpatialAtom, ...]
+
+    def __str__(self) -> str:
+        return "[{}] {}".format(self.rule, self.conclusion)
+
+
+def well_formedness_consequences(clause: Clause) -> List[WellFormednessConsequence]:
+    """All pure clauses derivable from a positive spatial clause by W1–W5.
+
+    The input must be a positive spatial clause; the consequences are pure
+    clauses sharing the input's ``Gamma``/``Delta`` with the extra equalities
+    mandated by each rule.
+    """
+    if not clause.is_positive_spatial:
+        raise ValueError("well-formedness rules apply to positive spatial clauses only")
+    sigma = clause.spatial
+    assert sigma is not None
+
+    consequences: List[WellFormednessConsequence] = []
+
+    def emit(rule: str, extra_delta: Tuple[EqAtom, ...], offending: Tuple[SpatialAtom, ...]) -> None:
+        conclusion = Clause.pure(clause.gamma, clause.delta | frozenset(extra_delta))
+        consequences.append(
+            WellFormednessConsequence(
+                rule=rule, conclusion=conclusion, premise=clause, offending=offending
+            )
+        )
+
+    atoms = list(sigma)
+
+    # W1 / W2: nil used as an address.
+    for atom in atoms:
+        if not atom.address.is_nil:
+            continue
+        if isinstance(atom, PointsTo):
+            emit("W1", (), (atom,))
+        elif isinstance(atom, ListSegment) and not atom.is_trivial:
+            emit("W2", (EqAtom(atom.target, NIL),), (atom,))
+
+    # W3 / W4 / W5: two atoms sharing the same address.
+    for i in range(len(atoms)):
+        for j in range(i + 1, len(atoms)):
+            first, second = atoms[i], atoms[j]
+            if first.address != second.address or first.address.is_nil:
+                continue
+            first_is_next = isinstance(first, PointsTo)
+            second_is_next = isinstance(second, PointsTo)
+            if first_is_next and second_is_next:
+                emit("W3", (), (first, second))
+            elif first_is_next and not second_is_next:
+                emit("W4", (EqAtom(second.source, second.target),), (first, second))
+            elif not first_is_next and second_is_next:
+                emit("W4", (EqAtom(first.source, first.target),), (second, first))
+            else:
+                emit(
+                    "W5",
+                    (
+                        EqAtom(first.source, first.target),
+                        EqAtom(second.source, second.target),
+                    ),
+                    (first, second),
+                )
+
+    return consequences

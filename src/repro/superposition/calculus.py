@@ -1,0 +1,228 @@
+"""Inference rules of the ground superposition calculus *I*.
+
+The pure fragment of the logic is ground (constants only, no function
+symbols), which specialises the superposition calculus of Nieuwenhuis and
+Rubio to four rules over pure clauses ``Gamma -> Delta``:
+
+Superposition right
+    From ``Gamma -> Delta, x = y`` and ``Gamma' -> Delta', x = z`` (with
+    ``x > y`` and the equations maximal in their clauses) derive
+    ``Gamma, Gamma' -> Delta, Delta', y = z``.
+
+Superposition left
+    From ``Gamma -> Delta, x = y`` and ``Gamma', x = z -> Delta'`` derive
+    ``Gamma, Gamma', y = z -> Delta, Delta'``.
+
+Equality factoring
+    From ``Gamma -> Delta, x = y, x = z`` (with ``x = y`` maximal, ``x > y``)
+    derive ``Gamma, y = z -> Delta, x = z``.
+
+Equality resolution
+    From ``Gamma, x = x -> Delta`` derive ``Gamma -> Delta``.  Because the
+    premise and the conclusion are logically equivalent, the saturation engine
+    applies this rule as a simplification rather than as a generating
+    inference.
+
+The implementation is deliberately slightly more liberal than the textbook
+calculus: ordering side conditions that are only needed to *prune* the search
+space (never for soundness) are enforced where cheap and relaxed where the
+bookkeeping would complicate the code.  Performing extra inferences preserves
+both soundness and refutational completeness; it only generates a few more
+clauses, all of which live in the finite space of pure clauses over the
+problem's constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.logic.atoms import EqAtom
+from repro.logic.clauses import Clause
+from repro.logic.ordering import TermOrder
+from repro.logic.terms import Const
+
+
+@dataclass(frozen=True)
+class Inference:
+    """A single derivation step: conclusion, rule name and premises."""
+
+    conclusion: Clause
+    rule: str
+    premises: Tuple[Clause, ...]
+
+    def __str__(self) -> str:
+        return "[{}] {}".format(self.rule, self.conclusion)
+
+
+class SuperpositionCalculus:
+    """The inference rules of system *I*, parameterised by a term ordering."""
+
+    def __init__(self, order: TermOrder):
+        self.order = order
+        # Cache of each clause's strictly maximal positive equation (for
+        # clauses without selected literals), keyed by the clause itself.
+        self._max_equation_cache: dict = {}
+
+    def _strictly_maximal_equation(self, clause: Clause):
+        """The oriented strictly maximal equation of a selection-free clause.
+
+        Returns ``(big, small, equation)`` or ``None`` when the clause has
+        selected (negative) literals, no non-trivial positive equation, or its
+        maximal positive equation is not strictly maximal.
+        """
+        if clause in self._max_equation_cache:
+            return self._max_equation_cache[clause]
+        result = None
+        if not clause.gamma and clause.delta:
+            best = None
+            best_key = None
+            for equation in clause.delta:
+                key = self.order.literal_key(equation, True)
+                if best_key is None or key > best_key:
+                    best, best_key = equation, key
+            if best is not None and not best.is_trivial:
+                big, small = self.order.orient(best)
+                if self.order.greater(big, small) and self.order.is_maximal_in(
+                    best, True, clause.gamma, clause.delta, strictly=True
+                ):
+                    result = (big, small, best)
+        self._max_equation_cache[clause] = result
+        return result
+
+    # -- simplifications -----------------------------------------------------
+    def simplify(self, clause: Clause) -> Clause:
+        """Apply equality resolution exhaustively and drop trivial consequents.
+
+        * ``Gamma, x = x -> Delta`` simplifies to ``Gamma -> Delta`` (equality
+          resolution; the two clauses are equivalent because ``x = x`` holds).
+        * Trivial atoms ``x = x`` in ``Delta`` make the clause a tautology and
+          are left in place so that :meth:`is_tautology` can discard it.
+        """
+        if not clause.is_pure:
+            return clause
+        gamma = frozenset(atom for atom in clause.gamma if not atom.is_trivial)
+        if gamma == clause.gamma:
+            return clause
+        return Clause(gamma, clause.delta, None, True)
+
+    @staticmethod
+    def is_tautology(clause: Clause) -> bool:
+        """Syntactic tautology test (used to discard redundant clauses)."""
+        return clause.is_tautology
+
+    # -- generating inferences -----------------------------------------------
+    #
+    # The implementation uses the standard "select all negative literals"
+    # selection function: a clause with a non-empty antecedent (``Gamma``)
+    # participates in inferences only through those negative literals (it can
+    # be superposed *into*, and equality resolution applies to it), never as
+    # the rewriting premise, never through equality factoring, and never as a
+    # productive clause during model generation.  This is the textbook
+    # complete instance of the calculus and it keeps the number of generated
+    # clauses small: positive clauses drive the rewriting, clauses carrying
+    # disequalities behave like constraints that get narrowed by it.
+
+    def infer_within(self, clause: Clause) -> List[Inference]:
+        """All single-premise inferences from a pure clause (equality factoring)."""
+        if not clause.is_pure or clause.gamma:
+            return []
+        inferences: List[Inference] = []
+        delta = sorted(clause.delta, key=str)
+        for i, first in enumerate(delta):
+            if first.is_trivial:
+                continue
+            big, small = self.order.orient(first)
+            if not self.order.is_maximal_in(first, True, clause.gamma, clause.delta):
+                continue
+            for j, second in enumerate(delta):
+                if i == j or second.is_trivial:
+                    continue
+                shared = self._shared_maximal(big, second)
+                if shared is None:
+                    continue
+                other_side = second.other(shared)
+                conclusion = Clause(
+                    clause.gamma | {EqAtom(small, other_side)},
+                    (clause.delta - {first}) | {second},
+                    None,
+                    True,
+                )
+                inferences.append(
+                    Inference(self.simplify(conclusion), "equality-factoring", (clause,))
+                )
+        return inferences
+
+    def infer_between(self, left: Clause, right: Clause) -> List[Inference]:
+        """All two-premise superposition inferences with ``left`` as the rewriting premise.
+
+        Callers should invoke this twice (swapping the arguments) to obtain the
+        symmetric inferences.
+        """
+        if not (left.is_pure and right.is_pure):
+            return []
+        production = self._strictly_maximal_equation(left)
+        if production is None:
+            # The rewriting premise must have a strictly maximal, orientable
+            # positive equation and no selected (negative) literals.
+            return []
+        big, small, equation = production
+        left_rest_delta = left.delta - {equation}
+        inferences: List[Inference] = []
+
+        if right.gamma:
+            # All negative literals of the premise are selected:
+            # superposition left into each of them, and nothing else.
+            for target in right.gamma:
+                rewritten = self._rewrite_atom(target, big, small)
+                if rewritten is None:
+                    continue
+                conclusion = Clause(
+                    (right.gamma - {target}) | {rewritten},
+                    left_rest_delta | right.delta,
+                    None,
+                    True,
+                )
+                inferences.append(
+                    Inference(self.simplify(conclusion), "superposition-left", (left, right))
+                )
+            return inferences
+
+        # Superposition right: rewrite inside the strictly maximal positive
+        # literal of a premise without selected literals.
+        right_production = self._strictly_maximal_equation(right)
+        if right_production is None:
+            return inferences
+        target = right_production[2]
+        rewritten = self._rewrite_atom(target, big, small)
+        if rewritten is not None:
+            conclusion = Clause(
+                right.gamma,
+                left_rest_delta | (right.delta - {target}) | {rewritten},
+                None,
+                True,
+            )
+            inferences.append(
+                Inference(self.simplify(conclusion), "superposition-right", (left, right))
+            )
+        return inferences
+
+    # -- helpers -----------------------------------------------------------
+    @staticmethod
+    def _rewrite_atom(atom: EqAtom, old: Const, new: Const) -> Optional[EqAtom]:
+        """Replace one (or both) occurrences of ``old`` in ``atom`` by ``new``.
+
+        Returns ``None`` when ``old`` does not occur in the atom, i.e. no
+        superposition inference exists at this position.
+        """
+        if not atom.mentions(old):
+            return None
+        left = new if atom.left == old else atom.left
+        right = new if atom.right == old else atom.right
+        return EqAtom(left, right)
+
+    def _shared_maximal(self, big: Const, atom: EqAtom) -> Optional[Const]:
+        """Return ``big`` if it occurs in ``atom`` (the shared maximal term), else ``None``."""
+        if atom.mentions(big):
+            return big
+        return None

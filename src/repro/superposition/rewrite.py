@@ -1,0 +1,188 @@
+"""Convergent rewrite relations over constant symbols.
+
+The model produced by the superposition calculus for a satisfiable set of
+pure clauses is a *convergent* binary relation ``R`` on constants: every
+constant has a unique normal form, and two constants are equal in the model
+exactly when their normal forms coincide (Section 3 of the paper).
+
+In the ground, function-free fragment a convergent relation is particularly
+simple: it is a partial function from constants to constants (at most one
+outgoing edge per constant) whose edges always point from a larger constant to
+a smaller one in the term ordering, which guarantees termination; being a
+function makes it trivially confluent.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from repro.logic.atoms import EqAtom
+from repro.logic.clauses import Clause
+from repro.logic.terms import Const
+
+
+class RewriteCycleError(RuntimeError):
+    """Raised when normalisation runs into a cycle (the relation is not terminating)."""
+
+
+class RewriteRelation:
+    """A convergent rewrite relation ``{x => y, ...}`` over constants.
+
+    The relation is stored as a dictionary mapping each reducible constant to
+    its (unique) successor.  All operations are non-destructive except
+    :meth:`add_edge`, which is used only while the relation is being generated.
+    """
+
+    def __init__(self, edges: Optional[Dict[Const, Const]] = None):
+        self._edges: Dict[Const, Const] = dict(edges or {})
+
+    # -- construction -------------------------------------------------------
+    def add_edge(self, source: Const, target: Const) -> None:
+        """Add the edge ``source => target``.
+
+        The source must be irreducible so far: a convergent relation never has
+        two edges with the same left-hand side.
+        """
+        if source in self._edges:
+            raise ValueError("constant {} already has an outgoing edge".format(source))
+        if source == target:
+            raise ValueError("a rewrite edge must relate two distinct constants")
+        self._edges[source] = target
+
+    def copy(self) -> "RewriteRelation":
+        """An independent copy of the relation."""
+        return RewriteRelation(dict(self._edges))
+
+    # -- basic protocol ----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __bool__(self) -> bool:
+        return bool(self._edges)
+
+    def __contains__(self, constant: Const) -> bool:
+        return constant in self._edges
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RewriteRelation):
+            return NotImplemented
+        return self._edges == other._edges
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._edges.items()))
+
+    def __iter__(self) -> Iterator[Tuple[Const, Const]]:
+        return iter(sorted(self._edges.items(), key=lambda edge: (edge[0].name, edge[1].name)))
+
+    def __repr__(self) -> str:
+        from repro.logic.printer import format_rewrite_relation
+
+        return "RewriteRelation({})".format(format_rewrite_relation(self._edges))
+
+    # -- queries -----------------------------------------------------------
+    @property
+    def edges(self) -> Dict[Const, Const]:
+        """The edges as a dictionary (a copy; mutating it does not affect the relation)."""
+        return dict(self._edges)
+
+    def domain(self) -> FrozenSet[Const]:
+        """The set of reducible constants."""
+        return frozenset(self._edges)
+
+    def is_irreducible(self, constant: Const) -> bool:
+        """True when the constant has no outgoing edge."""
+        return constant not in self._edges
+
+    def successor(self, constant: Const) -> Optional[Const]:
+        """The unique successor of ``constant``, or ``None`` if irreducible."""
+        return self._edges.get(constant)
+
+    def normal_form(self, constant: Const) -> Const:
+        """The unique normal form of ``constant`` (follow edges until irreducible)."""
+        seen = set()
+        current = constant
+        while current in self._edges:
+            if current in seen:
+                raise RewriteCycleError(
+                    "cycle detected while normalising {}: relation is not terminating".format(
+                        constant
+                    )
+                )
+            seen.add(current)
+            current = self._edges[current]
+        return current
+
+    def rewrite_path(self, constant: Const) -> List[Const]:
+        """The full rewrite sequence ``constant => ... => normal form``."""
+        path = [constant]
+        seen = {constant}
+        current = constant
+        while current in self._edges:
+            current = self._edges[current]
+            if current in seen:
+                raise RewriteCycleError(
+                    "cycle detected while normalising {}".format(constant)
+                )
+            seen.add(current)
+            path.append(current)
+        return path
+
+    def equivalent(self, left: Const, right: Const) -> bool:
+        """True when the two constants have the same normal form."""
+        return self.normal_form(left) == self.normal_form(right)
+
+    def substitution(self, constants: Iterable[Const]) -> Dict[Const, Const]:
+        """The substitution mapping each given constant to its normal form.
+
+        Only constants that are actually reducible appear in the mapping.
+        """
+        result: Dict[Const, Const] = {}
+        for constant in constants:
+            normal = self.normal_form(constant)
+            if normal != constant:
+                result[constant] = normal
+        return result
+
+    def equivalence_classes(self, constants: Iterable[Const]) -> Dict[Const, FrozenSet[Const]]:
+        """Group the given constants by normal form."""
+        groups: Dict[Const, set] = {}
+        for constant in constants:
+            groups.setdefault(self.normal_form(constant), set()).add(constant)
+        return {normal: frozenset(members) for normal, members in groups.items()}
+
+    # -- satisfaction (the |~ relation of the paper) -------------------------
+    def satisfies_atom(self, atom: EqAtom) -> bool:
+        """``R |~ x = y`` iff the normal forms of ``x`` and ``y`` coincide."""
+        return self.equivalent(atom.left, atom.right)
+
+    def satisfies_literal(self, atom: EqAtom, positive: bool) -> bool:
+        """Satisfaction of a literal under the relation."""
+        holds = self.satisfies_atom(atom)
+        return holds if positive else not holds
+
+    def satisfies_pure_clause(self, clause: Clause) -> bool:
+        """``R |~ Gamma -> Delta``: some antecedent fails or some consequent holds."""
+        if not clause.is_pure:
+            raise ValueError("satisfies_pure_clause expects a pure clause")
+        if any(not self.satisfies_atom(atom) for atom in clause.gamma):
+            return True
+        return any(self.satisfies_atom(atom) for atom in clause.delta)
+
+    def satisfies_pure_part(self, clause: Clause) -> bool:
+        """Satisfaction of the pure part ``Gamma -> Delta`` of any clause."""
+        return self.satisfies_pure_clause(clause.pure_part())
+
+    def satisfies_all(self, clauses: Iterable[Clause]) -> bool:
+        """True when every pure clause in the collection is satisfied."""
+        return all(self.satisfies_pure_clause(clause) for clause in clauses if clause.is_pure)
+
+    def forces(self, clause: Clause) -> bool:
+        """The forcing relation ``R, C ||- Sigma`` of Definition 4.3.
+
+        A spatial clause forces its spatial atom when the relation does *not*
+        satisfy the pure part of the clause, i.e. the spatial atom must take
+        the indicated truth value for the clause to hold in the induced model.
+        """
+        if clause.is_pure:
+            raise ValueError("forcing is only defined for spatial clauses")
+        return not self.satisfies_pure_part(clause)

@@ -1,0 +1,7 @@
+"""Small generic utilities shared across the package."""
+
+from repro.utils.multiset import Multiset
+from repro.utils.naming import FreshNames, rename_suffix
+from repro.utils.timing import Stopwatch
+
+__all__ = ["Multiset", "FreshNames", "rename_suffix", "Stopwatch"]

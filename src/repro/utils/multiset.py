@@ -1,0 +1,107 @@
+"""A small immutable multiset.
+
+Spatial formulas in the paper's fragment are multisets of basic spatial atoms
+(the separating conjunction is associative and commutative but *not*
+idempotent: ``next(x, y) * next(x, y)`` is unsatisfiable rather than equal to
+``next(x, y)``).  The :class:`Multiset` class below provides exactly the
+operations the prover needs: membership with multiplicities, union, removal of
+a single occurrence, and a canonical ordering so that two multisets with the
+same elements compare and hash equal.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Generic, Hashable, Iterable, Iterator, Tuple, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class Multiset(Generic[T]):
+    """An immutable multiset with value semantics.
+
+    The implementation keeps a :class:`collections.Counter` internally and a
+    cached canonical tuple (sorted by ``repr``) used for hashing and ordering.
+    """
+
+    __slots__ = ("_counter", "_canonical")
+
+    def __init__(self, items: Iterable[T] = ()):  # noqa: D107 - simple init
+        self._counter: Counter = Counter(items)
+        self._canonical: Tuple[T, ...] = tuple(
+            sorted(self._counter.elements(), key=repr)
+        )
+
+    # -- basic protocol ----------------------------------------------------
+    def __iter__(self) -> Iterator[T]:
+        return iter(self._canonical)
+
+    def __len__(self) -> int:
+        return len(self._canonical)
+
+    def __contains__(self, item: T) -> bool:
+        return self._counter[item] > 0
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Multiset):
+            return NotImplemented
+        return self._counter == other._counter
+
+    def __hash__(self) -> int:
+        return hash(self._canonical)
+
+    def __repr__(self) -> str:
+        return "Multiset({})".format(list(self._canonical))
+
+    def __bool__(self) -> bool:
+        return bool(self._counter)
+
+    # -- queries -----------------------------------------------------------
+    def count(self, item: T) -> int:
+        """Return the multiplicity of ``item``."""
+        return self._counter[item]
+
+    def distinct(self) -> Tuple[T, ...]:
+        """Return the distinct elements (each once), in canonical order."""
+        seen = []
+        for item in self._canonical:
+            if not seen or seen[-1] != item:
+                seen.append(item)
+        return tuple(seen)
+
+    def issubset(self, other: "Multiset[T]") -> bool:
+        """Multiset inclusion: every multiplicity here is <= the other's."""
+        return all(other._counter[x] >= n for x, n in self._counter.items())
+
+    # -- constructive operations -------------------------------------------
+    def add(self, item: T, times: int = 1) -> "Multiset[T]":
+        """Return a new multiset with ``times`` extra occurrences of ``item``."""
+        if times < 0:
+            raise ValueError("times must be non-negative")
+        counter = Counter(self._counter)
+        counter[item] += times
+        return Multiset(counter.elements())
+
+    def remove(self, item: T, times: int = 1) -> "Multiset[T]":
+        """Return a new multiset with ``times`` occurrences of ``item`` removed.
+
+        Raises :class:`KeyError` if there are fewer than ``times`` occurrences.
+        """
+        if self._counter[item] < times:
+            raise KeyError(item)
+        counter = Counter(self._counter)
+        counter[item] -= times
+        return Multiset(counter.elements())
+
+    def union(self, other: "Multiset[T]") -> "Multiset[T]":
+        """Multiset union (multiplicities add up)."""
+        counter = Counter(self._counter)
+        counter.update(other._counter)
+        return Multiset(counter.elements())
+
+    def replace(self, old: T, new_items: Iterable[T]) -> "Multiset[T]":
+        """Remove one occurrence of ``old`` and add all of ``new_items``."""
+        result = self.remove(old)
+        counter = Counter(result._counter)
+        counter.update(new_items)
+        return Multiset(counter.elements())

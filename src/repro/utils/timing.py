@@ -1,0 +1,55 @@
+"""A tiny stopwatch used by the benchmark harness.
+
+The paper reports, for each prover and each benchmark row, the total wall
+clock time spent over a batch of entailments together with the percentage of
+instances solved when a timeout was hit.  :class:`Stopwatch` supports exactly
+this accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates elapsed time and solved/attempted counts for a prover run."""
+
+    budget_seconds: Optional[float] = None
+    elapsed: float = 0.0
+    solved: int = 0
+    attempted: int = 0
+    _start: float = field(default=0.0, repr=False)
+
+    def start(self) -> None:
+        """Start timing one instance."""
+        self._start = time.perf_counter()
+
+    def stop(self, success: bool = True) -> float:
+        """Stop timing; record the instance and return its duration."""
+        duration = time.perf_counter() - self._start
+        self.elapsed += duration
+        self.attempted += 1
+        if success:
+            self.solved += 1
+        return duration
+
+    @property
+    def exhausted(self) -> bool:
+        """True when the configured time budget has been spent."""
+        return self.budget_seconds is not None and self.elapsed >= self.budget_seconds
+
+    @property
+    def solved_fraction(self) -> float:
+        """Fraction of attempted instances that were solved."""
+        if self.attempted == 0:
+            return 1.0
+        return self.solved / self.attempted
+
+    def summary(self) -> str:
+        """Render the paper-style cell: seconds, or ``(p%)`` when timed out."""
+        if self.exhausted and self.solved < self.attempted:
+            return "({:.0f}%)".format(100.0 * self.solved_fraction)
+        return "{:.2f}".format(self.elapsed)

@@ -1,0 +1,102 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.jstar import JStarProver
+from repro.baselines.smallfoot import SmallfootProver
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover
+from repro.logic.formula import Entailment, eq, lseg, neq, pts
+from repro.logic.terms import NIL, variable_pool
+
+
+@pytest.fixture(scope="session")
+def prover() -> Prover:
+    """An SLP prover with full bookkeeping (proofs, verified counterexamples)."""
+    return Prover(ProverConfig())
+
+
+@pytest.fixture(scope="session")
+def fast_prover() -> Prover:
+    """An SLP prover configured the way the benchmarks run it."""
+    return Prover(ProverConfig().for_benchmarking())
+
+
+@pytest.fixture(scope="session")
+def smallfoot() -> SmallfootProver:
+    """The sound-and-complete unguided baseline."""
+    return SmallfootProver()
+
+
+@pytest.fixture(scope="session")
+def jstar() -> JStarProver:
+    """The deliberately incomplete greedy baseline."""
+    return JStarProver()
+
+
+def make_random_entailment(
+    rng: random.Random,
+    n_vars: int = 5,
+    max_lhs_atoms: int = 4,
+    max_rhs_atoms: int = 3,
+    max_pure: int = 3,
+) -> Entailment:
+    """Draw a small random entailment (used by cross-validation tests)."""
+    pool = list(variable_pool(n_vars)) + [NIL]
+
+    def spatial_atom():
+        source = rng.choice(pool[:-1])
+        target = rng.choice(pool)
+        return pts(source, target) if rng.random() < 0.5 else lseg(source, target)
+
+    lhs = [spatial_atom() for _ in range(rng.randint(0, max_lhs_atoms))]
+    rhs = [spatial_atom() for _ in range(rng.randint(0, max_rhs_atoms))]
+    for _ in range(max_pure):
+        roll = rng.random()
+        if roll < 0.4:
+            left, right = rng.choice(pool[:-1]), rng.choice(pool)
+            lhs.append(neq(left, right) if rng.random() < 0.7 else eq(left, right))
+        elif roll < 0.55:
+            left, right = rng.choice(pool[:-1]), rng.choice(pool)
+            rhs.append(neq(left, right) if rng.random() < 0.5 else eq(left, right))
+    return Entailment.build(lhs=lhs, rhs=rhs)
+
+
+#: Shared battery of entailments with known verdicts, used by several test modules.
+KNOWN_VERDICTS = [
+    ("x |-> y * y |-> nil |- lseg(x, nil)", True),
+    ("lseg(x, y) |- next(x, y)", False),
+    ("x != y /\\ lseg(x, y) * lseg(y, x) |- false", False),
+    ("next(x, y) |- lseg(x, y)", False),
+    ("x != y /\\ next(x, y) |- lseg(x, y)", True),
+    ("lseg(x, y) * lseg(y, nil) |- lseg(x, nil)", True),
+    ("lseg(x, y) * lseg(y, z) |- lseg(x, z)", False),
+    ("lseg(x, y) * lseg(y, z) * next(z, w) |- lseg(x, z) * next(z, w)", True),
+    ("emp |- lseg(x, x)", True),
+    ("emp |- lseg(x, y)", False),
+    ("x = y /\\ emp |- lseg(x, y)", True),
+    ("next(x, nil) |- lseg(x, nil)", True),
+    ("lseg(x, nil) * lseg(y, nil) |- false", False),
+    ("next(x, y) * next(y, x) |- false", False),
+    ("next(x, x) |- lseg(x, nil)", False),
+    ("next(nil, x) |- false", True),
+    ("lseg(nil, x) |- x = nil", True),
+    ("true |- emp", True),
+    ("next(x, y) |- emp", False),
+    ("lseg(a, b) * lseg(a, c) * next(c, d) |- false", False),
+    ("next(x, y) * next(y, nil) * next(z, nil) |- lseg(x, nil) * lseg(z, nil)", True),
+    ("x != z /\\ lseg(x, y) * lseg(y, z) * lseg(z, nil) |- lseg(x, nil)", True),
+    ("lseg(x, y) * lseg(y, x) |- lseg(x, x)", False),
+    ("x != y /\\ x != z /\\ y != z /\\ lseg(x, y) * lseg(y, z) |- false", False),
+    ("next(x, y) * lseg(y, nil) |- lseg(x, nil)", True),
+    ("lseg(x, nil) |- lseg(x, nil) * lseg(y, y)", True),
+    (
+        "c != e /\\ lseg(a, b) * lseg(a, c) * next(c, d) * lseg(d, e)"
+        " |- lseg(b, c) * lseg(c, e)",
+        True,
+    ),
+]

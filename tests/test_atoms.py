@@ -1,0 +1,123 @@
+"""Unit tests for pure atoms, spatial atoms and spatial formulas."""
+
+import pytest
+
+from repro.logic.atoms import EqAtom, ListSegment, PointsTo, SpatialFormula, emp, spatial
+from repro.logic.terms import Const, NIL
+
+
+class TestEqAtom:
+    def test_symmetry(self):
+        assert EqAtom("x", "y") == EqAtom("y", "x")
+        assert hash(EqAtom("x", "y")) == hash(EqAtom("y", "x"))
+
+    def test_nil_is_kept_on_the_right(self):
+        atom = EqAtom("nil", "x")
+        assert atom.left == Const("x")
+        assert atom.right == NIL
+
+    def test_trivial(self):
+        assert EqAtom("x", "x").is_trivial
+        assert not EqAtom("x", "y").is_trivial
+
+    def test_mentions_and_other(self):
+        atom = EqAtom("x", "y")
+        assert atom.mentions(Const("x")) and atom.mentions(Const("y"))
+        assert not atom.mentions(Const("z"))
+        assert atom.other(Const("x")) == Const("y")
+        assert atom.other(Const("y")) == Const("x")
+        with pytest.raises(ValueError):
+            atom.other(Const("z"))
+
+    def test_substitute(self):
+        atom = EqAtom("x", "y").substitute({Const("x"): Const("z")})
+        assert atom == EqAtom("z", "y")
+
+    def test_constants(self):
+        assert EqAtom("x", "y").constants() == frozenset({Const("x"), Const("y")})
+
+
+class TestSpatialAtoms:
+    def test_points_to_basics(self):
+        atom = PointsTo("x", "y")
+        assert atom.address == Const("x")
+        assert atom.target == Const("y")
+        assert atom.kind == "next"
+        assert not atom.is_trivial
+
+    def test_lseg_trivial(self):
+        assert ListSegment("x", "x").is_trivial
+        assert not ListSegment("x", "y").is_trivial
+        assert not PointsTo("x", "x").is_trivial  # a cell pointing to itself is real
+
+    def test_substitute_and_with_ends(self):
+        atom = ListSegment("x", "y")
+        assert atom.substitute({Const("y"): NIL}) == ListSegment("x", "nil")
+        assert atom.with_ends(Const("a"), Const("b")) == ListSegment("a", "b")
+        assert PointsTo("x", "y").with_ends(Const("a"), Const("b")) == PointsTo("a", "b")
+
+    def test_distinct_kinds_are_unequal(self):
+        assert PointsTo("x", "y") != ListSegment("x", "y")
+
+
+class TestSpatialFormula:
+    def test_emp(self):
+        assert emp().is_emp
+        assert len(emp()) == 0
+        assert str(emp()) == "emp"
+
+    def test_multiset_semantics(self):
+        formula = spatial(PointsTo("x", "y"), PointsTo("x", "y"))
+        assert len(formula) == 2
+        assert formula.count(PointsTo("x", "y")) == 2
+        assert formula != spatial(PointsTo("x", "y"))
+
+    def test_canonical_order_makes_equal(self):
+        one = spatial(PointsTo("x", "y"), ListSegment("a", "b"))
+        two = spatial(ListSegment("a", "b"), PointsTo("x", "y"))
+        assert one == two
+        assert hash(one) == hash(two)
+
+    def test_star_and_add(self):
+        formula = emp().star(PointsTo("x", "y")).star(spatial(ListSegment("y", "nil")))
+        assert len(formula) == 2
+        assert PointsTo("x", "y") in formula
+        assert (emp() * PointsTo("a", "b")).count(PointsTo("a", "b")) == 1
+
+    def test_remove_and_replace(self):
+        formula = spatial(PointsTo("x", "y"), ListSegment("y", "z"))
+        removed = formula.remove(PointsTo("x", "y"))
+        assert len(removed) == 1
+        with pytest.raises(KeyError):
+            removed.remove(PointsTo("x", "y"))
+        replaced = formula.replace(
+            ListSegment("y", "z"), [PointsTo("y", "w"), ListSegment("w", "z")]
+        )
+        assert len(replaced) == 3
+
+    def test_addresses_and_lookup(self):
+        formula = spatial(PointsTo("x", "y"), ListSegment("y", "z"))
+        assert set(formula.addresses()) == {Const("x"), Const("y")}
+        assert formula.atom_at(Const("x")) == PointsTo("x", "y")
+        assert formula.atom_at(Const("w")) is None
+
+    def test_well_formedness(self):
+        assert spatial(PointsTo("x", "y"), ListSegment("y", "z")).is_well_formed()
+        assert not spatial(PointsTo("x", "y"), ListSegment("x", "z")).is_well_formed()
+        assert not spatial(PointsTo("nil", "y")).is_well_formed()
+
+    def test_drop_trivial(self):
+        formula = spatial(ListSegment("x", "x"), PointsTo("x", "y"))
+        assert formula.drop_trivial() == spatial(PointsTo("x", "y"))
+
+    def test_substitute(self):
+        formula = spatial(PointsTo("x", "y")).substitute({Const("y"): Const("x")})
+        assert formula == spatial(PointsTo("x", "x"))
+
+    def test_constants(self):
+        formula = spatial(PointsTo("x", "y"), ListSegment("y", "nil"))
+        assert formula.constants() == frozenset({Const("x"), Const("y"), NIL})
+
+    def test_rejects_non_atoms(self):
+        with pytest.raises(TypeError):
+            SpatialFormula(["not an atom"])

@@ -1,0 +1,148 @@
+"""Tests for the verification front end: programs, symbolic execution, example suite."""
+
+import pytest
+
+from repro import prove
+from repro.frontend.examples_suite import all_programs, generate_suite_vcs, vcs_by_program
+from repro.frontend.programs import (
+    Assertion,
+    Assign,
+    Dispose,
+    IfThenElse,
+    Lookup,
+    Mutate,
+    New,
+    Procedure,
+    Skip,
+    While,
+)
+from repro.frontend.symexec import SymbolicExecutionError, generate_vcs
+from repro.logic.formula import eq, lseg, neq, pts
+from repro.logic.terms import Const
+
+
+class TestAssertions:
+    def test_of_splits_components(self):
+        assertion = Assertion.of(neq("x", "nil"), lseg("x", "nil"))
+        assert assertion.pure == (neq("x", "nil"),)
+        assert len(assertion.spatial) == 1
+
+    def test_entails_builds_entailment(self):
+        entailment = Assertion.of(pts("x", "nil")).entails(Assertion.of(lseg("x", "nil")))
+        assert prove(entailment).is_valid
+
+    def test_substitute_and_with_pure(self):
+        assertion = Assertion.of(lseg("x", "y")).substitute({Const("y"): Const("z")})
+        assert assertion.spatial == Assertion.of(lseg("x", "z")).spatial
+        extended = assertion.with_pure(eq("x", "z"))
+        assert eq("x", "z") in extended.pure
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            Assertion.of("nope")
+
+
+class TestSymbolicExecution:
+    def test_straight_line_postcondition(self):
+        procedure = Procedure(
+            name="push",
+            variables=["c", "t"],
+            precondition=Assertion.of(lseg("c", "nil")),
+            body=[New("t"), Mutate("t", "c"), Assign("c", "t")],
+            postcondition=Assertion.of(lseg("c", "nil")),
+        )
+        conditions = generate_vcs(procedure)
+        assert conditions
+        assert all(prove(vc.entailment).is_valid for vc in conditions)
+
+    def test_loop_generates_invariant_vcs(self):
+        procedure = Procedure(
+            name="walk",
+            variables=["c", "t"],
+            precondition=Assertion.of(lseg("c", "nil")),
+            body=[
+                Assign("t", "c"),
+                While(
+                    neq("t", "nil"),
+                    Assertion.of(lseg("c", "t"), lseg("t", "nil")),
+                    [Lookup("t", "t")],
+                ),
+            ],
+            postcondition=Assertion.of(eq("t", "nil"), lseg("c", "nil")),
+        )
+        conditions = generate_vcs(procedure)
+        descriptions = [vc.description for vc in conditions]
+        assert any("established" in text for text in descriptions)
+        assert any("preserved" in text for text in descriptions)
+        assert any("postcondition" in text for text in descriptions)
+        assert all(prove(vc.entailment).is_valid for vc in conditions)
+
+    def test_conditionals_fork_paths(self):
+        procedure = Procedure(
+            name="maybe_step",
+            variables=["c", "t"],
+            precondition=Assertion.of(neq("c", "nil"), lseg("c", "nil")),
+            body=[
+                Lookup("t", "c"),
+                IfThenElse(neq("t", "nil"), [Skip()], [Assign("t", "nil")]),
+            ],
+            postcondition=Assertion.of(lseg("c", "nil")),
+        )
+        conditions = generate_vcs(procedure)
+        post_vcs = [vc for vc in conditions if "postcondition" in vc.description]
+        assert len(post_vcs) == 2  # one per branch
+        assert all(prove(vc.entailment).is_valid for vc in conditions)
+
+    def test_dispose_and_mutate(self):
+        procedure = Procedure(
+            name="drop_head",
+            variables=["c", "d"],
+            precondition=Assertion.of(pts("c", "d"), lseg("d", "nil")),
+            body=[Dispose("c"), Assign("c", "d")],
+            postcondition=Assertion.of(lseg("c", "nil")),
+        )
+        assert all(prove(vc.entailment).is_valid for vc in generate_vcs(procedure))
+
+    def test_unjustified_access_is_rejected(self):
+        procedure = Procedure(
+            name="bad",
+            variables=["c", "t"],
+            precondition=Assertion.of(lseg("c", "nil")),  # possibly empty!
+            body=[Lookup("t", "c")],
+            postcondition=Assertion.of(lseg("c", "nil")),
+        )
+        with pytest.raises(SymbolicExecutionError):
+            generate_vcs(procedure)
+
+    def test_memory_safety_vcs_are_emitted(self):
+        procedure = Procedure(
+            name="safe",
+            variables=["c", "t"],
+            precondition=Assertion.of(pts("c", "nil")),
+            body=[Lookup("t", "c")],
+            postcondition=Assertion.of(pts("c", "nil"), eq("t", "nil")),
+        )
+        conditions = generate_vcs(procedure)
+        assert any("memory safety" in vc.description for vc in conditions)
+
+
+class TestExampleSuite:
+    def test_suite_has_eighteen_programs(self):
+        programs = all_programs()
+        assert len(programs) == 18
+        assert len({p.name for p in programs}) == 18
+
+    def test_suite_generates_many_vcs(self):
+        conditions = generate_suite_vcs()
+        assert len(conditions) >= 60
+        grouped = vcs_by_program()
+        assert set(grouped) == {p.name for p in all_programs()}
+
+    def test_every_vc_is_valid(self, fast_prover):
+        for condition in generate_suite_vcs():
+            assert fast_prover.prove(condition.entailment).is_valid, str(condition)
+
+    def test_subset_selection(self):
+        programs = all_programs()[:2]
+        conditions = generate_suite_vcs(programs)
+        assert {vc.procedure for vc in conditions} == {p.name for p in programs}

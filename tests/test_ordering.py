@@ -1,0 +1,95 @@
+"""Unit tests for the term, literal and clause orderings."""
+
+from repro.logic.atoms import EqAtom
+from repro.logic.ordering import TermOrder, default_order
+from repro.logic.terms import Const, NIL, make_consts
+
+
+def test_nil_is_minimal():
+    order = default_order(make_consts("a b c"))
+    for name in ("a", "b", "c"):
+        assert order.greater(Const(name), NIL)
+        assert not order.greater(NIL, Const(name))
+
+
+def test_default_order_is_alphabetical_above_nil():
+    order = default_order(make_consts("b a c"))
+    assert order.greater(Const("b"), Const("a"))
+    assert order.greater(Const("c"), Const("b"))
+    assert order.max_of(make_consts("a b c")) == Const("c")
+
+
+def test_explicit_precedence_is_respected():
+    order = TermOrder(list(make_consts("c a b")))  # c smallest, then a, then b
+    assert order.greater(Const("a"), Const("c"))
+    assert order.greater(Const("b"), Const("a"))
+
+
+def test_unknown_constants_rank_above_listed_ones():
+    order = TermOrder(list(make_consts("a b")))
+    assert order.greater(Const("zzz"), Const("b"))
+
+
+def test_orient():
+    order = default_order(make_consts("a b"))
+    assert order.orient(EqAtom("a", "b")) == (Const("b"), Const("a"))
+    assert order.orient(EqAtom("a", "nil")) == (Const("a"), NIL)
+    big, small = order.orient(EqAtom("a", "a"))
+    assert big == small == Const("a")
+
+
+def test_totality_of_term_order():
+    order = default_order(make_consts("a b c d"))
+    constants = list(make_consts("a b c d")) + [NIL]
+    for left in constants:
+        for right in constants:
+            if left != right:
+                assert order.greater(left, right) != order.greater(right, left)
+
+
+def test_negative_literal_bigger_than_positive_on_same_atom():
+    order = default_order(make_consts("a b"))
+    atom = EqAtom("a", "b")
+    assert order.literal_greater(atom, False, atom, True)
+    assert not order.literal_greater(atom, True, atom, False)
+
+
+def test_literal_order_follows_term_order():
+    order = default_order(make_consts("a b c"))
+    assert order.literal_greater(EqAtom("b", "c"), True, EqAtom("a", "b"), True)
+
+
+def test_clause_order_is_multiset_extension():
+    order = default_order(make_consts("a b c"))
+    small = [EqAtom("a", "b")]
+    large = [EqAtom("a", "b"), EqAtom("b", "c")]
+    assert order.clause_greater((), large, (), small)
+    assert not order.clause_greater((), small, (), large)
+
+
+def test_is_maximal_in():
+    order = default_order(make_consts("a b c"))
+    gamma = frozenset()
+    delta = frozenset({EqAtom("a", "b"), EqAtom("a", "c")})
+    assert order.is_maximal_in(EqAtom("a", "c"), True, gamma, delta, strictly=True)
+    assert not order.is_maximal_in(EqAtom("a", "b"), True, gamma, delta)
+
+
+def test_is_maximal_in_handles_duplicates_strictness():
+    order = default_order(make_consts("a b"))
+    atom = EqAtom("a", "b")
+    # The single occurrence is strictly maximal relative to the rest.
+    assert order.is_maximal_in(atom, True, frozenset(), frozenset({atom}), strictly=True)
+    # Against the negative occurrence of the same atom it is not maximal.
+    assert not order.is_maximal_in(atom, True, frozenset({atom}), frozenset({atom}))
+
+
+def test_key_and_literal_key_are_cached_and_stable():
+    order = default_order(make_consts("a b"))
+    assert order.key(Const("a")) == order.key(Const("a"))
+    assert order.literal_key(EqAtom("a", "b"), True) == order.literal_key(EqAtom("b", "a"), True)
+
+
+def test_sort_descending():
+    order = default_order(make_consts("a b c"))
+    assert order.sort_descending(make_consts("a c b")) == list(make_consts("c b a"))

@@ -1,0 +1,126 @@
+"""Replay of the paper's worked example (Sections 2 and 5, Figure 4).
+
+These tests pin down the behaviour of the prover on the illustration
+entailment the paper develops step by step:
+
+    c != e /\\ lseg(a, b) * lseg(a, c) * next(c, d) * lseg(d, e)
+        |-  lseg(b, c) * lseg(c, e)
+
+and on the intermediate objects the walk-through mentions: the derived pure
+clauses D2, D3 and D4, the successive equality models, and the rules used in
+the Figure 4 proof tree.
+"""
+
+import pytest
+
+from repro.logic.atoms import EqAtom, SpatialFormula
+from repro.logic.clauses import Clause
+from repro.logic.cnf import cnf
+from repro.logic.formula import lseg, pts
+from repro.logic.ordering import default_order
+from repro.logic.parser import parse_entailment
+from repro.logic.terms import Const
+from repro.spatial.normalization import normalize_clause
+from repro.spatial.unfolding import unfold
+from repro.spatial.wellformedness import well_formedness_consequences
+from repro.superposition.model import generate_model
+from repro.superposition.saturation import SaturationEngine
+
+ILLUSTRATION = (
+    "c != e /\\ lseg(a, b) * lseg(a, c) * next(c, d) * lseg(d, e)"
+    " |- lseg(b, c) * lseg(c, e)"
+)
+
+D1 = Clause.pure(gamma=[EqAtom("c", "e")])
+D2 = Clause.pure(delta=[EqAtom("a", "b"), EqAtom("a", "c")])
+D3 = Clause.pure(delta=[EqAtom("a", "b")])
+D4 = Clause.pure(delta=[EqAtom("c", "e")])
+
+
+@pytest.fixture(scope="module")
+def entailment():
+    return parse_entailment(ILLUSTRATION)
+
+
+def test_entailment_is_valid(prover, entailment):
+    result = prover.prove(entailment)
+    assert result.is_valid
+
+
+def test_figure4_rule_groups(prover, entailment):
+    proof = prover.prove(entailment).proof
+    rules = set(proof.rules_used())
+    assert {"W5", "W4", "N1", "N2", "N3", "U2", "SR"} <= rules
+    # The final contradiction comes from the pure superposition machinery.
+    assert any(rule.startswith("superposition") for rule in rules)
+
+
+def test_clausal_embedding_matches_section2(entailment):
+    embedding = cnf(entailment)
+    assert list(embedding.pure_clauses) == [D1]
+    assert embedding.positive_spatial.spatial == SpatialFormula(
+        [lseg("a", "b"), lseg("a", "c"), pts("c", "d"), lseg("d", "e")]
+    )
+    assert embedding.negative_spatial.spatial == SpatialFormula([lseg("b", "c"), lseg("c", "e")])
+
+
+def test_w5_derives_d2(entailment):
+    embedding = cnf(entailment)
+    consequences = well_formedness_consequences(embedding.positive_spatial)
+    assert [c.rule for c in consequences] == ["W5"]
+    assert consequences[0].conclusion == D2
+
+
+def test_first_model_and_normalisation(entailment):
+    # With D1 and D2, the generated model maps c to a; normalising the input
+    # heap gives lseg(a, b) * next(a, d) * lseg(d, e) with the reminder a = b.
+    order = default_order(entailment.constants())
+    engine = SaturationEngine(order)
+    engine.add_clauses([D1, D2])
+    assert not engine.saturate().refuted
+    model = generate_model(engine.known_pure_clauses(), order)
+    assert model.normal_form(Const("c")) == Const("a")
+
+    embedding = cnf(entailment)
+    normalized, _ = normalize_clause(embedding.positive_spatial, model)
+    assert normalized.spatial == SpatialFormula([lseg("a", "b"), pts("a", "d"), lseg("d", "e")])
+    assert EqAtom("a", "b") in normalized.delta
+
+    # W4 on the normalised clause derives D3 (the clause ``--> a = b``).
+    consequences = well_formedness_consequences(normalized)
+    assert any(c.rule == "W4" and D3.subsumes(c.conclusion) for c in consequences)
+
+
+def test_second_model_and_unfolding_derives_d4(entailment):
+    order = default_order(entailment.constants())
+    engine = SaturationEngine(order)
+    engine.add_clauses([D1, D2, D3])
+    assert not engine.saturate().refuted
+    model = generate_model(engine.known_pure_clauses(), order)
+    # "just setting a = b would do": only b is rewritten in the second model.
+    assert model.normal_form(Const("b")) == Const("a")
+    assert model.normal_form(Const("c")) == Const("c")
+
+    embedding = cnf(entailment)
+    positive, _ = normalize_clause(embedding.positive_spatial, model)
+    assert positive.spatial == SpatialFormula([lseg("a", "c"), pts("c", "d"), lseg("d", "e")])
+    negative, _ = normalize_clause(embedding.negative_spatial, model)
+    assert negative.spatial == SpatialFormula([lseg("a", "c"), lseg("c", "e")])
+
+    outcome = unfold(positive, negative)
+    assert outcome.success
+    assert outcome.derived_pure == D4
+
+
+def test_final_saturation_refutes(entailment):
+    order = default_order(entailment.constants())
+    engine = SaturationEngine(order)
+    engine.add_clauses([D1, D2, D3, D4])
+    assert engine.saturate().refuted
+
+
+def test_prover_statistics_show_two_outer_iterations_at_most(prover, entailment):
+    # The walk-through needs one unfolding round; the prover should not need
+    # more than a couple of outer iterations.
+    result = prover.prove(entailment)
+    assert 1 <= result.statistics.iterations <= 3

@@ -1,0 +1,105 @@
+"""Unit tests for the textual surface syntax and the printer."""
+
+import pytest
+
+from repro.logic.atoms import EqAtom, SpatialFormula
+from repro.logic.clauses import Clause, EMPTY_CLAUSE
+from repro.logic.formula import Entailment, eq, lseg, neq, pts
+from repro.logic.parser import ParseError, parse_entailment, parse_spatial_formula
+from repro.logic.printer import (
+    format_clause,
+    format_entailment,
+    format_rewrite_relation,
+    format_substitution,
+)
+from repro.logic.terms import Const, NIL
+
+
+class TestParser:
+    def test_simple_entailment(self):
+        entailment = parse_entailment("x != y /\\ lseg(x, y) |- next(x, z) * lseg(z, y)")
+        assert entailment.lhs_pure == (neq("x", "y"),)
+        assert len(entailment.lhs_spatial) == 1
+        assert len(entailment.rhs_spatial) == 2
+
+    def test_points_to_sugar(self):
+        entailment = parse_entailment("x |-> y |- lseg(x, y)")
+        assert entailment.lhs_spatial == SpatialFormula([pts("x", "y")])
+
+    def test_alternative_tokens(self):
+        one = parse_entailment("x == y && ls(x, z) ==> lseg(x, z)")
+        two = parse_entailment("x = y /\\ lseg(x, z) |- lseg(x, z)")
+        assert one == two
+
+    def test_nil_spellings(self):
+        entailment = parse_entailment("next(x, null) |- lseg(x, nil)")
+        assert entailment.lhs_spatial == SpatialFormula([pts("x", NIL)])
+
+    def test_emp_and_true(self):
+        entailment = parse_entailment("true |- emp")
+        assert entailment.lhs_spatial.is_emp and entailment.rhs_spatial.is_emp
+        assert not entailment.lhs_pure and not entailment.rhs_pure
+
+    def test_false_rhs(self):
+        entailment = parse_entailment("x != y /\\ lseg(x, y) |- false")
+        assert entailment.has_false_rhs
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "",
+            "lseg(x, y)",  # no turnstile
+            "false |- lseg(x, y)",  # false only allowed on the right
+            "x | y |- emp",
+            "next(x) |- emp",
+            "x & |- emp",
+            "lseg(x, y) |- next(x, y) extra",
+            "x |- y",
+        ],
+    )
+    def test_parse_errors(self, text):
+        with pytest.raises(ParseError):
+            parse_entailment(text)
+
+    def test_parse_spatial_formula(self):
+        formula = parse_spatial_formula("next(x, y) * lseg(y, nil)")
+        assert formula == SpatialFormula([pts("x", "y"), lseg("y", "nil")])
+        with pytest.raises(ParseError):
+            parse_spatial_formula("x = y * next(x, y)")
+        with pytest.raises(ParseError):
+            parse_spatial_formula("false")
+
+    def test_roundtrip_with_printer(self):
+        texts = [
+            "x != y /\\ lseg(x, y) |- next(x, z) * lseg(z, y)",
+            "true |- emp",
+            "x |-> y * y |-> nil |- lseg(x, nil)",
+            "lseg(a, b) * lseg(b, nil) |- lseg(a, nil)",
+        ]
+        for text in texts:
+            entailment = parse_entailment(text)
+            assert parse_entailment(format_entailment(entailment)) == entailment
+
+
+class TestPrinter:
+    def test_format_clause_shapes(self):
+        assert format_clause(EMPTY_CLAUSE) == "[]"
+        pure = Clause.pure(gamma=[EqAtom("c", "e")])
+        assert format_clause(pure) == "c = e -->"
+        positive = Clause.positive_spatial(SpatialFormula([pts("x", "y")]))
+        assert format_clause(positive) == "--> next(x, y)"
+        negative = Clause.negative_spatial(
+            SpatialFormula([lseg("x", "y")]), delta=[EqAtom("x", "y")]
+        )
+        assert "lseg(x, y) --> x = y" == format_clause(negative)
+
+    def test_format_entailment_includes_emp_when_needed(self):
+        entailment = Entailment.build(lhs=[], rhs=[pts("x", "y")])
+        assert format_entailment(entailment) == "emp |- next(x, y)"
+
+    def test_format_rewrite_relation_and_substitution(self):
+        assert format_rewrite_relation({}) == "{}"
+        rendered = format_rewrite_relation({Const("c"): Const("a"), Const("b"): Const("a")})
+        assert rendered == "{b => a, c => a}"
+        assert format_substitution({Const("x"): Const("y")}) == "[y/x]"
+        assert format_substitution({}) == "[]"

@@ -1,0 +1,110 @@
+"""End-to-end tests of the SLP prover: verdicts, proofs, counterexamples, statistics."""
+
+import pytest
+
+from repro import ProverConfig, Prover, Verdict, parse_entailment, prove
+from repro.core.proof import INPUT_RULE
+from repro.logic.clauses import EMPTY_CLAUSE
+from repro.semantics.satisfaction import falsifies_entailment
+from tests.conftest import KNOWN_VERDICTS
+
+
+@pytest.mark.parametrize("text,expected", KNOWN_VERDICTS)
+def test_known_verdicts(prover, text, expected):
+    result = prover.prove(parse_entailment(text))
+    assert result.is_valid == expected, text
+
+
+@pytest.mark.parametrize("text,expected", KNOWN_VERDICTS)
+def test_known_verdicts_without_bookkeeping(fast_prover, text, expected):
+    assert fast_prover.prove(parse_entailment(text)).is_valid == expected, text
+
+
+def test_result_objects(prover):
+    valid = prover.prove(parse_entailment("next(x, nil) |- lseg(x, nil)"))
+    assert valid.verdict is Verdict.VALID and bool(valid)
+    assert valid.proof is not None and valid.proof.is_refutation
+    assert valid.counterexample is None
+
+    invalid = prover.prove(parse_entailment("lseg(x, y) |- next(x, y)"))
+    assert invalid.verdict is Verdict.INVALID and not bool(invalid)
+    assert invalid.proof is None
+    assert invalid.counterexample is not None
+
+
+def test_counterexamples_are_genuine(prover):
+    for text, expected in KNOWN_VERDICTS:
+        if expected:
+            continue
+        entailment = parse_entailment(text)
+        result = prover.prove(entailment)
+        assert result.counterexample is not None
+        assert falsifies_entailment(
+            result.counterexample.stack, result.counterexample.heap, entailment
+        ), text
+
+
+def test_proofs_are_well_founded(prover):
+    for text, expected in KNOWN_VERDICTS:
+        if not expected:
+            continue
+        result = prover.prove(parse_entailment(text))
+        proof = result.proof
+        assert proof is not None
+        assert proof.conclusion == EMPTY_CLAUSE
+        seen = set()
+        for step in proof:
+            assert all(premise in seen for premise in step.premises)
+            assert step.index not in seen
+            seen.add(step.index)
+        # Leaves are either cnf inputs or pure clauses; the rendering is non-empty text.
+        assert proof.format()
+
+
+def test_statistics_are_populated(prover):
+    result = prover.prove(
+        parse_entailment("lseg(x, y) * lseg(y, z) * next(z, w) |- lseg(x, z) * next(z, w)")
+    )
+    stats = result.statistics
+    assert stats.iterations >= 1
+    assert stats.saturation_rounds >= 1
+    assert stats.elapsed_seconds > 0
+    assert stats.unfolding_steps >= 1
+
+
+def test_prove_convenience_function():
+    assert prove(parse_entailment("true |- emp")).is_valid
+
+
+def test_prover_is_reusable(prover):
+    first = prover.prove(parse_entailment("next(x, nil) |- lseg(x, nil)"))
+    second = prover.prove(parse_entailment("lseg(x, y) |- next(x, y)"))
+    third = prover.prove(parse_entailment("next(x, nil) |- lseg(x, nil)"))
+    assert first.is_valid and third.is_valid and not second.is_valid
+
+
+def test_config_for_benchmarking_disables_proofs():
+    config = ProverConfig().for_benchmarking()
+    assert not config.record_proof and not config.verify_counterexamples
+    result = Prover(config).prove(parse_entailment("next(x, nil) |- lseg(x, nil)"))
+    assert result.is_valid and result.proof is None
+
+
+def test_full_saturation_mode_agrees():
+    # verify_model=False forces full saturation before model generation.
+    eager = Prover(ProverConfig(verify_model=False))
+    for text, expected in KNOWN_VERDICTS[:12]:
+        assert eager.prove(parse_entailment(text)).is_valid == expected, text
+
+
+def test_large_but_easy_entailment(prover):
+    chain = " * ".join("next(x{}, x{})".format(i, i + 1) for i in range(12))
+    text = "{} * next(x12, nil) |- lseg(x0, nil)".format(chain)
+    assert prover.prove(parse_entailment(text)).is_valid
+
+
+def test_proof_uses_input_rule_for_cnf_clauses(prover):
+    result = prover.prove(parse_entailment("x != x /\\ emp |- emp"))
+    # The left-hand side is inconsistent, so the refutation is purely pure.
+    assert result.is_valid
+    assert INPUT_RULE in result.proof.rules_used()

@@ -1,0 +1,56 @@
+"""Unit tests for constant symbols."""
+
+import pytest
+
+from repro.logic.terms import NIL, Const, make_const, make_consts, variable_pool
+
+
+def test_const_equality_and_hash():
+    assert Const("x") == Const("x")
+    assert Const("x") != Const("y")
+    assert hash(Const("x")) == hash(Const("x"))
+    assert len({Const("x"), Const("x"), Const("y")}) == 2
+
+
+def test_const_requires_name():
+    with pytest.raises(ValueError):
+        Const("")
+
+
+def test_nil_is_special():
+    assert NIL.is_nil
+    assert not Const("x").is_nil
+    assert str(NIL) == "nil"
+
+
+def test_make_const_coercions():
+    assert make_const("x") == Const("x")
+    assert make_const(Const("x")) == Const("x")
+    assert make_const("nil") is NIL
+    assert make_const("null") is NIL
+    assert make_const("NULL") is NIL
+    assert make_const(" x ") == Const("x")
+
+
+def test_make_const_rejects_non_strings():
+    with pytest.raises(TypeError):
+        make_const(42)
+
+
+def test_make_consts_from_string_and_iterable():
+    assert make_consts("a b c") == (Const("a"), Const("b"), Const("c"))
+    assert make_consts("a, b, c") == (Const("a"), Const("b"), Const("c"))
+    assert make_consts(["a", "nil"]) == (Const("a"), NIL)
+
+
+def test_variable_pool():
+    pool = variable_pool(3)
+    assert pool == (Const("x1"), Const("x2"), Const("x3"))
+    assert variable_pool(0) == ()
+    with pytest.raises(ValueError):
+        variable_pool(-1)
+
+
+def test_const_ordering_by_name():
+    assert Const("a") < Const("b")
+    assert sorted([Const("c"), Const("a")]) == [Const("a"), Const("c")]

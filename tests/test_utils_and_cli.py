@@ -1,0 +1,140 @@
+"""Tests for the utility helpers, the proof objects and the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.proof import Proof, ProofStep, ProofTrace
+from repro.logic.atoms import EqAtom
+from repro.logic.clauses import Clause, EMPTY_CLAUSE
+from repro.utils.multiset import Multiset
+from repro.utils.naming import FreshNames, rename_suffix
+from repro.utils.timing import Stopwatch
+
+
+class TestMultiset:
+    def test_basic_operations(self):
+        bag = Multiset([1, 2, 2])
+        assert bag.count(2) == 2 and bag.count(3) == 0
+        assert len(bag) == 3 and bool(bag)
+        assert bag.distinct() == (1, 2)
+        assert Multiset([2, 1, 2]) == bag and hash(Multiset([2, 1, 2])) == hash(bag)
+
+    def test_add_remove_replace(self):
+        bag = Multiset([1])
+        assert bag.add(1).count(1) == 2
+        assert bag.remove(1) == Multiset()
+        with pytest.raises(KeyError):
+            bag.remove(7)
+        assert bag.replace(1, [2, 3]) == Multiset([2, 3])
+        with pytest.raises(ValueError):
+            bag.add(1, times=-1)
+
+    def test_subset(self):
+        assert Multiset([1, 2]).issubset(Multiset([1, 2, 2]))
+        assert not Multiset([1, 1]).issubset(Multiset([1, 2]))
+
+
+class TestNaming:
+    def test_fresh_names_avoid_collisions(self):
+        fresh = FreshNames(["x", "x_1"])
+        assert fresh.fresh("y") == "y"
+        assert fresh.fresh("x") == "x_2"
+        assert fresh.fresh("x") == "x_3"
+        assert "y" in fresh
+
+    def test_rename_suffix(self):
+        assert rename_suffix("x", 2) == "x__c2"
+        assert rename_suffix("nil", 5) == "nil"
+
+
+class TestStopwatch:
+    def test_accounting(self):
+        watch = Stopwatch(budget_seconds=100.0)
+        watch.start()
+        watch.stop(success=True)
+        watch.start()
+        watch.stop(success=False)
+        assert watch.attempted == 2 and watch.solved == 1
+        assert 0 <= watch.solved_fraction <= 1
+        assert not watch.exhausted
+        assert watch.summary()
+
+    def test_timeout_summary(self):
+        watch = Stopwatch(budget_seconds=0.0)
+        watch.start()
+        watch.stop(success=True)
+        watch.start()
+        watch.stop(success=False)
+        assert watch.exhausted
+        assert watch.summary().startswith("(")
+
+
+class TestProofObjects:
+    def test_trace_reconstruction(self):
+        a_eq_b = Clause.pure(delta=[EqAtom("a", "b")])
+        not_a_eq_b = Clause.pure(gamma=[EqAtom("a", "b")])
+        trace = ProofTrace()
+        trace.record_input(a_eq_b)
+        trace.record_input(not_a_eq_b)
+        trace.record(EMPTY_CLAUSE, "superposition-left", [a_eq_b, not_a_eq_b])
+        proof = trace.build_refutation()
+        assert proof.is_refutation and len(proof) == 3
+        last = proof.steps[-1]
+        assert last.rule == "superposition-left" and len(last.premises) == 2
+        assert proof.step_for(a_eq_b) is not None
+        assert "superposition-left" in proof.rules_used()
+
+    def test_first_derivation_wins(self):
+        clause = Clause.pure(delta=[EqAtom("a", "b")])
+        trace = ProofTrace()
+        trace.record(clause, "first", [])
+        trace.record(clause, "second", [])
+        assert trace.derivation_of(clause).rule == "first"
+
+    def test_missing_premises_become_inputs(self):
+        clause = Clause.pure(delta=[EqAtom("a", "b")])
+        trace = ProofTrace()
+        trace.record(EMPTY_CLAUSE, "rule", [clause])
+        proof = trace.build_refutation()
+        assert proof.steps[0].rule == "cnf"
+
+    def test_step_rendering(self):
+        step = ProofStep(3, EMPTY_CLAUSE, "SR", (1, 2))
+        assert "3" in str(step) and "SR" in str(step)
+
+
+class TestCli:
+    def test_cli_on_file(self, tmp_path, capsys):
+        path = tmp_path / "entailments.txt"
+        path.write_text(
+            "# a comment\n"
+            "x |-> y * y |-> nil |- lseg(x, nil)\n"
+            "lseg(x, y) |- next(x, y)\n"
+        )
+        exit_code = main([str(path), "--time"])
+        captured = capsys.readouterr().out
+        assert exit_code == 0
+        assert "valid" in captured and "invalid" in captured
+        assert "total time" in captured
+
+    def test_cli_proof_and_counterexample_flags(self, tmp_path, capsys):
+        path = tmp_path / "entailments.txt"
+        path.write_text("next(x, nil) |- lseg(x, nil)\nlseg(x, y) |- next(x, y)\n")
+        assert main([str(path), "--proof", "--counterexample"]) == 0
+        captured = capsys.readouterr().out
+        assert "[" in captured  # a proof line
+        assert "counterexample" in captured
+
+    def test_cli_baseline_provers(self, tmp_path, capsys):
+        path = tmp_path / "entailments.txt"
+        path.write_text("next(x, nil) |- lseg(x, nil)\n")
+        assert main([str(path), "--prover", "smallfoot"]) == 0
+        assert main([str(path), "--prover", "jstar"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("valid") >= 2
+
+    def test_cli_reports_parse_errors(self, tmp_path, capsys):
+        path = tmp_path / "entailments.txt"
+        path.write_text("this is not an entailment\n")
+        assert main([str(path)]) == 2
+        assert "error" in capsys.readouterr().out
