@@ -1,0 +1,197 @@
+#!/usr/bin/env python
+"""Measure the saturation core and emit a machine-readable ``BENCH_saturation.json``.
+
+This is the perf-trajectory harness: every PR that touches the
+``SaturationEngine -> SuperpositionCalculus -> TermOrder -> generate_model``
+path should re-run it and compare the emitted numbers against the committed
+``BENCH_saturation.json``.  The workload is the Table 1 distribution (random
+consistency entailments ``Pi /\\ Sigma |- false``), which exercises exactly
+the inner loop: superposition saturation, candidate-model generation,
+normalisation and well-formedness reasoning.
+
+Two engine configurations are timed on identical batches:
+
+* ``indexed``   — the default configuration (clause index + incremental
+  model generation);
+* ``reference`` — ``ProverConfig.reference()``: linear-scan subsumption and
+  partner selection, from-scratch model generation every round.  This is the
+  seed algorithm (it still benefits from shared data-structure speedups such
+  as interning and hash caching, so it is a *lower bound* on the speedup over
+  the seed commit).
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench_perf.py            # full run
+    PYTHONPATH=src python scripts/bench_perf.py --quick    # CI smoke run
+
+See PERFORMANCE.md for how to read the output.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.benchgen.random_unsat import UnsatParameters, random_unsat_batch  # noqa: E402
+from repro.core.config import ProverConfig  # noqa: E402
+from repro.core.prover import Prover  # noqa: E402
+
+#: Wall-clock seconds of the *seed commit* (da8c932, pre-index engine) on the
+#: same workloads, measured with the snippet documented in PERFORMANCE.md.
+#: Kept here so the trajectory against the original engine stays visible even
+#: though the seed code path no longer exists verbatim.
+SEED_SECONDS = {12: 0.313, 16: 1.982, 20: 6.919}
+SEED_INSTANCES = 40
+
+
+def run_config(label: str, config: ProverConfig, rows, instances: int):
+    """Time one prover configuration over every workload row."""
+    results = []
+    for variables in rows:
+        batch = random_unsat_batch(
+            UnsatParameters.paper(variables), instances, seed=1000 + variables
+        )
+        prover = Prover(config)
+        prover.prove(batch[0])  # warm the caches outside the timed region
+        start = time.perf_counter()
+        valid = 0
+        generated = 0
+        for entailment in batch:
+            result = prover.prove(entailment)
+            if result.is_valid:
+                valid += 1
+            generated += result.statistics.generated_clauses
+        elapsed = time.perf_counter() - start
+        results.append(
+            {
+                "variables": variables,
+                "instances": len(batch),
+                "seconds": round(elapsed, 4),
+                "valid": valid,
+                "generated_clauses": generated,
+            }
+        )
+        print(
+            "[bench_perf] {:<9} n={:<3} {:>8.3f}s  valid={:<3} generated={}".format(
+                label, variables, elapsed, valid, generated
+            )
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small smoke run (CI): fewer rows and instances, no file emitted unless --out",
+    )
+    parser.add_argument(
+        "--instances", type=int, default=None, help="entailments per row (default 40; quick: 8)"
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default BENCH_saturation.json at the repo root; quick runs skip emission)",
+    )
+    parser.add_argument(
+        "--seed-baseline",
+        action="store_true",
+        help="also report speedups against the hardcoded seed-commit timings; "
+        "only meaningful on the machine that produced SEED_SECONDS — on any "
+        "other host compare reference_seconds instead",
+    )
+    args = parser.parse_args(argv)
+
+    rows = (12, 16) if args.quick else (12, 16, 20)
+    instances = args.instances if args.instances is not None else (8 if args.quick else 40)
+    if instances < 1:
+        parser.error("--instances must be at least 1")
+
+    base = ProverConfig().for_benchmarking()
+    indexed = run_config("indexed", base, rows, instances)
+    reference = run_config("reference", base.reference(), rows, instances)
+
+    merged = []
+    for idx, ref in zip(indexed, reference):
+        if (idx["valid"], idx["generated_clauses"]) != (ref["valid"], ref["generated_clauses"]):
+            raise SystemExit(
+                "bench_perf: indexed and reference configurations disagree on "
+                "n={} (valid {} vs {}, generated {} vs {})".format(
+                    idx["variables"],
+                    idx["valid"],
+                    ref["valid"],
+                    idx["generated_clauses"],
+                    ref["generated_clauses"],
+                )
+            )
+        row = {
+            "variables": idx["variables"],
+            "instances": idx["instances"],
+            "indexed_seconds": idx["seconds"],
+            "reference_seconds": ref["seconds"],
+            "speedup_vs_reference": round(ref["seconds"] / idx["seconds"], 2),
+            "valid": idx["valid"],
+            "generated_clauses": idx["generated_clauses"],
+        }
+        seed_seconds = SEED_SECONDS.get(idx["variables"])
+        if args.seed_baseline and seed_seconds is not None and idx["instances"] == SEED_INSTANCES:
+            row["seed_seconds"] = seed_seconds
+            row["speedup_vs_seed"] = round(seed_seconds / idx["seconds"], 2)
+        merged.append(row)
+
+    total_indexed = sum(row["indexed_seconds"] for row in merged)
+    total_reference = sum(row["reference_seconds"] for row in merged)
+    payload = {
+        "benchmark": "saturation",
+        "workload": "random_unsat (Table 1 distribution), seeds 1000+n",
+        "python": platform.python_version(),
+        "quick": args.quick,
+        "rows": merged,
+        "total": {
+            "indexed_seconds": round(total_indexed, 4),
+            "reference_seconds": round(total_reference, 4),
+            "speedup_vs_reference": round(total_reference / total_indexed, 2),
+        },
+        "notes": (
+            "reference_seconds re-run the unindexed algorithm in-tree on the "
+            "same machine and are the portable trajectory metric (a lower "
+            "bound on the speedup over the seed commit).  seed_seconds, when "
+            "present (--seed-baseline), were measured at the seed commit "
+            "(da8c932) with 40 instances per row and are only comparable on "
+            "the machine that produced them."
+        ),
+    }
+    if merged and all("speedup_vs_seed" in row for row in merged):
+        payload["total"]["speedup_vs_seed"] = round(
+            sum(row["seed_seconds"] for row in merged) / total_indexed, 2
+        )
+
+    print(
+        "[bench_perf] total: indexed {:.3f}s  reference {:.3f}s  ({}x)".format(
+            total_indexed, total_reference, payload["total"]["speedup_vs_reference"]
+        )
+    )
+
+    out = args.out
+    if out is None and not args.quick:
+        out = os.path.join(
+            os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+            "BENCH_saturation.json",
+        )
+    if out:
+        with open(out, "w") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print("[bench_perf] wrote {}".format(out))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -34,7 +34,12 @@ from repro.semantics.counterexample import Counterexample, build_counterexample
 from repro.spatial.normalization import normalize_clause
 from repro.spatial.unfolding import UnfoldingOutcome, unfold
 from repro.spatial.wellformedness import well_formedness_consequences
-from repro.superposition.model import EqualityModel, ModelGenerationError, generate_model
+from repro.superposition.model import (
+    EqualityModel,
+    IncrementalModelGenerator,
+    ModelGenerationError,
+    generate_model,
+)
 from repro.superposition.saturation import SaturationEngine
 
 
@@ -65,7 +70,16 @@ class Prover:
 
         embedding = cnf(entailment)
         order = default_order(entailment.constants())
-        engine = SaturationEngine(order, max_clauses=self.config.max_saturation_clauses)
+        engine = SaturationEngine(
+            order,
+            max_clauses=self.config.max_saturation_clauses,
+            use_index=self.config.use_clause_index,
+        )
+        model_generator = (
+            IncrementalModelGenerator(order, verify=self.config.verify_model)
+            if self.config.incremental_models
+            else None
+        )
         trace = ProofTrace() if self.config.record_proof else None
 
         if trace is not None:
@@ -86,7 +100,9 @@ class Prover:
             positive: Optional[Clause] = None
             refuted = False
             while True:
-                model = self._saturate_and_generate_model(engine, order, statistics)
+                model = self._saturate_and_generate_model(
+                    engine, order, statistics, model_generator
+                )
                 if model is None:
                     refuted = True
                     break
@@ -193,7 +209,11 @@ class Prover:
 
     # ------------------------------------------------------------------
     def _saturate_and_generate_model(
-        self, engine: SaturationEngine, order: TermOrder, statistics: ProverStatistics
+        self,
+        engine: SaturationEngine,
+        order: TermOrder,
+        statistics: ProverStatistics,
+        model_generator: Optional[IncrementalModelGenerator] = None,
     ) -> Optional[EqualityModel]:
         """Saturate (lazily) until a verified equality model exists, or refute.
 
@@ -212,6 +232,8 @@ class Prover:
             if saturation.refuted:
                 return None
             try:
+                if model_generator is not None:
+                    return model_generator.model_for(engine.known_pure_clauses())
                 return generate_model(
                     engine.known_pure_clauses(), order, verify=self.config.verify_model
                 )

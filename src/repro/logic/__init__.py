@@ -14,6 +14,8 @@ The modules in this package define the object language of the prover:
   entailment (Section 3.2 of the paper);
 * :mod:`repro.logic.ordering` — the ground term/literal/clause orderings used
   by the superposition calculus, with ``nil`` as the minimal constant;
+* :mod:`repro.logic.intern` — interning of constants and equality atoms (one
+  shared object per distinct value, with precomputed hashes);
 * :mod:`repro.logic.parser` — a textual surface syntax;
 * :mod:`repro.logic.printer` — human-readable rendering of every syntactic
   category.

@@ -37,12 +37,15 @@ def _order_pair(a: Const, b: Const) -> Tuple[Const, Const]:
     return (a, b) if a.name <= b.name else (b, a)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class EqAtom:
     """The pure atom ``left ~ right`` asserting that two constants are aliases.
 
     Instances are canonicalised so that the atom is symmetric:
-    ``EqAtom(x, y) == EqAtom(y, x)``.
+    ``EqAtom(x, y) == EqAtom(y, x)``.  The hash and the structural sort key
+    are precomputed at construction time: atoms are hashed on every frozenset
+    operation of the saturation loop and sorted in several presentation paths,
+    and recomputing either from the field values dominates those paths.
     """
 
     left: Const
@@ -52,11 +55,19 @@ class EqAtom:
         first, second = _order_pair(make_const(left), make_const(right))
         object.__setattr__(self, "left", first)
         object.__setattr__(self, "right", second)
+        object.__setattr__(self, "sort_key", (first.name, second.name))
+        object.__setattr__(self, "_hash", hash((first.name, second.name)))
+        # ``is_trivial`` (atoms of the form ``x ~ x``, always true) is read on
+        # every simplification and tautology check; precompute it.
+        object.__setattr__(self, "is_trivial", first == second)
 
-    @property
-    def is_trivial(self) -> bool:
-        """True for atoms of the form ``x ~ x`` (always true)."""
-        return self.left == self.right
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, EqAtom):
+            return self is other or (self.left == other.left and self.right == other.right)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def sides(self) -> Tuple[Const, Const]:

@@ -27,8 +27,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
+from operator import attrgetter
+
 from repro.logic.atoms import EqAtom, SpatialFormula
 from repro.logic.terms import Const
+
+#: Structural sort key of an atom, precomputed by ``EqAtom.__init__``.
+_atom_key = attrgetter("sort_key")
 
 
 @dataclass(frozen=True)
@@ -81,10 +86,12 @@ class Clause:
         return Clause(frozenset(gamma), frozenset(delta), sigma, False)
 
     # -- shape predicates ----------------------------------------------------
-    @property
-    def is_pure(self) -> bool:
-        """True when the clause contains no spatial formula."""
-        return self.spatial is None
+    #
+    # ``is_pure``, ``is_empty`` and ``is_tautology`` are precomputed by
+    # ``__post_init__`` (see below): they are read on every enqueue, every
+    # model-generation round and every redundancy check, and recomputing the
+    # tautology test in particular (a frozenset intersection) dominated those
+    # paths.
 
     @property
     def is_positive_spatial(self) -> bool:
@@ -95,25 +102,6 @@ class Clause:
     def is_negative_spatial(self) -> bool:
         """True for clauses of the form ``Gamma, Sigma -> Delta``."""
         return self.spatial is not None and not self.spatial_on_right
-
-    @property
-    def is_empty(self) -> bool:
-        """True for the empty clause (the contradiction, written ``□``)."""
-        return not self.gamma and not self.delta and self.spatial is None
-
-    @property
-    def is_tautology(self) -> bool:
-        """Cheap syntactic tautology check for pure clauses.
-
-        A pure clause is a tautology when some atom appears on both sides or
-        when the right-hand side contains a trivial equality ``x = x``.
-        Spatial clauses are never considered tautologies by this check.
-        """
-        if self.spatial is not None:
-            return False
-        if any(atom.is_trivial for atom in self.delta):
-            return True
-        return bool(self.gamma & self.delta)
 
     # -- queries -----------------------------------------------------------
     def constants(self) -> FrozenSet[Const]:
@@ -126,9 +114,14 @@ class Clause:
         return frozenset(result)
 
     def literals(self) -> Tuple[Tuple[EqAtom, bool], ...]:
-        """The pure literals of the clause as ``(atom, positive)`` pairs."""
-        negative = tuple((atom, False) for atom in sorted(self.gamma, key=str))
-        positive = tuple((atom, True) for atom in sorted(self.delta, key=str))
+        """The pure literals of the clause as ``(atom, positive)`` pairs.
+
+        Atoms are sorted by their precomputed structural key rather than by
+        formatting them: this method sits on hot paths (CNF embedding, proof
+        reconstruction) where string building shows up in profiles.
+        """
+        negative = tuple((atom, False) for atom in sorted(self.gamma, key=_atom_key))
+        positive = tuple((atom, True) for atom in sorted(self.delta, key=_atom_key))
         return negative + positive
 
     def subsumes(self, other: "Clause") -> bool:
@@ -167,6 +160,31 @@ class Clause:
     def pure_part(self) -> "Clause":
         """The pure clause obtained by dropping the spatial formula."""
         return Clause(self.gamma, self.delta, None, True)
+
+    def __post_init__(self) -> None:
+        # Clauses are set members throughout saturation; the generated
+        # dataclass hash would rebuild a field tuple per call, so precompute
+        # it.  The frozensets it covers cache their own hashes, which also
+        # makes later membership tests on gamma/delta cheap.
+        object.__setattr__(
+            self, "_hash", hash((self.gamma, self.delta, self.spatial, self.spatial_on_right))
+        )
+        pure = self.spatial is None
+        #: True when the clause contains no spatial formula.
+        object.__setattr__(self, "is_pure", pure)
+        #: True for the empty clause (the contradiction, written ``□``).
+        object.__setattr__(self, "is_empty", pure and not self.gamma and not self.delta)
+        # A pure clause is a tautology when some atom appears on both sides or
+        # when the right-hand side contains a trivial equality ``x = x``;
+        # spatial clauses are never considered tautologies by this check.
+        tautology = pure and (
+            any(atom.is_trivial for atom in self.delta) or bool(self.gamma & self.delta)
+        )
+        #: Cheap syntactic tautology check for pure clauses.
+        object.__setattr__(self, "is_tautology", tautology)
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     # -- presentation ---------------------------------------------------------
     def __str__(self) -> str:

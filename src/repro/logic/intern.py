@@ -1,0 +1,66 @@
+"""Interning of the fragment's ground objects.
+
+The pure fragment is ground: every term is one of finitely many constants and
+every pure atom is an (unordered) pair of constants.  The saturation loop
+creates the *same* atoms over and over — every superposition step rewrites an
+atom into one that, with high probability, some earlier inference already
+produced.  Interning them collapses those duplicates into a single object, so
+
+* hashing an atom is a single cached-integer read,
+* equality checks hit the ``is`` fast path,
+* the memoised ordering keys in :class:`~repro.logic.ordering.TermOrder`
+  always land on an existing dictionary slot instead of a fresh key object.
+
+Constants are interned by :func:`~repro.logic.terms.make_const` itself (every
+construction path goes through it); this module adds the atom-level table and
+re-exports the constant helper for symmetry.
+
+The tables are module-level and grow with the set of distinct names seen by
+the process.  That is bounded by the problem vocabulary for a single run; a
+long-lived server embedding the prover can call :func:`clear_intern_tables`
+between unrelated workloads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.logic.atoms import EqAtom
+from repro.logic.terms import Const, clear_const_intern, make_const
+
+__all__ = ["intern_const", "intern_atom", "clear_intern_tables"]
+
+#: One canonical :class:`EqAtom` per unordered pair of constants.  Keyed by
+#: the pair *as given* so that both orientations resolve without re-running
+#: the canonicalisation in :class:`EqAtom.__init__`.
+_ATOM_INTERN: Dict[Tuple[Const, Const], EqAtom] = {}
+
+
+def intern_const(name: "str | Const") -> Const:
+    """The interned constant for ``name`` (alias of :func:`make_const`)."""
+    return make_const(name)
+
+
+def intern_atom(left: Const, right: Const) -> EqAtom:
+    """The canonical ``EqAtom(left, right)``, shared across all call sites."""
+    key = (left, right)
+    atom = _ATOM_INTERN.get(key)
+    if atom is None:
+        atom = EqAtom(left, right)
+        _ATOM_INTERN[key] = atom
+        # Register the canonical orientation too, so EqAtom(y, x) lookups and
+        # already-canonical lookups share the same object.
+        _ATOM_INTERN.setdefault((atom.left, atom.right), atom)
+        _ATOM_INTERN.setdefault((atom.right, atom.left), atom)
+    return atom
+
+
+def clear_intern_tables() -> None:
+    """Drop the atom and constant intern tables (for long-lived processes).
+
+    Call between unrelated workloads to stop the tables from pinning every
+    name the process has ever seen.  Existing objects stay valid — interning
+    only affects sharing, never equality.
+    """
+    _ATOM_INTERN.clear()
+    clear_const_intern()

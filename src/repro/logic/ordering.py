@@ -25,10 +25,13 @@ multisets as descending-sorted sequences, longest-prefix wins, which is what
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.logic.atoms import EqAtom
 from repro.logic.terms import Const, NIL
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.logic.clauses import Clause
 
 
 class TermOrder:
@@ -51,10 +54,15 @@ class TermOrder:
                     continue
                 if constant not in self._rank:
                     self._rank[constant] = index + 1
-        # Key computations sit in the innermost loops of saturation; both the
-        # term keys and the literal keys are memoised.
+        # Key computations sit in the innermost loops of saturation; term,
+        # literal and clause keys are all memoised.  The literal caches are
+        # split by polarity so the lookup key is the (interned) atom itself
+        # rather than a freshly allocated ``(atom, sign)`` tuple.
         self._key_cache: Dict[Const, Tuple[int, int, str]] = {}
-        self._literal_key_cache: Dict[Tuple[EqAtom, bool], Tuple[Tuple[int, int, str], ...]] = {}
+        self._pos_literal_key_cache: Dict[EqAtom, Tuple[Tuple[int, int, str], ...]] = {}
+        self._neg_literal_key_cache: Dict[EqAtom, Tuple[Tuple[int, int, str], ...]] = {}
+        self._clause_key_cache: Dict["Clause", Tuple[Tuple, ...]] = {}
+        self._production_cache: Dict["Clause", Optional[Tuple[Const, Const, EqAtom]]] = {}
 
     # -- term level ---------------------------------------------------------
     def key(self, constant: Const) -> Tuple[int, int, str]:
@@ -102,16 +110,17 @@ class TermOrder:
     # -- literal level --------------------------------------------------------
     def literal_key(self, atom: EqAtom, positive: bool) -> Tuple[Tuple[int, int, str], ...]:
         """The measuring multiset of a literal, as a descending-sorted key tuple."""
-        cached = self._literal_key_cache.get((atom, positive))
+        cache = self._pos_literal_key_cache if positive else self._neg_literal_key_cache
+        cached = cache.get(atom)
         if cached is not None:
             return cached
         big, small = self.orient(atom)
+        big_key, small_key = self.key(big), self.key(small)
         if positive:
-            terms = (big, small)
+            result = (big_key, small_key)
         else:
-            terms = (big, big, small, small)
-        result = tuple(sorted((self.key(t) for t in terms), reverse=True))
-        self._literal_key_cache[(atom, positive)] = result
+            result = (big_key, big_key, small_key, small_key)
+        cache[atom] = result
         return result
 
     def compare_key_multisets(
@@ -150,6 +159,21 @@ class TermOrder:
         keys = [self.literal_key(atom, positive=False) for atom in gamma]
         keys.extend(self.literal_key(atom, positive=True) for atom in delta)
         return tuple(sorted(keys, reverse=True))
+
+    def clause_sort_key(self, clause: "Clause") -> Tuple[Tuple, ...]:
+        """The memoised measuring multiset of a pure clause.
+
+        Model generation sorts (and keeps sorted) the whole known clause set by
+        this key on every round, so it is cached per clause.  Note the key is
+        *injective* on pure clauses: each literal key pins down its literal
+        (polarity by length, constants by name), so equal keys mean equal
+        ``gamma``/``delta`` frozensets, i.e. the same clause.
+        """
+        cached = self._clause_key_cache.get(clause)
+        if cached is None:
+            cached = self.clause_key(clause.gamma, clause.delta)
+            self._clause_key_cache[clause] = cached
+        return cached
 
     def clause_greater(
         self,
@@ -198,6 +222,40 @@ class TermOrder:
             if strictly and comparison == 0:
                 return False
         return True
+
+    # -- productive equations -------------------------------------------------
+    def production(self, clause: "Clause") -> Optional[Tuple[Const, Const, EqAtom]]:
+        """The unique equation through which a pure clause can act productively.
+
+        Returns ``(larger, smaller, equation)`` when the clause has no negative
+        (selected) literals and its maximal positive equation is orientable and
+        *strictly* maximal; ``None`` otherwise.  At most one equation can
+        qualify — strict maximality singles out the literal with the largest
+        key — so the result is a property of the clause and is memoised.
+
+        Both the superposition calculus (the rewriting premise of an
+        inference) and the Bachmair–Ganzinger model construction (a clause
+        generating a rewrite edge) gate on exactly this condition, which is
+        why it lives on the ordering rather than in either consumer.
+        """
+        if clause in self._production_cache:
+            return self._production_cache[clause]
+        result = None
+        if not clause.gamma and clause.delta:
+            best = None
+            best_key = None
+            for equation in clause.delta:
+                key = self.literal_key(equation, True)
+                if best_key is None or key > best_key:
+                    best, best_key = equation, key
+            if best is not None and not best.is_trivial:
+                big, small = self.orient(best)
+                if self.greater(big, small) and self.is_maximal_in(
+                    best, True, clause.gamma, clause.delta, strictly=True
+                ):
+                    result = (big, small, best)
+        self._production_cache[clause] = result
+        return result
 
     @staticmethod
     def _literals(

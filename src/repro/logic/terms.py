@@ -12,18 +12,26 @@ This module defines the :class:`Const` value type and the ``nil`` singleton.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Tuple
+from typing import Dict, Iterable, Tuple
 
 #: Reserved spelling of the null-pointer constant.
 NIL_NAME = "nil"
 
+#: Alternative spellings that :func:`make_const` coerces to ``nil``.  The
+#: comparison is case-insensitive, so "Nil", "NULL" and "null" all denote the
+#: null pointer rather than silently creating distinct constants.
+_NIL_ALIASES = frozenset(("nil", "null", "0"))
 
-@dataclass(frozen=True)
+
+@dataclass(frozen=True, eq=False)
 class Const:
     """A constant symbol (a program variable, or ``nil``).
 
     Constants compare and hash by name, so they can be freely used in sets,
-    dictionaries and as members of frozen dataclasses.
+    dictionaries and as members of frozen dataclasses.  The hash is computed
+    once at construction time: constants are the innermost objects of the
+    saturation loop and re-hashing the name string on every set operation is
+    measurable.
     """
 
     name: str
@@ -31,6 +39,15 @@ class Const:
     def __post_init__(self) -> None:
         if not self.name:
             raise ValueError("constant symbols must have a non-empty name")
+        object.__setattr__(self, "_hash", hash(self.name))
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, Const):
+            return self is other or self.name == other.name
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def is_nil(self) -> bool:
@@ -56,17 +73,39 @@ class Const:
 #: but may appear anywhere a constant may appear in a formula.
 NIL = Const(NIL_NAME)
 
+#: Intern table shared by :func:`make_const`: one :class:`Const` object per
+#: distinct name.  Interning keeps equality checks on the identity fast path
+#: and makes the memoised ordering-key lookups hit the same dictionary slot.
+_CONST_INTERN: Dict[str, Const] = {NIL_NAME: NIL}
+
+
+def clear_const_intern() -> None:
+    """Reset the constant intern table to its initial state (``nil`` only).
+
+    For long-lived processes running many unrelated workloads; everyday use
+    never needs this.  Existing :class:`Const` objects stay valid — they
+    compare by name — only the table stops pinning them in memory.
+    """
+    _CONST_INTERN.clear()
+    _CONST_INTERN[NIL_NAME] = NIL
+
 
 def make_const(name: "str | Const") -> Const:
-    """Coerce a string (or an existing :class:`Const`) into a constant."""
+    """Coerce a string (or an existing :class:`Const`) into an interned constant."""
     if isinstance(name, Const):
         return name
     if not isinstance(name, str):
         raise TypeError("expected a constant name, got {!r}".format(name))
-    lowered = name.strip()
-    if lowered in ("nil", "null", "NULL", "0"):
-        return NIL
-    return Const(lowered)
+    stripped = name.strip()
+    interned = _CONST_INTERN.get(stripped)
+    if interned is not None:
+        return interned
+    if stripped.lower() in _NIL_ALIASES:
+        interned = NIL
+    else:
+        interned = Const(stripped)
+    _CONST_INTERN[stripped] = interned
+    return interned
 
 
 def make_consts(names: "str | Iterable[str]") -> Tuple[Const, ...]:
@@ -91,4 +130,4 @@ def variable_pool(count: int, prefix: str = "x") -> Tuple[Const, ...]:
     """
     if count < 0:
         raise ValueError("count must be non-negative")
-    return tuple(Const("{}{}".format(prefix, i + 1)) for i in range(count))
+    return tuple(make_const("{}{}".format(prefix, i + 1)) for i in range(count))

@@ -17,11 +17,20 @@ clauses over equalities between constant symbols.  The three modules are:
   together with the map ``g`` from rewrite edges to their generating clauses
   (Lemma 3.1 of the paper);
 * :mod:`repro.superposition.rewrite` — convergent rewrite relations over
-  constants and their normal forms.
+  constants and their normal forms;
+* :mod:`repro.superposition.index` — the literal-occurrence / feature-vector
+  clause index that turns the engine's subsumption and partner-selection
+  queries into dictionary lookups.
 """
 
 from repro.superposition.calculus import SuperpositionCalculus
-from repro.superposition.model import EqualityModel, ModelGenerationError, generate_model
+from repro.superposition.index import ClauseIndex
+from repro.superposition.model import (
+    EqualityModel,
+    IncrementalModelGenerator,
+    ModelGenerationError,
+    generate_model,
+)
 from repro.superposition.rewrite import RewriteRelation
 from repro.superposition.saturation import SaturationEngine, SaturationResult
 
@@ -30,7 +39,9 @@ __all__ = [
     "SaturationEngine",
     "SaturationResult",
     "RewriteRelation",
+    "ClauseIndex",
     "EqualityModel",
+    "IncrementalModelGenerator",
     "ModelGenerationError",
     "generate_model",
 ]

@@ -35,12 +35,19 @@ problem's constants.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import attrgetter
 from typing import Iterable, List, Optional, Tuple
 
 from repro.logic.atoms import EqAtom
 from repro.logic.clauses import Clause
+from repro.logic.intern import intern_atom
 from repro.logic.ordering import TermOrder
 from repro.logic.terms import Const
+
+#: Structural sort key of an atom, precomputed by ``EqAtom.__init__`` — the
+#: deterministic iteration order for equality factoring, without the string
+#: formatting a ``key=str`` sort would pay per comparison.
+_atom_key = attrgetter("sort_key")
 
 
 @dataclass(frozen=True)
@@ -60,35 +67,18 @@ class SuperpositionCalculus:
 
     def __init__(self, order: TermOrder):
         self.order = order
-        # Cache of each clause's strictly maximal positive equation (for
-        # clauses without selected literals), keyed by the clause itself.
-        self._max_equation_cache: dict = {}
 
     def _strictly_maximal_equation(self, clause: Clause):
         """The oriented strictly maximal equation of a selection-free clause.
 
         Returns ``(big, small, equation)`` or ``None`` when the clause has
         selected (negative) literals, no non-trivial positive equation, or its
-        maximal positive equation is not strictly maximal.
+        maximal positive equation is not strictly maximal.  The computation
+        (and its memo) lives on the ordering — see
+        :meth:`~repro.logic.ordering.TermOrder.production` — because the
+        clause index and the model construction gate on the same condition.
         """
-        if clause in self._max_equation_cache:
-            return self._max_equation_cache[clause]
-        result = None
-        if not clause.gamma and clause.delta:
-            best = None
-            best_key = None
-            for equation in clause.delta:
-                key = self.order.literal_key(equation, True)
-                if best_key is None or key > best_key:
-                    best, best_key = equation, key
-            if best is not None and not best.is_trivial:
-                big, small = self.order.orient(best)
-                if self.order.greater(big, small) and self.order.is_maximal_in(
-                    best, True, clause.gamma, clause.delta, strictly=True
-                ):
-                    result = (big, small, best)
-        self._max_equation_cache[clause] = result
-        return result
+        return self.order.production(clause)
 
     # -- simplifications -----------------------------------------------------
     def simplify(self, clause: Clause) -> Clause:
@@ -101,9 +91,12 @@ class SuperpositionCalculus:
         """
         if not clause.is_pure:
             return clause
-        gamma = frozenset(atom for atom in clause.gamma if not atom.is_trivial)
-        if gamma == clause.gamma:
+        for atom in clause.gamma:
+            if atom.is_trivial:
+                break
+        else:
             return clause
+        gamma = frozenset(atom for atom in clause.gamma if not atom.is_trivial)
         return Clause(gamma, clause.delta, None, True)
 
     @staticmethod
@@ -128,7 +121,7 @@ class SuperpositionCalculus:
         if not clause.is_pure or clause.gamma:
             return []
         inferences: List[Inference] = []
-        delta = sorted(clause.delta, key=str)
+        delta = sorted(clause.delta, key=_atom_key)
         for i, first in enumerate(delta):
             if first.is_trivial:
                 continue
@@ -143,7 +136,7 @@ class SuperpositionCalculus:
                     continue
                 other_side = second.other(shared)
                 conclusion = Clause(
-                    clause.gamma | {EqAtom(small, other_side)},
+                    clause.gamma | {intern_atom(small, other_side)},
                     (clause.delta - {first}) | {second},
                     None,
                     True,
@@ -219,7 +212,7 @@ class SuperpositionCalculus:
             return None
         left = new if atom.left == old else atom.left
         right = new if atom.right == old else atom.right
-        return EqAtom(left, right)
+        return intern_atom(left, right)
 
     def _shared_maximal(self, big: Const, atom: EqAtom) -> Optional[Const]:
         """Return ``big`` if it occurs in ``atom`` (the shared maximal term), else ``None``."""

@@ -1,0 +1,230 @@
+"""Clause indexing for the saturation engine.
+
+The given-clause loop performs three queries against the active set on every
+iteration, and the naive implementations are all linear scans:
+
+* **forward subsumption** — is the given clause subsumed by some active one?
+* **backward subsumption** — which active clauses does the given one subsume?
+* **inference-partner selection** — which active clauses can participate in a
+  superposition inference with the given clause at all?
+
+Because the fragment is ground, subsumption is literal-set inclusion, which
+admits a textbook *literal-occurrence index*: for every literal, the set of
+active clauses containing it.  A clause ``C`` subsuming ``D`` must contribute
+at least one literal of ``D`` (forward: candidates are the union over ``D``'s
+literals) and must have *all* of its literals inside ``D`` (backward:
+candidates are contained in any single literal's bucket of ``C``).  A small
+feature vector — the ``(|Gamma|, |Delta|)`` lengths — prunes candidates before
+the subset tests.
+
+Partner selection uses the shape of the calculus's inference rules.  An
+inference between a rewriting premise (strictly-maximal equation ``big =
+small``, no selected literals) and a partner exists only when ``big`` occurs
+at a rewritable position of the partner: in a selected (negative) literal, or
+in the partner's own strictly maximal equation.  Three occurrence maps capture
+exactly these positions:
+
+* ``gamma_occ``    — constant -> active clauses with a ``Gamma`` atom mentioning it;
+* ``maxeq_occ``    — constant -> productive actives whose maximal equation mentions it;
+* ``productive_by_big`` — constant -> productive actives whose oriented maximal
+  equation has that constant as its *larger* side.
+
+The candidate sets these maps produce are supersets of the clauses for which
+:meth:`~repro.superposition.calculus.SuperpositionCalculus.infer_between`
+yields a conclusion (the calculus re-checks every side condition), so the
+engine derives exactly the same inferences as the naive scan — candidates are
+merely visited in registration order, skipping the provably fruitless pairs.
+
+Buckets are dictionaries keyed by ``id(clause)`` rather than sets of clauses.
+The engine holds exactly one object per active clause (duplicates are removed
+by the ``_seen`` dedup before activation), and the index keeps each clause
+alive as a bucket value, so identity keys are sound — and they avoid calling
+the clause's Python-level ``__hash__`` on every one of the millions of bucket
+operations a saturation run performs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.logic.atoms import EqAtom
+from repro.logic.clauses import Clause
+from repro.logic.ordering import TermOrder
+from repro.logic.terms import Const
+
+#: A bucket: id(clause) -> clause.
+Bucket = Dict[int, Clause]
+
+
+class ClauseIndex:
+    """Literal-occurrence and partner indexes over the active clause set.
+
+    The index stores only pure clauses (the saturation engine never activates
+    anything else) and assigns each clause a registration sequence number so
+    candidate sets can be re-ordered to match the active list's iteration
+    order exactly.
+    """
+
+    def __init__(self, order: TermOrder):
+        self._order = order
+        self._tick = itertools.count()
+        self._seq: Dict[int, int] = {}
+        self._neg_occ: Dict[EqAtom, Bucket] = {}
+        self._pos_occ: Dict[EqAtom, Bucket] = {}
+        self._gamma_occ: Dict[Const, Bucket] = {}
+        self._maxeq_occ: Dict[Const, Bucket] = {}
+        self._productive_by_big: Dict[Const, Bucket] = {}
+
+    # -- basic protocol ------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    def __contains__(self, clause: Clause) -> bool:
+        return id(clause) in self._seq
+
+    # -- maintenance ---------------------------------------------------------
+    def add(self, clause: Clause) -> None:
+        """Register an activated clause in every index."""
+        key = id(clause)
+        if key in self._seq:
+            return
+        self._seq[key] = next(self._tick)
+        for atom in clause.gamma:
+            self._neg_occ.setdefault(atom, {})[key] = clause
+            self._gamma_occ.setdefault(atom.left, {})[key] = clause
+            self._gamma_occ.setdefault(atom.right, {})[key] = clause
+        for atom in clause.delta:
+            self._pos_occ.setdefault(atom, {})[key] = clause
+        production = self._order.production(clause)
+        if production is not None:
+            big, _, equation = production
+            self._productive_by_big.setdefault(big, {})[key] = clause
+            self._maxeq_occ.setdefault(equation.left, {})[key] = clause
+            self._maxeq_occ.setdefault(equation.right, {})[key] = clause
+
+    def remove(self, clause: Clause) -> None:
+        """Drop a clause (deleted by backward subsumption) from every index."""
+        key = id(clause)
+        if self._seq.pop(key, None) is None:
+            return
+        for atom in clause.gamma:
+            self._discard(self._neg_occ, atom, key)
+            self._discard(self._gamma_occ, atom.left, key)
+            self._discard(self._gamma_occ, atom.right, key)
+        for atom in clause.delta:
+            self._discard(self._pos_occ, atom, key)
+        production = self._order.production(clause)
+        if production is not None:
+            big, _, equation = production
+            self._discard(self._productive_by_big, big, key)
+            self._discard(self._maxeq_occ, equation.left, key)
+            self._discard(self._maxeq_occ, equation.right, key)
+
+    @staticmethod
+    def _discard(index: Dict, index_key, clause_key: int) -> None:
+        bucket = index.get(index_key)
+        if bucket is not None:
+            bucket.pop(clause_key, None)
+            if not bucket:
+                del index[index_key]
+
+    # -- subsumption ---------------------------------------------------------
+    def is_subsumed(self, clause: Clause) -> bool:
+        """Forward subsumption: is some indexed clause a sub-clause of ``clause``?
+
+        Any subsumer is non-empty (the empty clause ends saturation before it
+        could be activated), so it shows up in the occurrence bucket of at
+        least one of ``clause``'s literals.
+        """
+        gamma, delta = clause.gamma, clause.delta
+        len_gamma, len_delta = len(gamma), len(delta)
+        candidates: Bucket = {}
+        for atom in gamma:
+            bucket = self._neg_occ.get(atom)
+            if bucket:
+                candidates.update(bucket)
+        for atom in delta:
+            bucket = self._pos_occ.get(atom)
+            if bucket:
+                candidates.update(bucket)
+        for candidate in candidates.values():
+            if (
+                len(candidate.gamma) <= len_gamma
+                and len(candidate.delta) <= len_delta
+                and candidate.gamma <= gamma
+                and candidate.delta <= delta
+            ):
+                return True
+        return False
+
+    def subsumed_by(self, clause: Clause) -> Set[Clause]:
+        """Backward subsumption: all indexed clauses that ``clause`` subsumes.
+
+        Every victim contains *all* of ``clause``'s literals, so it lies in the
+        smallest occurrence bucket among them; the subset test does the rest.
+        """
+        smallest: Optional[Bucket] = None
+        for literals, occ in ((clause.gamma, self._neg_occ), (clause.delta, self._pos_occ)):
+            for atom in literals:
+                bucket = occ.get(atom)
+                if bucket is None:
+                    return set()
+                if smallest is None or len(bucket) < len(smallest):
+                    smallest = bucket
+        if smallest is None:
+            return set()
+        gamma, delta = clause.gamma, clause.delta
+        return {
+            candidate
+            for candidate in smallest.values()
+            if gamma <= candidate.gamma and delta <= candidate.delta
+        }
+
+    # -- inference-partner selection ----------------------------------------
+    def inference_partners(self, given: Clause) -> List[Clause]:
+        """Active clauses that can interact with ``given``, in activation order.
+
+        The result is a superset of the clauses for which either
+        ``infer_between(given, other)`` or ``infer_between(other, given)``
+        produces a conclusion; ``given`` itself is excluded (the engine handles
+        self-superposition separately).
+        """
+        candidates: Bucket = {}
+        production = self._order.production(given)
+        if production is not None:
+            big = production[0]
+            # ``given`` as the rewriting premise: partners carrying ``big`` in
+            # a selected literal or in their own maximal equation.
+            bucket = self._gamma_occ.get(big)
+            if bucket:
+                candidates.update(bucket)
+            bucket = self._maxeq_occ.get(big)
+            if bucket:
+                candidates.update(bucket)
+        # Partners rewriting *into* ``given``: productive actives whose larger
+        # side occurs at a rewritable position of ``given``.
+        relevant: Iterable[Const]
+        if given.gamma:
+            relevant_set = set()
+            for atom in given.gamma:
+                relevant_set.add(atom.left)
+                relevant_set.add(atom.right)
+            relevant = relevant_set
+        elif production is not None:
+            equation = production[2]
+            relevant = (equation.left, equation.right)
+        else:
+            relevant = ()
+        for constant in relevant:
+            bucket = self._productive_by_big.get(constant)
+            if bucket:
+                candidates.update(bucket)
+        candidates.pop(id(given), None)
+        sequence = self._seq
+        return [
+            clause
+            for _, clause in sorted(
+                ((sequence[key], clause) for key, clause in candidates.items())
+            )
+        ]

@@ -28,8 +28,9 @@ answer.
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.logic.atoms import EqAtom
 from repro.logic.clauses import Clause
@@ -130,9 +131,7 @@ def generate_model(
             continue
         pure_clauses.append(clause)
 
-    ordered = sorted(
-        pure_clauses, key=lambda clause: order.clause_key(clause.gamma, clause.delta)
-    )
+    ordered = sorted(pure_clauses, key=order.clause_sort_key)
 
     relation = RewriteRelation()
     generators: Dict[Tuple[Const, Const], GeneratingClause] = {}
@@ -160,6 +159,157 @@ def generate_model(
         _verify_model(relation, ordered, generators)
 
     return EqualityModel(relation=relation, generators=generators, order=order)
+
+
+class IncrementalModelGenerator:
+    """``Gen(S*)`` maintained incrementally across saturation rounds.
+
+    The prover's inner loop regenerates the candidate model after every
+    saturation chunk and every batch of well-formedness consequences.  Between
+    two consecutive calls the clause set changes only a little, yet the
+    one-shot :func:`generate_model` re-sorts, re-constructs and re-verifies
+    everything from scratch.  This class keeps three pieces of state alive
+    between calls:
+
+    * the **ordered clause list**, maintained insertion-sorted under the
+      memoised ``clause_sort_key`` (which is injective on pure clauses, so
+      positions are unambiguous and removals can be found by bisection);
+    * the **construction trail** — the produce/skip decision at every position
+      of the ordered list.  A decision at position ``i`` depends only on the
+      clauses before ``i``, so all decisions before the first inserted or
+      removed position are replayed verbatim instead of re-deriving them with
+      satisfiability checks;
+    * the **verification cache** — the set of clauses already checked against
+      the current rewrite relation, plus the per-edge generator records whose
+      leftover literals were checked.  Satisfaction depends only on the
+      relation, so when a round leaves the edge set unchanged (the common case
+      while the prover narrows in on a stable model) only the newly added
+      clauses are verified.
+
+    The result is equal to ``generate_model(clauses, order, verify)`` called
+    from scratch on every round — the construction is deterministic and the
+    caches are invalidated exactly when their inputs change.
+    """
+
+    def __init__(self, order: TermOrder, verify: bool = True):
+        self.order = order
+        self.verify = verify
+        self._members: Set[Clause] = set()
+        self._keys: List[Tuple] = []
+        self._ordered: List[Clause] = []
+        #: Per-position construction decision: ``None`` (clause produced no
+        #: edge) or ``(big, small, GeneratingClause)``.
+        self._decisions: List[Optional[Tuple[Const, Const, GeneratingClause]]] = []
+        #: Decisions at positions < _valid_prefix match the current clause list.
+        self._valid_prefix = 0
+        self._verified_edges: Optional[FrozenSet[Tuple[Const, Const]]] = None
+        self._verified_clauses: Set[Clause] = set()
+        self._verified_generators: Dict[Tuple[Const, Const], GeneratingClause] = {}
+
+    def model_for(self, clauses: Iterable[Clause]) -> EqualityModel:
+        """The candidate model of the given clause set (see :func:`generate_model`)."""
+        self._update_ordered(clauses)
+        relation, generators = self._construct()
+        if self.verify:
+            self._verify(relation, generators)
+        return EqualityModel(relation=relation, generators=generators, order=self.order)
+
+    # -- internals -----------------------------------------------------------
+    def _update_ordered(self, clauses: Iterable[Clause]) -> None:
+        current: Set[Clause] = set()
+        for clause in clauses:
+            if not clause.is_pure:
+                raise ValueError("generate_model expects pure clauses only")
+            if clause.is_empty:
+                raise ValueError("cannot generate a model: the empty clause is present")
+            if clause.is_tautology:
+                continue
+            current.add(clause)
+        if current == self._members:
+            return
+        sort_key = self.order.clause_sort_key
+        for clause in self._members - current:
+            position = bisect_left(self._keys, sort_key(clause))
+            del self._keys[position]
+            del self._ordered[position]
+            del self._decisions[position]
+            if position < self._valid_prefix:
+                self._valid_prefix = position
+        for clause in current - self._members:
+            key = sort_key(clause)
+            position = bisect_left(self._keys, key)
+            self._keys.insert(position, key)
+            self._ordered.insert(position, clause)
+            self._decisions.insert(position, None)
+            if position < self._valid_prefix:
+                self._valid_prefix = position
+        self._members = current
+
+    def _construct(self) -> Tuple[RewriteRelation, Dict[Tuple[Const, Const], GeneratingClause]]:
+        relation = RewriteRelation()
+        generators: Dict[Tuple[Const, Const], GeneratingClause] = {}
+        decisions = self._decisions
+        for position in range(self._valid_prefix):
+            decision = decisions[position]
+            if decision is not None:
+                big, small, generator = decision
+                relation.add_edge(big, small)
+                generators[(big, small)] = generator
+        production_of = self.order.production
+        for position in range(self._valid_prefix, len(self._ordered)):
+            clause = self._ordered[position]
+            decision = None
+            if not relation.satisfies_pure_clause(clause):
+                production = production_of(clause)
+                if production is not None and relation.is_irreducible(production[0]):
+                    big, small, equation = production
+                    relation.add_edge(big, small)
+                    generator = GeneratingClause(
+                        clause=clause,
+                        equation=equation,
+                        leftover_gamma=clause.gamma,
+                        leftover_delta=clause.delta - {equation},
+                    )
+                    generators[(big, small)] = generator
+                    decision = (big, small, generator)
+            decisions[position] = decision
+        self._valid_prefix = len(self._ordered)
+        return relation, generators
+
+    def _verify(
+        self,
+        relation: RewriteRelation,
+        generators: Dict[Tuple[Const, Const], GeneratingClause],
+    ) -> None:
+        edges = relation.edge_set()
+        if edges != self._verified_edges:
+            self._verified_edges = edges
+            self._verified_clauses = set()
+            self._verified_generators = {}
+        verified = self._verified_clauses
+        for clause in self._ordered:
+            if clause in verified:
+                continue
+            if not relation.satisfies_pure_clause(clause):
+                raise ModelGenerationError(
+                    "the candidate model does not satisfy the clause {}".format(clause)
+                )
+            verified.add(clause)
+        checked_generators = self._verified_generators
+        for edge, generator in generators.items():
+            if checked_generators.get(edge) == generator:
+                continue
+            leftover_ok = all(
+                relation.satisfies_atom(atom) for atom in generator.leftover_gamma
+            ) and not any(relation.satisfies_atom(atom) for atom in generator.leftover_delta)
+            if not leftover_ok:
+                raise ModelGenerationError(
+                    "the generating clause of the edge {} => {} has leftover literals "
+                    "that the candidate model does not refute ({})".format(
+                        edge[0], edge[1], generator.clause
+                    )
+                )
+            checked_generators[edge] = generator
 
 
 def _verify_model(
@@ -203,21 +353,14 @@ def _productive_equation(
     """Find the equation through which ``clause`` may produce a rewrite edge.
 
     Returns ``(larger, smaller, equation)`` when the productivity conditions
-    hold, ``None`` otherwise.
+    hold, ``None`` otherwise.  The ordering-level conditions (no selected
+    literals, orientable, strictly maximal) identify at most one equation and
+    are memoised on the ordering; only irreducibility depends on the relation
+    built so far.
     """
-    if clause.gamma:
-        # Under the "select all negative literals" selection function used by
-        # the calculus, clauses with selected literals are never productive.
+    production = order.production(clause)
+    if production is None:
         return None
-    for equation in clause.delta:
-        if equation.is_trivial:
-            continue
-        big, small = order.orient(equation)
-        if not order.greater(big, small):
-            continue
-        if not order.is_maximal_in(equation, True, clause.gamma, clause.delta, strictly=True):
-            continue
-        if not relation.is_irreducible(big):
-            continue
-        return big, small, equation
-    return None
+    if not relation.is_irreducible(production[0]):
+        return None
+    return production

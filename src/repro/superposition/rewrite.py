@@ -35,6 +35,12 @@ class RewriteRelation:
 
     def __init__(self, edges: Optional[Dict[Const, Const]] = None):
         self._edges: Dict[Const, Const] = dict(edges or {})
+        # Memoised normal forms with path compression.  Satisfaction checks
+        # chase the same rewrite chains over and over (model generation
+        # evaluates every known clause against the relation); the cache turns
+        # each chase into a single dictionary hit.  It is dropped whenever an
+        # edge is added, so it only ever describes the current relation.
+        self._nf_cache: Dict[Const, Const] = {}
 
     # -- construction -------------------------------------------------------
     def add_edge(self, source: Const, target: Const) -> None:
@@ -48,6 +54,7 @@ class RewriteRelation:
         if source == target:
             raise ValueError("a rewrite edge must relate two distinct constants")
         self._edges[source] = target
+        self._nf_cache.clear()
 
     def copy(self) -> "RewriteRelation":
         """An independent copy of the relation."""
@@ -89,6 +96,10 @@ class RewriteRelation:
         """The set of reducible constants."""
         return frozenset(self._edges)
 
+    def edge_set(self) -> FrozenSet[Tuple[Const, Const]]:
+        """The edges as a frozen set of ``(source, target)`` pairs."""
+        return frozenset(self._edges.items())
+
     def is_irreducible(self, constant: Const) -> bool:
         """True when the constant has no outgoing edge."""
         return constant not in self._edges
@@ -99,17 +110,32 @@ class RewriteRelation:
 
     def normal_form(self, constant: Const) -> Const:
         """The unique normal form of ``constant`` (follow edges until irreducible)."""
-        seen = set()
+        cache = self._nf_cache
+        cached = cache.get(constant)
+        if cached is not None:
+            return cached
+        edges = self._edges
+        path = []
         current = constant
-        while current in self._edges:
-            if current in seen:
+        while True:
+            successor = edges.get(current)
+            if successor is None:
+                break
+            cached = cache.get(successor)
+            if cached is not None:
+                current = cached
+                break
+            path.append(current)
+            if len(path) > len(edges):
                 raise RewriteCycleError(
                     "cycle detected while normalising {}: relation is not terminating".format(
                         constant
                     )
                 )
-            seen.add(current)
-            current = self._edges[current]
+            current = successor
+        for node in path:
+            cache[node] = current
+        cache[constant] = current
         return current
 
     def rewrite_path(self, constant: Const) -> List[Const]:
@@ -129,7 +155,12 @@ class RewriteRelation:
 
     def equivalent(self, left: Const, right: Const) -> bool:
         """True when the two constants have the same normal form."""
-        return self.normal_form(left) == self.normal_form(right)
+        # Constants are truthy, so ``or`` falls through to the full chase
+        # exactly on a cache miss.
+        cached = self._nf_cache.get
+        return (cached(left) or self.normal_form(left)) == (
+            cached(right) or self.normal_form(right)
+        )
 
     def substitution(self, constants: Iterable[Const]) -> Dict[Const, Const]:
         """The substitution mapping each given constant to its normal form.
@@ -164,9 +195,17 @@ class RewriteRelation:
         """``R |~ Gamma -> Delta``: some antecedent fails or some consequent holds."""
         if not clause.is_pure:
             raise ValueError("satisfies_pure_clause expects a pure clause")
-        if any(not self.satisfies_atom(atom) for atom in clause.gamma):
-            return True
-        return any(self.satisfies_atom(atom) for atom in clause.delta)
+        normal_form = self.normal_form
+        cached = self._nf_cache.get
+        for atom in clause.gamma:
+            left, right = atom.left, atom.right
+            if (cached(left) or normal_form(left)) != (cached(right) or normal_form(right)):
+                return True
+        for atom in clause.delta:
+            left, right = atom.left, atom.right
+            if (cached(left) or normal_form(left)) == (cached(right) or normal_form(right)):
+                return True
+        return False
 
     def satisfies_pure_part(self, clause: Clause) -> bool:
         """Satisfaction of the pure part ``Gamma -> Delta`` of any clause."""

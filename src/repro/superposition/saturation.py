@@ -17,11 +17,13 @@ from __future__ import annotations
 import heapq
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from types import MappingProxyType
+from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
 from repro.logic.clauses import Clause, EMPTY_CLAUSE
 from repro.logic.ordering import TermOrder
 from repro.superposition.calculus import Inference, SuperpositionCalculus
+from repro.superposition.index import ClauseIndex
 
 
 class SaturationLimitError(RuntimeError):
@@ -40,12 +42,14 @@ class SaturationResult:
         True when the empty clause was derived, i.e. the set is unsatisfiable.
     derivations:
         For each derived clause, the inference that produced it.  Input
-        clauses are absent from this mapping.
+        clauses are absent from this mapping.  This is a *live read-only view*
+        of the engine's record (copying it every round was a measurable cost);
+        callers that need a frozen snapshot should ``dict(...)`` it.
     """
 
     clauses: Tuple[Clause, ...]
     refuted: bool
-    derivations: Dict[Clause, Inference] = field(default_factory=dict)
+    derivations: Mapping[Clause, Inference] = field(default_factory=dict)
     complete: bool = True
 
     def __contains__(self, clause: Clause) -> bool:
@@ -66,12 +70,20 @@ class SaturationEngine:
         A safety budget; the fragment guarantees termination (there are only
         finitely many pure clauses over the problem's constants) but the bound
         protects against pathological blow-ups in benchmarks.
+    use_index:
+        Maintain a :class:`~repro.superposition.index.ClauseIndex` over the
+        active set so subsumption and inference-partner selection are index
+        lookups instead of linear scans.  The unindexed path is kept as the
+        reference implementation (the two derive identical clauses in an
+        identical order); disabling it is only useful for the equivalence
+        tests and the ablation benchmarks.
     """
 
-    def __init__(self, order: TermOrder, max_clauses: int = 200000):
+    def __init__(self, order: TermOrder, max_clauses: int = 200000, use_index: bool = True):
         self.order = order
         self.calculus = SuperpositionCalculus(order)
         self.max_clauses = max_clauses
+        self._index: Optional[ClauseIndex] = ClauseIndex(order) if use_index else None
         self._active: List[Clause] = []
         self._active_set: Set[Clause] = set()
         # Passive clauses are processed smallest-first (by literal count), which
@@ -91,9 +103,9 @@ class SaturationEngine:
         return self._refuted
 
     @property
-    def derivations(self) -> Dict[Clause, Inference]:
-        """The recorded derivation of every generated clause."""
-        return dict(self._derivations)
+    def derivations(self) -> Mapping[Clause, Inference]:
+        """A read-only view of the recorded derivation of every generated clause."""
+        return MappingProxyType(self._derivations)
 
     @property
     def generated_count(self) -> int:
@@ -141,9 +153,14 @@ class SaturationEngine:
 
             new_inferences: List[Inference] = []
             new_inferences.extend(self.calculus.infer_within(given))
-            for other in list(self._active):
-                if other is given:
-                    continue
+            if self._index is not None:
+                # Index lookup: only the actives sharing a rewritable position
+                # with ``given``, in the same order the full scan would visit
+                # them.  ``infer_between`` returns [] for every skipped pair.
+                partners: Iterable[Clause] = self._index.inference_partners(given)
+            else:
+                partners = [other for other in list(self._active) if other is not given]
+            for other in partners:
                 new_inferences.extend(self.calculus.infer_between(given, other))
                 new_inferences.extend(self.calculus.infer_between(other, given))
             # Self-superposition (the clause used as both premises).
@@ -157,7 +174,7 @@ class SaturationEngine:
         return SaturationResult(
             clauses=tuple(self._active),
             refuted=self._refuted,
-            derivations=dict(self._derivations),
+            derivations=MappingProxyType(self._derivations),
             complete=not self._passive or self._refuted,
         )
 
@@ -222,11 +239,23 @@ class SaturationEngine:
         if clause not in self._active_set:
             self._active.append(clause)
             self._active_set.add(clause)
+            if self._index is not None and not clause.is_empty:
+                self._index.add(clause)
 
     def _is_subsumed_by_active(self, clause: Clause) -> bool:
+        if self._index is not None:
+            return self._index.is_subsumed(clause)
         return any(active.subsumes(clause) for active in self._active)
 
     def _remove_subsumed_active(self, clause: Clause) -> None:
+        if self._index is not None:
+            victims = self._index.subsumed_by(clause)
+            if victims:
+                for victim in victims:
+                    self._index.remove(victim)
+                self._active = [active for active in self._active if active not in victims]
+                self._active_set.difference_update(victims)
+            return
         survivors = [active for active in self._active if not clause.subsumes(active)]
         if len(survivors) != len(self._active):
             self._active = survivors

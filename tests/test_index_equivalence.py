@@ -1,0 +1,176 @@
+"""Equivalence of the indexed fast paths against the reference implementations.
+
+The clause index and the incremental model generator are pure optimisations:
+the engine must derive *identical* clauses in an *identical* order, and the
+prover must return identical verdicts with identical work counters, whether
+the fast paths are enabled (the default) or not (``ProverConfig.reference()``,
+which reproduces the seed engine's linear scans and from-scratch model
+builds).  These tests pin that property on a sizeable random corpus, at both
+the engine level and the whole-prover level.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.benchgen.random_unsat import UnsatParameters, random_unsat_batch
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover
+from repro.logic.cnf import cnf
+from repro.logic.ordering import default_order
+from repro.semantics.satisfaction import falsifies_entailment
+from repro.superposition.index import ClauseIndex
+from repro.superposition.saturation import SaturationEngine
+from tests.conftest import make_random_entailment
+
+#: Size of the random-entailment corpus (the acceptance criterion asks >= 200).
+CORPUS_SIZE = 220
+CORPUS_SEED = 20260727
+
+
+def _corpus():
+    rng = random.Random(CORPUS_SEED)
+    entailments = [
+        make_random_entailment(random.Random(rng.randrange(2 ** 30)), n_vars=5)
+        for _ in range(CORPUS_SIZE)
+    ]
+    # A slice of the Table 1 distribution too: wide pure clauses exercise the
+    # subsumption index far harder than the small mixed entailments above.
+    for variables in (10, 13):
+        entailments.extend(
+            random_unsat_batch(UnsatParameters.paper(variables), 10, seed=variables)
+        )
+    return entailments
+
+
+def test_indexed_prover_matches_reference_on_corpus():
+    """Identical verdicts, work counters and genuine counterexamples on >=200 entailments."""
+    indexed = Prover(ProverConfig().for_benchmarking())
+    reference = Prover(ProverConfig().for_benchmarking().reference())
+    corpus = _corpus()
+    assert len(corpus) >= 200
+    for entailment in corpus:
+        fast = indexed.prove(entailment)
+        slow = reference.prove(entailment)
+        assert fast.is_valid == slow.is_valid, entailment
+        assert (
+            fast.statistics.generated_clauses == slow.statistics.generated_clauses
+        ), entailment
+        if fast.is_invalid:
+            cex = fast.counterexample
+            assert cex is not None
+            assert falsifies_entailment(cex.stack, cex.heap, entailment)
+
+
+def test_indexed_engine_derives_identical_clause_sets():
+    """The given-clause loop itself: same actives, in the same order, same counts."""
+    for entailment in _corpus()[:60]:
+        embedding = cnf(entailment)
+        engines = []
+        for use_index in (True, False):
+            order = default_order(entailment.constants())
+            engine = SaturationEngine(order, use_index=use_index)
+            engine.add_clauses(embedding.pure_clauses)
+            engine.saturate()
+            engines.append(engine)
+        indexed, naive = engines
+        assert indexed.refuted == naive.refuted
+        assert indexed.clauses() == naive.clauses()
+        assert indexed.generated_count == naive.generated_count
+
+
+class TestClauseIndex:
+    """Unit tests of the index against brute-force answers."""
+
+    @staticmethod
+    def _random_pure_clauses(rng, count=120, n_vars=6):
+        from repro.logic.clauses import Clause
+        from repro.logic.intern import intern_atom
+        from repro.logic.terms import NIL, variable_pool
+
+        pool = list(variable_pool(n_vars)) + [NIL]
+        clauses = []
+        seen = set()
+        while len(clauses) < count:
+            gamma = frozenset(
+                intern_atom(rng.choice(pool), rng.choice(pool))
+                for _ in range(rng.randint(0, 2))
+            )
+            delta = frozenset(
+                intern_atom(rng.choice(pool), rng.choice(pool))
+                for _ in range(rng.randint(0, 3))
+            )
+            clause = Clause(gamma, delta, None, True)
+            # One object per distinct clause, as the engine guarantees.
+            if not clause.is_empty and not clause.is_tautology and clause not in seen:
+                seen.add(clause)
+                clauses.append(clause)
+        return clauses
+
+    def test_subsumption_queries_match_brute_force(self):
+        rng = random.Random(7)
+        clauses = self._random_pure_clauses(rng)
+        order = default_order(
+            [c for clause in clauses for c in clause.constants()]
+        )
+        index = ClauseIndex(order)
+        active = []
+        for clause in clauses:
+            expected_forward = any(a.subsumes(clause) for a in active)
+            assert index.is_subsumed(clause) == expected_forward
+            expected_backward = {a for a in active if clause.subsumes(a)}
+            assert index.subsumed_by(clause) == expected_backward
+            # Mirror the engine: drop the subsumed, then activate the clause.
+            for victim in expected_backward:
+                index.remove(victim)
+                active.remove(victim)
+            index.add(clause)
+            active.append(clause)
+        assert len(index) == len(active)
+
+    def test_inference_partners_is_a_superset_of_productive_pairs(self):
+        from repro.superposition.calculus import SuperpositionCalculus
+
+        rng = random.Random(11)
+        clauses = self._random_pure_clauses(rng, count=80)
+        order = default_order(
+            [c for clause in clauses for c in clause.constants()]
+        )
+        calculus = SuperpositionCalculus(order)
+        index = ClauseIndex(order)
+        active = []
+        for given in clauses:
+            partners = index.inference_partners(given)
+            partner_set = set(partners)
+            # Soundness: every pair the naive scan would find is offered.
+            for other in active:
+                if other == given:
+                    continue
+                if calculus.infer_between(given, other) or calculus.infer_between(
+                    other, given
+                ):
+                    assert other in partner_set, (given, other)
+            # Order: partners come back in activation order.
+            positions = [active.index(p) for p in partners]
+            assert positions == sorted(positions)
+            index.add(given)
+            active.append(given)
+
+    def test_remove_is_complete(self):
+        rng = random.Random(3)
+        clauses = self._random_pure_clauses(rng, count=40)
+        order = default_order(
+            [c for clause in clauses for c in clause.constants()]
+        )
+        index = ClauseIndex(order)
+        for clause in clauses:
+            index.add(clause)
+        for clause in clauses:
+            index.remove(clause)
+        assert len(index) == 0
+        for clause in clauses:
+            assert not index.is_subsumed(clause)
+            assert index.subsumed_by(clause) == set()
+            assert index.inference_partners(clause) == []

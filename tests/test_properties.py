@@ -190,3 +190,61 @@ def test_random_small_entailments_never_crash(seed):
     entailment = make_random_entailment(rng, n_vars=4)
     result = prove(entailment)
     assert result.is_valid or result.counterexample is not None
+
+
+@SLOW
+@given(entailments)
+def test_indexed_paths_match_reference_paths(entailment):
+    # The clause index and the incremental model generator are pure
+    # optimisations: verdicts AND the number of generated clauses must be
+    # identical to the linear-scan / from-scratch reference implementations.
+    from repro.core.config import ProverConfig
+
+    indexed = prove(entailment)
+    reference = prove(entailment, ProverConfig().reference())
+    assert indexed.is_valid == reference.is_valid
+    assert (
+        indexed.statistics.generated_clauses == reference.statistics.generated_clauses
+    )
+
+
+@SLOW
+@given(st.integers(min_value=0, max_value=2 ** 30))
+def test_incremental_model_generator_matches_one_shot(seed):
+    # Feed the same growing clause sets to the incremental generator and to
+    # generate_model; the rewrite relations must coincide at every round.
+    from repro.logic.cnf import cnf
+    from repro.logic.ordering import default_order
+    from repro.superposition.model import (
+        IncrementalModelGenerator,
+        ModelGenerationError,
+        generate_model,
+    )
+    from repro.superposition.saturation import SaturationEngine
+
+    rng = random.Random(seed)
+    entailment = make_random_entailment(rng, n_vars=4)
+    embedding = cnf(entailment)
+    order = default_order(entailment.constants())
+    engine = SaturationEngine(order)
+    engine.add_clauses(embedding.pure_clauses)
+    incremental = IncrementalModelGenerator(order)
+    while True:
+        result = engine.saturate(max_given=5)
+        if result.refuted:
+            break
+        clauses = engine.known_pure_clauses()
+        try:
+            one_shot = generate_model(clauses, order)
+        except ModelGenerationError:
+            one_shot = None
+        try:
+            rolling = incremental.model_for(clauses)
+        except ModelGenerationError:
+            rolling = None
+        assert (one_shot is None) == (rolling is None)
+        if one_shot is not None and rolling is not None:
+            assert one_shot.relation == rolling.relation
+            assert set(one_shot.generators) == set(rolling.generators)
+        if result.complete:
+            break

@@ -32,6 +32,21 @@ def test_make_const_coercions():
     assert make_const(" x ") == Const("x")
 
 
+def test_make_const_nil_aliases_are_case_insensitive():
+    # Regression: "Nil"/"NIL" used to create constants distinct from nil,
+    # silently splitting the null pointer into several unrelated symbols.
+    for spelling in ("Nil", "NIL", "nIl", "Null", "NULL", "0", " NIL "):
+        assert make_const(spelling) is NIL, spelling
+    # Names that merely contain an alias are ordinary constants.
+    assert not make_const("nilpotent").is_nil
+    assert not make_const("x0").is_nil
+
+
+def test_make_const_interns_constants():
+    assert make_const("some_var") is make_const("some_var")
+    assert make_const(" some_var ") is make_const("some_var")
+
+
 def test_make_const_rejects_non_strings():
     with pytest.raises(TypeError):
         make_const(42)
