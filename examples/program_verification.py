@@ -9,7 +9,10 @@ Table 3 benchmark is built on:
    loop invariants;
 2. the symbolic executor (:mod:`repro.frontend.symexec`) generates the
    verification conditions — entailments in the list-segment fragment;
-3. each verification condition is discharged with the SLP prover.
+3. the verification conditions are discharged in a batch with
+   :func:`repro.frontend.prove_procedure`, which routes them through the
+   batch engine — alpha-equivalent obligations (loop unrollings, repeated
+   memory-safety checks) are proved once and answered from the proof cache.
 
 The script verifies the whole 18-program example suite and then shows how the
 prover pinpoints a genuine specification error: it plants a wrong loop
@@ -21,8 +24,7 @@ Run it with::
     python examples/program_verification.py
 """
 
-from repro import prove
-from repro.frontend import Assertion, Assign, Lookup, Procedure, While, generate_vcs
+from repro.frontend import Assertion, Assign, Lookup, Procedure, While, prove_procedure
 from repro.frontend.examples_suite import all_programs
 from repro.logic.formula import eq, lseg, neq
 
@@ -30,17 +32,19 @@ from repro.logic.formula import eq, lseg, neq
 def verify(procedure: Procedure) -> bool:
     """Verify one annotated procedure; print a per-VC report and return success."""
     print("verifying {:<24} ({})".format(procedure.name, procedure.description))
-    conditions = generate_vcs(procedure)
-    ok = True
-    for condition in conditions:
-        result = prove(condition.entailment)
-        status = "ok " if result.is_valid else "FAIL"
+    report = prove_procedure(procedure)
+    for condition, result in report.results:
+        status = "ok " if result is not None and result.is_valid else "FAIL"
         print("  [{}] {}".format(status, condition.description))
-        if not result.is_valid:
-            ok = False
+        if result is not None and result.is_invalid:
             print("        entailment     :", condition.entailment)
             print("        counterexample :", result.counterexample)
-    return ok
+    reused = report.cache_hits + report.deduplicated
+    if reused:
+        print("  ({} of {} VCs answered from the proof cache)".format(
+            reused, len(report.results)
+        ))
+    return report.verified
 
 
 def buggy_traverse() -> Procedure:

@@ -19,6 +19,12 @@ Two engine configurations are timed on identical batches:
   as interning and hash caching, so it is a *lower bound* on the speedup over
   the seed commit).
 
+A ``batch`` section additionally measures the batch engine
+(``repro.core.batch``): parallel scaling of the Table 1 n=20 row across
+``--jobs`` worker processes, and the throughput of answering an
+alpha-renamed copy of a corpus from the warm proof cache.  See
+PERFORMANCE.md ("How the batch section is produced") for how to read it.
+
 Usage::
 
     PYTHONPATH=src python scripts/bench_perf.py            # full run
@@ -39,8 +45,11 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 from repro.benchgen.random_unsat import UnsatParameters, random_unsat_batch  # noqa: E402
+from repro.core.batch import BatchProver  # noqa: E402
+from repro.core.cache import ProofCache  # noqa: E402
 from repro.core.config import ProverConfig  # noqa: E402
 from repro.core.prover import Prover  # noqa: E402
+from repro.logic.terms import make_const  # noqa: E402
 
 #: Wall-clock seconds of the *seed commit* (da8c932, pre-index engine) on the
 #: same workloads, measured with the snippet documented in PERFORMANCE.md.
@@ -85,6 +94,102 @@ def run_config(label: str, config: ProverConfig, rows, instances: int):
     return results
 
 
+def _timed_batch(config, jobs, cache, batch):
+    """Prove ``batch`` through a warm BatchProver; return (seconds, verdicts, stats)."""
+    with BatchProver(config, jobs=jobs, cache=cache) as engine:
+        engine.prove_all(batch[:1])  # warm the pool/prover outside the timed region
+        start = time.perf_counter()
+        results = engine.prove_all(batch)
+        elapsed = time.perf_counter() - start
+        return elapsed, [r.is_valid for r in results], engine.statistics
+
+
+def run_batch_section(quick: bool, jobs: int):
+    """Measure the batch engine: parallel scaling and cache-hit throughput.
+
+    Two rows (see PERFORMANCE.md):
+
+    * ``parallel`` — the Table 1 n=20 row (quick: n=12) through BatchProver
+      with 1 worker vs ``jobs`` workers, caching disabled so the speedup is
+      pure parallel scaling; the verdict lists must agree exactly.
+    * ``cache``   — a 100-instance corpus proved cold, then an alpha-renamed
+      copy of the whole corpus proved against the warm cache; the second run
+      must answer every instance from the cache with identical verdicts.
+    """
+    config = ProverConfig().for_benchmarking()
+
+    variables = 12 if quick else 20
+    instances = 8 if quick else 40
+    workload = random_unsat_batch(
+        UnsatParameters.paper(variables), instances, seed=1000 + variables
+    )
+    seq_seconds, seq_verdicts, _ = _timed_batch(config, 1, False, workload)
+    par_seconds, par_verdicts, par_stats = _timed_batch(config, jobs, False, workload)
+    if seq_verdicts != par_verdicts:
+        raise SystemExit("bench_perf: parallel verdicts diverge from sequential")
+    parallel = {
+        "variables": variables,
+        "instances": instances,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "pool_used": par_stats.parallel,
+        "jobs1_seconds": round(seq_seconds, 4),
+        "jobsN_seconds": round(par_seconds, 4),
+        "speedup": round(seq_seconds / par_seconds, 2),
+        "valid": sum(seq_verdicts),
+    }
+    print(
+        "[bench_perf] batch/parallel n={} jobs=1 {:.3f}s  jobs={} {:.3f}s  ({}x)".format(
+            variables, seq_seconds, jobs, par_seconds, parallel["speedup"]
+        )
+    )
+
+    cache_instances = 20 if quick else 100
+    corpus = random_unsat_batch(UnsatParameters.paper(12), cache_instances, seed=77)
+    renamed = [
+        entailment.rename(
+            {
+                c: make_const("w{}_{}".format(i, c.name))
+                for c in entailment.constants()
+                if not c.is_nil
+            }
+        )
+        for i, entailment in enumerate(corpus)
+    ]
+    shared = ProofCache()
+    with BatchProver(config, jobs=1, cache=shared) as engine:
+        # Warm the process (imports, interning, ordering caches) with an
+        # entailment that is alpha-equivalent to nothing in the corpus, so
+        # the timed "cold" run really proves every corpus instance.
+        engine.prove_all(
+            [random_unsat_batch(UnsatParameters.paper(10), 1, seed=5555)[0]]
+        )
+        start = time.perf_counter()
+        cold_results = engine.prove_all(corpus)
+        cold_seconds = time.perf_counter() - start
+        start = time.perf_counter()
+        warm_results = engine.prove_all(renamed)
+        warm_seconds = time.perf_counter() - start
+        warm_hits = sum(1 for r in warm_results if r.from_cache)
+    if [r.is_valid for r in cold_results] != [r.is_valid for r in warm_results]:
+        raise SystemExit("bench_perf: cached verdicts diverge from cold verdicts")
+    cache_row = {
+        "variables": 12,
+        "instances": cache_instances,
+        "cold_seconds": round(cold_seconds, 4),
+        "warm_seconds": round(warm_seconds, 4),
+        "speedup": round(cold_seconds / warm_seconds, 2),
+        "warm_hit_rate": round(warm_hits / cache_instances, 4),
+    }
+    print(
+        "[bench_perf] batch/cache  n=12 cold {:.3f}s  warm (alpha-renamed) {:.3f}s  "
+        "({}x, hit rate {:.0%})".format(
+            cold_seconds, warm_seconds, cache_row["speedup"], cache_row["warm_hit_rate"]
+        )
+    )
+    return {"parallel": parallel, "cache": cache_row}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -101,6 +206,12 @@ def main(argv=None) -> int:
         help="output path (default BENCH_saturation.json at the repo root; quick runs skip emission)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help="worker processes for the batch section (default: min(4, cpu count); quick: 2)",
+    )
+    parser.add_argument(
         "--seed-baseline",
         action="store_true",
         help="also report speedups against the hardcoded seed-commit timings; "
@@ -113,6 +224,12 @@ def main(argv=None) -> int:
     instances = args.instances if args.instances is not None else (8 if args.quick else 40)
     if instances < 1:
         parser.error("--instances must be at least 1")
+
+    jobs = args.jobs
+    if jobs is None:
+        jobs = 2 if args.quick else max(1, min(4, os.cpu_count() or 1))
+    if jobs < 1:
+        parser.error("--jobs must be at least 1")
 
     base = ProverConfig().for_benchmarking()
     indexed = run_config("indexed", base, rows, instances)
@@ -146,6 +263,8 @@ def main(argv=None) -> int:
             row["speedup_vs_seed"] = round(seed_seconds / idx["seconds"], 2)
         merged.append(row)
 
+    batch_section = run_batch_section(args.quick, jobs)
+
     total_indexed = sum(row["indexed_seconds"] for row in merged)
     total_reference = sum(row["reference_seconds"] for row in merged)
     payload = {
@@ -154,6 +273,7 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "quick": args.quick,
         "rows": merged,
+        "batch": batch_section,
         "total": {
             "indexed_seconds": round(total_indexed, 4),
             "reference_seconds": round(total_reference, 4),
@@ -165,7 +285,11 @@ def main(argv=None) -> int:
             "bound on the speedup over the seed commit).  seed_seconds, when "
             "present (--seed-baseline), were measured at the seed commit "
             "(da8c932) with 40 instances per row and are only comparable on "
-            "the machine that produced them."
+            "the machine that produced them.  batch.parallel scaling is "
+            "bounded by cpu_count (a 1-core host shows the IPC overhead, not "
+            "a speedup); batch.cache is host-independent: it reports the "
+            "throughput of answering an alpha-renamed copy of the corpus "
+            "from the warm proof cache."
         ),
     }
     if merged and all("speedup_vs_seed" in row for row in merged):

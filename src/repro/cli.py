@@ -10,8 +10,17 @@ textual surface syntax (see :mod:`repro.logic.parser`)::
     $ echo "x |-> y * y |-> nil |- lseg(x, nil)" | slp -
     valid    x |-> y * y |-> nil |- lseg(x, nil)
 
-Options allow printing proofs and counterexamples and selecting one of the
-baseline provers for comparison.
+Batches go through the batch engine (:mod:`repro.core.batch`): ``--jobs N``
+checks the file on ``N`` worker processes, and alpha-equivalent entailments
+(same problem up to variable renaming and conjunct order) are proved once and
+answered from the proof cache afterwards — disable that with ``--no-cache``.
+``--timeout SECONDS`` bounds each instance; instances that exceed it report
+``timeout``.  Output lines always appear in input order, whatever the
+completion order of the workers.
+
+Options also allow printing proofs and counterexamples and selecting one of
+the baseline provers for comparison (the baselines are sequential and ignore
+``--jobs``/``--no-cache``).
 """
 
 from __future__ import annotations
@@ -19,10 +28,11 @@ from __future__ import annotations
 import argparse
 import sys
 import time
+from dataclasses import replace
 from typing import Iterable, List, Optional
 
+from repro.core.batch import BatchProver
 from repro.core.config import ProverConfig
-from repro.core.prover import Prover
 from repro.logic.parser import ParseError, parse_entailment
 
 
@@ -33,11 +43,8 @@ def _read_lines(path: str) -> List[str]:
         return handle.read().splitlines()
 
 
-def _select_prover(name: str):
-    """Return a callable ``entailment -> bool`` for the requested engine."""
-    if name == "slp":
-        prover = Prover(ProverConfig())
-        return lambda entailment: prover.prove(entailment).is_valid
+def _baseline_checker(name: str):
+    """Return a callable ``entailment -> bool`` for the requested baseline."""
     if name == "smallfoot":
         from repro.baselines.smallfoot import SmallfootProver
 
@@ -68,6 +75,25 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         help="which engine to use (default: slp)",
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="check entailments on N worker processes (slp prover only; default 1)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the alpha-equivalence proof cache and in-batch deduplication (slp only)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-entailment time budget; exceeded instances report 'timeout' (slp only)",
+    )
+    parser.add_argument(
         "--proof",
         action="store_true",
         help="print the SI proof for valid entailments (slp prover only)",
@@ -84,31 +110,58 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
     )
     arguments = parser.parse_args(list(argv) if argv is not None else None)
 
+    if arguments.jobs < 1:
+        parser.error("--jobs must be at least 1")
+    if arguments.prover != "slp" and (
+        arguments.jobs != 1 or arguments.no_cache or arguments.timeout is not None
+    ):
+        parser.error("--jobs/--no-cache/--timeout are only supported by the slp prover")
+
     lines = [line.strip() for line in _read_lines(arguments.input)]
     lines = [line for line in lines if line and not line.startswith("#")]
 
-    use_full_result = arguments.prover == "slp" and (arguments.proof or arguments.counterexample)
-    slp_prover = Prover(ProverConfig()) if use_full_result else None
-    check = _select_prover(arguments.prover)
-
-    start = time.perf_counter()
+    parsed = []  # (line, entailment-or-None); None marks a parse error
     exit_code = 0
     for line in lines:
         try:
-            entailment = parse_entailment(line)
+            parsed.append((line, parse_entailment(line)))
         except ParseError as error:
-            print("error    {}  ({})".format(line, error))
+            parsed.append(("{}  ({})".format(line, error), None))
             exit_code = 2
-            continue
-        if slp_prover is not None:
-            result = slp_prover.prove(entailment)
-            verdict = "valid" if result.is_valid else "invalid"
-            print("{:<8} {}".format(verdict, line))
-            if arguments.proof and result.proof is not None:
-                print(result.proof.format())
-            if arguments.counterexample and result.counterexample is not None:
-                print("    counterexample: {}".format(result.counterexample))
-        else:
+
+    start = time.perf_counter()
+    if arguments.prover == "slp":
+        # Only record proofs when they will be printed: with --jobs the full
+        # proof trace of every valid entailment would otherwise be pickled
+        # back from the workers just to be discarded.
+        config = replace(
+            ProverConfig(), record_proof=arguments.proof
+        ).with_timeout(arguments.timeout)
+        entailments = [entailment for _, entailment in parsed if entailment is not None]
+        with BatchProver(
+            config, jobs=arguments.jobs, cache=not arguments.no_cache
+        ) as batch:
+            results = batch.iter_ordered(entailments)
+            for line, entailment in parsed:
+                if entailment is None:
+                    print("error    {}".format(line))
+                    continue
+                _, result = next(results)
+                if result is None:
+                    print("timeout  {}".format(line))
+                    continue
+                verdict = "valid" if result.is_valid else "invalid"
+                print("{:<8} {}".format(verdict, line))
+                if arguments.proof and result.proof is not None:
+                    print(result.proof.format())
+                if arguments.counterexample and result.counterexample is not None:
+                    print("    counterexample: {}".format(result.counterexample))
+    else:
+        check = _baseline_checker(arguments.prover)
+        for line, entailment in parsed:
+            if entailment is None:
+                print("error    {}".format(line))
+                continue
             verdict = "valid" if check(entailment) else "invalid"
             print("{:<8} {}".format(verdict, line))
 

@@ -1,0 +1,349 @@
+"""Batch proving: parallel entailment checking with alpha-equivalence caching.
+
+Every workload this prover serves — the paper's Tables 1-3 batches, the
+verification-condition stream of the symbolic-execution front end, CLI files —
+is a *batch* of independent entailments.  :class:`BatchProver` turns the fast
+single-query prover into a batch engine with two orthogonal levers:
+
+* **parallelism** — a persistent :mod:`multiprocessing` pool; each worker
+  process holds one warm :class:`~repro.core.prover.Prover` (and its interning
+  tables, ordering caches and so on) for its whole lifetime, and tasks are
+  dispatched in chunks to amortise the IPC.  Results stream back as they
+  complete (:meth:`BatchProver.iter_results`) or in input order
+  (:meth:`BatchProver.iter_ordered` / :meth:`BatchProver.prove_all`);
+* **memoisation** — a :class:`~repro.core.cache.ProofCache` in the
+  coordinating process answers alpha-equivalent queries without proving, and
+  additionally *deduplicates within the batch*: structurally identical
+  entailments are proved once and the verdict is renamed back for every copy.
+
+The two compose: cache lookups and deduplication happen before dispatch, so
+the pool only ever sees one representative per equivalence class.
+
+The engine degrades gracefully: with ``jobs=1``, or on platforms where a
+worker pool cannot be created (no ``fork``/``spawn`` support, sandboxed
+environments), everything runs in-process through the same code path, with a
+single warm prover — behaviour and verdicts are identical either way.
+
+Workers are stateless with respect to the batch: a task is ``(index,
+entailment)`` and the reply is ``(index, result)``, so scheduling order never
+affects verdicts.  When the configuration carries a per-instance budget
+(``ProverConfig.max_seconds``), a worker converts
+:class:`~repro.core.prover.ProverTimeout` into a ``None`` result; ``None``
+therefore means "undecided within budget" everywhere in this module.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from dataclasses import dataclass, field, fields
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.core.cache import ProofCache
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover, ProverTimeout
+from repro.core.result import ProofResult, ProverStatistics
+from repro.logic.canonical import CanonicalForm
+from repro.logic.formula import Entailment, lseg, pts
+from repro.logic.terms import make_const
+
+__all__ = ["BatchProver", "BatchStatistics", "default_jobs"]
+
+
+def default_jobs() -> int:
+    """A sensible worker count for this machine (capped to keep startup cheap)."""
+    return max(1, min(os.cpu_count() or 1, 8))
+
+
+# ---------------------------------------------------------------------------
+# Worker-side machinery.  Module-level so that it is picklable under both the
+# fork and spawn start methods; the prover is created once per worker process
+# by the initializer and reused for every task.
+# ---------------------------------------------------------------------------
+
+_WORKER_PROVER: Optional[Prover] = None
+
+
+def _reintern(entailment: Entailment) -> Entailment:
+    """Rebuild an unpickled entailment over the worker's interned constants.
+
+    Pickling bypasses the intern tables, so a received entailment would miss
+    every identity fast path; renaming each constant to its interned twin
+    restores the sharing the warm prover relies on.
+    """
+    return entailment.rename({c: make_const(c.name) for c in entailment.constants()})
+
+
+def _initialize_worker(config: ProverConfig) -> None:
+    global _WORKER_PROVER
+    _WORKER_PROVER = Prover(config)
+    # Prime the imports, ordering caches and intern tables with a tiny proof
+    # so the first real task does not pay the warm-up.
+    warmup = Entailment.build(
+        lhs=[pts("wk_a", "wk_b"), pts("wk_b", "nil")], rhs=[lseg("wk_a", "nil")]
+    )
+    try:
+        _WORKER_PROVER.prove(warmup)
+    except ProverTimeout:  # pragma: no cover - only with absurdly small budgets
+        pass
+
+
+def _prove_in_worker(task: Tuple[int, Entailment]) -> Tuple[int, Optional[ProofResult]]:
+    index, entailment = task
+    assert _WORKER_PROVER is not None, "worker used before initialisation"
+    try:
+        return index, _WORKER_PROVER.prove(_reintern(entailment))
+    except ProverTimeout:
+        return index, None
+
+
+# ---------------------------------------------------------------------------
+# Coordinator side.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class BatchStatistics:
+    """Aggregated accounting for everything a :class:`BatchProver` has run.
+
+    ``prover`` sums the per-result work counters of genuinely proved
+    instances; cache hits and deduplicated copies contribute no prover work
+    (that is the point) and are counted separately.
+    """
+
+    total: int = 0
+    proved: int = 0
+    cache_hits: int = 0
+    deduplicated: int = 0
+    timed_out: int = 0
+    valid: int = 0
+    invalid: int = 0
+    jobs: int = 1
+    parallel: bool = False
+    elapsed_seconds: float = 0.0
+    prover: ProverStatistics = field(default_factory=ProverStatistics)
+
+    def absorb_proved(self, result: ProofResult) -> None:
+        """Fold one freshly proved result into the aggregate counters."""
+        self.proved += 1
+        for item in fields(ProverStatistics):
+            setattr(
+                self.prover,
+                item.name,
+                getattr(self.prover, item.name) + getattr(result.statistics, item.name),
+            )
+
+    def count_verdict(self, result: Optional[ProofResult]) -> None:
+        self.total += 1
+        if result is None:
+            self.timed_out += 1
+        elif result.is_valid:
+            self.valid += 1
+        else:
+            self.invalid += 1
+
+
+class BatchProver:
+    """Check batches of entailments in parallel, memoising under renaming.
+
+    Parameters
+    ----------
+    config:
+        Prover configuration used by every worker (and the in-process
+        fallback).  Give it a ``max_seconds`` budget for per-instance
+        timeouts; timed-out instances come back as ``None``.
+    jobs:
+        Worker processes.  ``1`` (the default) runs in-process — no pool, no
+        pickling, verdicts bit-identical to a bare :class:`Prover` loop.
+    cache:
+        ``True`` (default) for a fresh :class:`ProofCache`, ``False``/``None``
+        to disable caching *and* in-batch deduplication, or an existing
+        :class:`ProofCache` to share across batch provers.
+    chunk_size:
+        Tasks per pool dispatch; defaults to a heuristic that keeps every
+        worker busy while bounding IPC round trips.
+    mp_context:
+        A :mod:`multiprocessing` context to use instead of the default
+        (fork where available).  Mainly for tests.
+
+    The instance is reusable across many batches; the pool stays warm.  Use
+    it as a context manager (or call :meth:`close`) to release the workers.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ProverConfig] = None,
+        jobs: int = 1,
+        cache: Union[bool, ProofCache, None] = True,
+        chunk_size: Optional[int] = None,
+        mp_context=None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be at least 1")
+        self.config = config if config is not None else ProverConfig()
+        self.jobs = jobs
+        if cache is True:
+            self.cache: Optional[ProofCache] = ProofCache()
+        elif cache is False or cache is None:
+            self.cache = None
+        else:
+            self.cache = cache
+        self.chunk_size = chunk_size
+        self.statistics = BatchStatistics(jobs=jobs)
+        self._mp_context = mp_context
+        self._pool = None
+        self._pool_unavailable = False
+        self._local_prover: Optional[Prover] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Release the worker processes.  A later batch starts a fresh pool."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+
+    def __enter__(self) -> "BatchProver":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        """The persistent pool, or ``None`` when parallelism is unavailable."""
+        if self._pool is not None:
+            return self._pool
+        if self._pool_unavailable:
+            return None
+        try:
+            context = self._mp_context
+            if context is None:
+                methods = multiprocessing.get_all_start_methods()
+                context = multiprocessing.get_context(
+                    "fork" if "fork" in methods else None
+                )
+            self._pool = context.Pool(
+                processes=self.jobs,
+                initializer=_initialize_worker,
+                initargs=(self.config,),
+            )
+        except (OSError, ValueError, ImportError, PermissionError):
+            # No usable multiprocessing on this platform (or in this
+            # sandbox): degrade to in-process execution, once, quietly.
+            self._pool_unavailable = True
+            return None
+        return self._pool
+
+    def _prove_local(self, entailment: Entailment) -> Optional[ProofResult]:
+        if self._local_prover is None:
+            self._local_prover = Prover(self.config)
+        try:
+            return self._local_prover.prove(entailment)
+        except ProverTimeout:
+            return None
+
+    # -- execution ---------------------------------------------------------
+    def _execute(
+        self, tasks: Sequence[Tuple[int, Entailment]]
+    ) -> Iterator[Tuple[int, Optional[ProofResult]]]:
+        """Run the deduplicated tasks, yielding ``(index, result)`` as completed."""
+        if not tasks:
+            return
+        pool = self._ensure_pool() if self.jobs > 1 else None
+        if pool is None:
+            for index, entailment in tasks:
+                yield index, self._prove_local(entailment)
+            return
+        self.statistics.parallel = True
+        chunk = self.chunk_size
+        if chunk is None:
+            chunk = max(1, len(tasks) // (self.jobs * 4))
+        for index, result in pool.imap_unordered(_prove_in_worker, tasks, chunksize=chunk):
+            yield index, result
+
+    def iter_results(
+        self, entailments: Iterable[Entailment]
+    ) -> Iterator[Tuple[int, Optional[ProofResult]]]:
+        """Yield ``(index, result)`` pairs as they complete (not in order).
+
+        Cache hits surface immediately; the remaining work streams back from
+        the pool.  A ``None`` result means the instance exceeded the
+        configured per-instance budget.
+        """
+        batch = list(entailments)
+        start = time.perf_counter()
+        try:
+            leaders: List[Tuple[int, Entailment]] = []
+            canonicals: Dict[int, CanonicalForm] = {}
+            followers: Dict[int, List[int]] = {}  # leader index -> duplicate indices
+            leader_of: Dict[tuple, int] = {}  # fingerprint -> leader index
+            for index, entailment in enumerate(batch):
+                canonical = (
+                    self.cache.canonical_form(entailment) if self.cache is not None else None
+                )
+                if canonical is None:
+                    leaders.append((index, entailment))
+                    continue
+                canonicals[index] = canonical
+                cached = self.cache.lookup(entailment, canonical)
+                if cached is not None:
+                    self.statistics.cache_hits += 1
+                    self.statistics.count_verdict(cached)
+                    yield index, cached
+                    continue
+                leader = leader_of.get(canonical.key)
+                if leader is None:
+                    leader_of[canonical.key] = index
+                    leaders.append((index, entailment))
+                else:
+                    followers.setdefault(leader, []).append(index)
+
+            for index, result in self._execute(leaders):
+                if result is not None:
+                    self.statistics.absorb_proved(result)
+                    if self.cache is not None and index in canonicals:
+                        self.cache.store(batch[index], result, canonicals[index])
+                self.statistics.count_verdict(result)
+                yield index, result
+                for duplicate in followers.get(index, ()):
+                    if result is None:
+                        # The representative timed out; its copies would too.
+                        self.statistics.count_verdict(None)
+                        yield duplicate, None
+                        continue
+                    assert self.cache is not None
+                    echoed = self.cache.lookup(batch[duplicate], canonicals[duplicate])
+                    assert echoed is not None, "stored leader result must be retrievable"
+                    self.statistics.deduplicated += 1
+                    self.statistics.count_verdict(echoed)
+                    yield duplicate, echoed
+        finally:
+            self.statistics.elapsed_seconds += time.perf_counter() - start
+
+    def iter_ordered(
+        self, entailments: Iterable[Entailment]
+    ) -> Iterator[Tuple[int, Optional[ProofResult]]]:
+        """Yield ``(index, result)`` in input order, streaming as soon as possible."""
+        buffered: Dict[int, Optional[ProofResult]] = {}
+        next_index = 0
+        for index, result in self.iter_results(entailments):
+            buffered[index] = result
+            while next_index in buffered:
+                yield next_index, buffered.pop(next_index)
+                next_index += 1
+
+    def prove_all(self, entailments: Iterable[Entailment]) -> List[Optional[ProofResult]]:
+        """Check the whole batch and return results in input order.
+
+        Entries are ``None`` only for instances that exceeded the configured
+        per-instance budget (``config.max_seconds``).
+        """
+        batch = list(entailments)
+        results: List[Optional[ProofResult]] = [None] * len(batch)
+        delivered = [False] * len(batch)
+        for index, result in self.iter_results(batch):
+            results[index] = result
+            delivered[index] = True
+        assert all(delivered), "every batch entry must produce exactly one result"
+        return results

@@ -1,0 +1,259 @@
+"""A proof cache keyed on canonical forms (alpha-equivalence memoisation).
+
+Batch workloads — the paper's table batches, the symbolic-execution VC stream,
+CLI files — are full of entailments that are *renamings* of each other: loop
+unrollings re-emit the same invariant-preservation obligation with fresh
+cursor names, cloned benchmark instances differ only in variable indices, and
+so on.  Verdicts, proofs and counterexamples all transport along such
+renamings, so proving one representative per alpha-equivalence class is
+enough.
+
+:class:`ProofCache` implements that memoisation as an LRU map from the
+canonical fingerprint (:mod:`repro.logic.canonical`) to the verdict plus the
+proof/counterexample expressed in the *canonical* vocabulary ``c1..cn``.  On
+a hit the stored objects are renamed back into the requesting entailment's
+own vocabulary, so callers cannot tell a cached result from a fresh one
+(apart from the :attr:`~repro.core.result.ProofResult.from_cache` flag and
+the much smaller elapsed time).
+
+:class:`CachingProver` wraps a :class:`~repro.core.prover.Prover` with a
+cache for sequential use; the parallel batch engine
+(:mod:`repro.core.batch`) drives the cache directly so that it can also
+deduplicate in-flight work.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass, replace
+from typing import Dict, Mapping, Optional
+
+from repro.core.config import ProverConfig
+from repro.core.proof import Proof, ProofStep
+from repro.core.prover import Prover
+from repro.core.result import ProofResult, Verdict
+from repro.logic.canonical import CanonicalForm, TooSymmetricError, canonicalize
+from repro.logic.formula import Entailment
+from repro.logic.terms import Const
+from repro.semantics.counterexample import Counterexample
+from repro.semantics.heap import Heap, NIL_LOC, Stack
+
+__all__ = ["ProofCache", "CachingProver", "rename_proof", "rename_counterexample"]
+
+
+def rename_proof(proof: Proof, mapping: Mapping[Const, Const]) -> Proof:
+    """Apply a constant renaming to every clause of a proof."""
+    mapping = dict(mapping)
+    return Proof(
+        tuple(
+            ProofStep(
+                step.index,
+                step.clause.substitute(mapping),
+                step.rule,
+                step.premises,
+                step.note,
+            )
+            for step in proof.steps
+        )
+    )
+
+
+def rename_counterexample(
+    counterexample: Counterexample, mapping: Mapping[Const, Const]
+) -> Counterexample:
+    """Apply a constant renaming to a counterexample's stack and heap.
+
+    Locations named after renamed constants follow the renaming; anonymous
+    locations (the ``anonN`` cells introduced by heap tweaking) keep their
+    names unless that would collide with a renamed location, in which case
+    they are refreshed.  The location map stays injective, which is what
+    preserves (fal)sification under the renaming.
+    """
+    loc_map: Dict[str, str] = {
+        source.name: target.name
+        for source, target in mapping.items()
+        if not source.is_nil
+    }
+    bindings = counterexample.stack.bindings
+    cells = counterexample.heap.cells
+    locations = set(bindings.values()) | set(cells) | set(cells.values())
+    taken = set(loc_map.values()) | {NIL_LOC}
+    final: Dict[str, str] = {}
+    fresh_index = 0
+    for location in sorted(locations):
+        if location == NIL_LOC:
+            final[location] = location
+        elif location in loc_map:
+            final[location] = loc_map[location]
+        else:
+            candidate = location
+            while candidate in taken:
+                candidate = "anon{}".format(fresh_index)
+                fresh_index += 1
+            final[location] = candidate
+            taken.add(candidate)
+    stack = Stack(
+        {
+            mapping.get(variable, variable): final[location]
+            for variable, location in bindings.items()
+        }
+    )
+    heap = Heap({final[address]: final[value] for address, value in cells.items()})
+    return Counterexample(stack=stack, heap=heap, description=counterexample.description)
+
+
+@dataclass(frozen=True)
+class _CacheEntry:
+    """A memoised verdict with its artifacts in the canonical vocabulary."""
+
+    verdict: Verdict
+    proof: Optional[Proof]
+    counterexample: Optional[Counterexample]
+    statistics: object  # ProverStatistics of the run that produced the entry
+
+
+class ProofCache:
+    """An LRU cache of proof results keyed on canonical fingerprints.
+
+    The cache is a plain in-process object; in the batch engine it lives in
+    the coordinating process (workers stay stateless).  ``max_entries``
+    bounds memory; the least recently used entry is evicted first.
+    """
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.uncacheable = 0
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups answered from the cache (0.0 when unused)."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def clear(self) -> None:
+        """Drop all entries and reset the counters."""
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+        self.uncacheable = 0
+
+    # -- canonicalisation --------------------------------------------------
+    def canonical_form(self, entailment: Entailment) -> Optional[CanonicalForm]:
+        """Canonicalise, or ``None`` for entailments too symmetric to key."""
+        try:
+            return canonicalize(entailment)
+        except TooSymmetricError:
+            self.uncacheable += 1
+            return None
+
+    # -- lookup / store ----------------------------------------------------
+    def lookup(
+        self,
+        entailment: Entailment,
+        canonical: Optional[CanonicalForm] = None,
+    ) -> Optional[ProofResult]:
+        """The memoised result for ``entailment``, renamed into its vocabulary.
+
+        Pass ``canonical`` when the caller already canonicalised (the batch
+        engine does, to share the work between lookup, dedup and store).
+        """
+        start = time.perf_counter()
+        if canonical is None:
+            canonical = self.canonical_form(entailment)
+        if canonical is None:
+            return None
+        entry = self._entries.get(canonical.key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(canonical.key)
+        self.hits += 1
+        inverse = dict(canonical.inverse)
+        proof = rename_proof(entry.proof, inverse) if entry.proof is not None else None
+        counterexample = (
+            rename_counterexample(entry.counterexample, inverse)
+            if entry.counterexample is not None
+            else None
+        )
+        statistics = replace(entry.statistics, elapsed_seconds=time.perf_counter() - start)
+        return ProofResult(
+            verdict=entry.verdict,
+            entailment=entailment,
+            proof=proof,
+            counterexample=counterexample,
+            statistics=statistics,
+            from_cache=True,
+        )
+
+    def store(
+        self,
+        entailment: Entailment,
+        result: ProofResult,
+        canonical: Optional[CanonicalForm] = None,
+    ) -> bool:
+        """Memoise ``result`` under the entailment's fingerprint.
+
+        Returns ``False`` when the entailment is uncacheable.  The proof and
+        counterexample are renamed into the canonical vocabulary so any
+        alpha-equivalent future query can rename them back into its own.
+        """
+        if canonical is None:
+            canonical = self.canonical_form(entailment)
+        if canonical is None:
+            return False
+        renaming = dict(canonical.renaming)
+        proof = rename_proof(result.proof, renaming) if result.proof is not None else None
+        counterexample = (
+            rename_counterexample(result.counterexample, renaming)
+            if result.counterexample is not None
+            else None
+        )
+        self._entries[canonical.key] = _CacheEntry(
+            verdict=result.verdict,
+            proof=proof,
+            counterexample=counterexample,
+            statistics=result.statistics,
+        )
+        self._entries.move_to_end(canonical.key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+        return True
+
+
+class CachingProver:
+    """A drop-in ``prove()`` front that consults a :class:`ProofCache` first.
+
+    Misses are proved on the *original* entailment (so an uncached call is
+    bit-identical to a bare :class:`Prover`) and then stored canonically.
+    """
+
+    def __init__(
+        self,
+        prover: Optional[Prover] = None,
+        cache: Optional[ProofCache] = None,
+        config: Optional[ProverConfig] = None,
+    ):
+        self.prover = prover if prover is not None else Prover(config)
+        self.cache = cache if cache is not None else ProofCache()
+
+    def prove(self, entailment: Entailment) -> ProofResult:
+        """Decide ``entailment``, answering from the cache when possible."""
+        canonical = self.cache.canonical_form(entailment)
+        if canonical is not None:
+            cached = self.cache.lookup(entailment, canonical)
+            if cached is not None:
+                return cached
+        result = self.prover.prove(entailment)
+        if canonical is not None:
+            self.cache.store(entailment, result, canonical)
+        return result

@@ -47,6 +47,21 @@ class ProverInternalError(RuntimeError):
     """Raised when an invariant of the algorithm is violated (indicates a bug)."""
 
 
+class ProverTimeout(RuntimeError):
+    """Raised when a ``prove()`` call exceeds ``ProverConfig.max_seconds``.
+
+    The deadline is checked between saturation rounds and between outer-loop
+    iterations, so the overrun is bounded by a single round of work.
+    """
+
+    def __init__(self, entailment: Entailment, budget_seconds: float):
+        super().__init__(
+            "proving {} exceeded the {:.3f}s budget".format(entailment, budget_seconds)
+        )
+        self.entailment = entailment
+        self.budget_seconds = budget_seconds
+
+
 class Prover:
     """The SLP theorem prover for separation-logic entailments with list segments.
 
@@ -67,6 +82,9 @@ class Prover:
         """
         start = time.perf_counter()
         statistics = ProverStatistics()
+        deadline = (
+            start + self.config.max_seconds if self.config.max_seconds is not None else None
+        )
 
         embedding = cnf(entailment)
         order = default_order(entailment.constants())
@@ -94,6 +112,8 @@ class Prover:
 
         for _ in range(self.config.max_iterations):
             statistics.iterations += 1
+            if deadline is not None and time.perf_counter() > deadline:
+                raise ProverTimeout(entailment, self.config.max_seconds)
 
             # ---------------- inner loop: saturate + normalise + well-formedness
             model: Optional[EqualityModel] = None
@@ -101,7 +121,7 @@ class Prover:
             refuted = False
             while True:
                 model = self._saturate_and_generate_model(
-                    engine, order, statistics, model_generator
+                    engine, order, statistics, model_generator, deadline, entailment
                 )
                 if model is None:
                     refuted = True
@@ -214,6 +234,8 @@ class Prover:
         order: TermOrder,
         statistics: ProverStatistics,
         model_generator: Optional[IncrementalModelGenerator] = None,
+        deadline: Optional[float] = None,
+        entailment: Optional[Entailment] = None,
     ) -> Optional[EqualityModel]:
         """Saturate (lazily) until a verified equality model exists, or refute.
 
@@ -225,6 +247,8 @@ class Prover:
         """
         lazy = self.config.verify_model
         while True:
+            if deadline is not None and time.perf_counter() > deadline:
+                raise ProverTimeout(entailment, self.config.max_seconds)
             chunk = self.config.saturation_chunk if lazy else None
             saturation = engine.saturate(max_given=chunk)
             statistics.saturation_rounds += 1

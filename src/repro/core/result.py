@@ -40,7 +40,9 @@ class ProofResult:
 
     A valid entailment carries a :class:`~repro.core.proof.Proof` (when proof
     recording is enabled); an invalid one carries a verified
-    :class:`~repro.semantics.counterexample.Counterexample`.
+    :class:`~repro.semantics.counterexample.Counterexample`.  Results served
+    by the proof cache are marked ``from_cache`` (their proof/counterexample
+    was proved on an alpha-equivalent entailment and renamed back).
     """
 
     verdict: Verdict
@@ -48,6 +50,7 @@ class ProofResult:
     proof: Optional[Proof] = None
     counterexample: Optional[Counterexample] = None
     statistics: ProverStatistics = field(default_factory=ProverStatistics)
+    from_cache: bool = False
 
     @property
     def is_valid(self) -> bool:

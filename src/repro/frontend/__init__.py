@@ -17,7 +17,10 @@ substrate built from scratch:
   preservation, postcondition checks, memory-safety side conditions);
 * :mod:`repro.frontend.examples_suite` — eighteen annotated example programs
   (traversals, insertions, deletions, reversal, disposal, queue operations,
-  ...) whose verification conditions form the Table 3 workload.
+  ...) whose verification conditions form the Table 3 workload;
+* :mod:`repro.frontend.verify` — :func:`prove_procedure`, which batch-checks
+  all VCs of a procedure through the batch engine (parallel workers plus the
+  alpha-equivalence proof cache, which loop unrollings hit hard).
 """
 
 from repro.frontend.programs import (
@@ -35,6 +38,7 @@ from repro.frontend.programs import (
 )
 from repro.frontend.symexec import SymbolicExecutionError, VerificationCondition, generate_vcs
 from repro.frontend.examples_suite import all_programs, generate_suite_vcs
+from repro.frontend.verify import ProcedureReport, prove_procedure
 
 __all__ = [
     "Assertion",
@@ -53,4 +57,6 @@ __all__ = [
     "generate_vcs",
     "all_programs",
     "generate_suite_vcs",
+    "ProcedureReport",
+    "prove_procedure",
 ]

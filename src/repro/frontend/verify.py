@@ -1,0 +1,92 @@
+"""Batch verification of annotated procedures.
+
+:func:`repro.frontend.symexec.generate_vcs` turns a procedure into a stream
+of entailments; this module closes the loop by checking them all through the
+batch engine.  Procedure VC streams are the workload where the proof cache
+earns its keep: loop bodies re-emit the same invariant-preservation
+obligation for every path with fresh cursor/old-value names, and the
+memory-safety side conditions repeat almost verbatim across commands — all
+alpha-equivalent, so only one representative of each class is ever proved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Union
+
+from repro.core.batch import BatchProver
+from repro.core.cache import ProofCache
+from repro.core.config import ProverConfig
+from repro.core.result import ProofResult
+from repro.frontend.programs import Procedure
+from repro.frontend.symexec import VerificationCondition, generate_vcs
+
+__all__ = ["ProcedureReport", "prove_procedure"]
+
+
+@dataclass
+class ProcedureReport:
+    """The outcome of checking every verification condition of a procedure.
+
+    ``results`` pairs each VC with its proof result in generation order; a
+    ``None`` result marks a VC that exceeded the per-instance budget (only
+    possible when the configuration sets one).
+    """
+
+    procedure: str
+    results: List[Tuple[VerificationCondition, Optional[ProofResult]]]
+    cache_hits: int = 0
+    deduplicated: int = 0
+
+    @property
+    def verified(self) -> bool:
+        """True when every verification condition was proved valid."""
+        return all(result is not None and result.is_valid for _, result in self.results)
+
+    def failures(self) -> List[Tuple[VerificationCondition, Optional[ProofResult]]]:
+        """The VCs that are invalid (with counterexamples) or undecided."""
+        return [
+            (vc, result)
+            for vc, result in self.results
+            if result is None or result.is_invalid
+        ]
+
+    def __str__(self) -> str:
+        status = "verified" if self.verified else "FAILED"
+        return "{}: {} ({} VCs, {} from cache)".format(
+            self.procedure, status, len(self.results), self.cache_hits + self.deduplicated
+        )
+
+
+def prove_procedure(
+    procedure: Procedure,
+    config: Optional[ProverConfig] = None,
+    jobs: int = 1,
+    cache: Union[bool, ProofCache] = True,
+    batch_prover: Optional[BatchProver] = None,
+) -> ProcedureReport:
+    """Generate and batch-check all verification conditions of ``procedure``.
+
+    Pass ``batch_prover`` to reuse a warm pool and cache across procedures
+    (e.g. when verifying a whole example suite); otherwise a throwaway engine
+    with the requested ``jobs``/``cache`` is used.
+    """
+    vcs = generate_vcs(procedure)
+    entailments = [vc.entailment for vc in vcs]
+    if batch_prover is not None:
+        hits_before = batch_prover.statistics.cache_hits
+        dedup_before = batch_prover.statistics.deduplicated
+        results = batch_prover.prove_all(entailments)
+        hits = batch_prover.statistics.cache_hits - hits_before
+        dedup = batch_prover.statistics.deduplicated - dedup_before
+    else:
+        with BatchProver(config, jobs=jobs, cache=cache) as engine:
+            results = engine.prove_all(entailments)
+            hits = engine.statistics.cache_hits
+            dedup = engine.statistics.deduplicated
+    return ProcedureReport(
+        procedure=procedure.name,
+        results=list(zip(vcs, results)),
+        cache_hits=hits,
+        deduplicated=dedup,
+    )

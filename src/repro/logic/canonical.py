@@ -1,0 +1,296 @@
+"""Canonical forms of entailments up to alpha-equivalence.
+
+Two entailments that differ only in the names of their program variables (and
+in the order of their pure or spatial conjuncts) are the *same* proving
+problem: validity, proofs and counterexamples all transport along the
+renaming.  The batch layer exploits this by memoising verdicts under a
+canonical form, so it needs a fingerprint with two properties:
+
+* **invariance** — renaming the variables (any bijection fixing ``nil``) or
+  permuting conjuncts must not change the fingerprint;
+* **completeness** — two entailments with the same fingerprint must actually
+  be renamings of each other, otherwise a cache hit could return a wrong
+  verdict.
+
+Both are obtained by computing a canonical *labelling*: a deterministic total
+order on the entailment's constants that depends only on the structure around
+them, never on their names.  The entailment re-expressed in terms of the
+positions in that order (:func:`CanonicalForm.key`) is then a complete
+invariant — equal keys literally describe the same renamed entailment.
+
+The labelling uses the standard colour-refinement / individualisation scheme
+from graph canonicalisation:
+
+1. view constants as nodes and atom occurrences as labelled (multi-)edges —
+   ``x != y`` on the left-hand side links ``x`` and ``y`` with the label
+   ``("pure", "lhs", "neq")``, ``lseg(x, y)`` on the right links them with
+   ``("spatial", "rhs", "lseg")`` plus a source/target role, and so on;
+2. start from the trivial colouring (``nil`` alone in its own class — it is
+   never renamed) and refine: a constant's new colour is its old colour plus
+   the multiset of (edge label, neighbour colour) pairs over its occurrences.
+   Refinement is isomorphism-invariant, so renamings get the same colours;
+3. if refinement leaves ties (a colour class with several constants), branch:
+   individualise each member of the first tied class in turn, re-refine,
+   recurse, and keep the branch whose fully ordered encoding is
+   lexicographically smallest.  Taking the minimum over *all* members keeps
+   the result independent of the input names.
+
+Entailments in this fragment are small (tens of constants) and rarely
+symmetric, so the branching is almost always trivial; a refinement budget
+guards the pathological fully-symmetric cases, which simply opt out of
+caching via :class:`TooSymmetricError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.logic.formula import Entailment
+from repro.logic.terms import Const, make_const
+
+__all__ = [
+    "CanonicalForm",
+    "TooSymmetricError",
+    "canonicalize",
+    "fingerprint",
+    "canonical_entailment",
+]
+
+#: Version tag embedded in every fingerprint so that persisted keys from an
+#: older encoding can never alias keys of a newer one.
+_KEY_VERSION = "slp-canon-1"
+
+#: Prefix of the canonical variable names ``c1, c2, ...``.
+_CANONICAL_PREFIX = "c"
+
+#: Default ceiling on colour-refinement passes across all branches of the
+#: individualisation search.  Generous: a non-degenerate entailment needs a
+#: handful of passes in total.
+_DEFAULT_BUDGET = 2000
+
+
+class TooSymmetricError(RuntimeError):
+    """The individualisation search exceeded its refinement budget.
+
+    Only (nearly) fully symmetric entailments trigger this; callers treat
+    such inputs as uncacheable rather than spending factorial time on them.
+    """
+
+
+#: An edge label: (group, side, kind, role).  All four components are strings
+#: so that labels — and everything built from them — sort without mixed-type
+#: comparisons.
+_Label = Tuple[str, str, str, str]
+
+#: One occurrence of a constant: the edge label plus the constant at the
+#: other end of the atom (the constant itself for degenerate ``x = x`` /
+#: ``lseg(x, x)`` atoms, which refinement handles naturally).
+_Occurrence = Tuple[_Label, Const]
+
+
+def _occurrence_table(entailment: Entailment) -> Dict[Const, List[_Occurrence]]:
+    """Every constant's atom occurrences, as labelled edges to its neighbours."""
+    table: Dict[Const, List[_Occurrence]] = {c: [] for c in entailment.constants()}
+    for side, literals in (("lhs", entailment.lhs_pure), ("rhs", entailment.rhs_pure)):
+        for literal in literals:
+            kind = "eq" if literal.positive else "neq"
+            left, right = literal.atom.left, literal.atom.right
+            table[left].append((("pure", side, kind, "end"), right))
+            table[right].append((("pure", side, kind, "end"), left))
+    for side, sigma in (("lhs", entailment.lhs_spatial), ("rhs", entailment.rhs_spatial)):
+        for atom in sigma:
+            table[atom.source].append((("spatial", side, atom.kind, "src"), atom.target))
+            table[atom.target].append((("spatial", side, atom.kind, "tgt"), atom.source))
+    return table
+
+
+class _Refiner:
+    """Colour refinement with a shared pass budget across the whole search."""
+
+    def __init__(self, occurrences: Dict[Const, List[_Occurrence]], budget: int):
+        self.occurrences = occurrences
+        self.budget = budget
+
+    def refine(self, colours: Dict[Const, int]) -> Dict[Const, int]:
+        """Refine ``colours`` to a fixpoint, renumbering classes canonically."""
+        while True:
+            if self.budget <= 0:
+                raise TooSymmetricError(
+                    "canonicalisation exceeded its refinement budget; "
+                    "the entailment is too symmetric to fingerprint cheaply"
+                )
+            self.budget -= 1
+            signatures = {
+                constant: (
+                    colour,
+                    tuple(
+                        sorted(
+                            (label, colours[other])
+                            for label, other in self.occurrences[constant]
+                        )
+                    ),
+                )
+                for constant, colour in colours.items()
+            }
+            # Renumber by sorted signature: the ids depend only on structure,
+            # so isomorphic inputs are renumbered identically.
+            numbering = {
+                signature: index
+                for index, signature in enumerate(sorted(set(signatures.values())))
+            }
+            refined = {c: numbering[signatures[c]] for c in colours}
+            if len(numbering) == len(set(colours.values())):
+                return refined
+            colours = refined
+
+
+def _cells(colours: Dict[Const, int]) -> List[List[Const]]:
+    """The colour classes, ordered by colour id (members in arbitrary order)."""
+    grouped: Dict[int, List[Const]] = {}
+    for constant, colour in colours.items():
+        grouped.setdefault(colour, []).append(constant)
+    return [grouped[colour] for colour in sorted(grouped)]
+
+
+_Key = Tuple
+
+
+def _encode(entailment: Entailment, index: Mapping[Const, int]) -> _Key:
+    """The entailment re-expressed through constant positions, conjuncts sorted.
+
+    This *is* the fingerprint: equal encodings mean the two entailments
+    become literally identical once their constants are numbered by ``index``.
+    """
+
+    def pure(literals) -> Tuple:
+        encoded = []
+        for literal in literals:
+            i, j = index[literal.atom.left], index[literal.atom.right]
+            encoded.append((int(literal.positive), min(i, j), max(i, j)))
+        return tuple(sorted(encoded))
+
+    def spatial(sigma) -> Tuple:
+        return tuple(
+            sorted((atom.kind, index[atom.source], index[atom.target]) for atom in sigma)
+        )
+
+    return (
+        _KEY_VERSION,
+        len(index),
+        pure(entailment.lhs_pure),
+        spatial(entailment.lhs_spatial),
+        pure(entailment.rhs_pure),
+        spatial(entailment.rhs_spatial),
+    )
+
+
+def _search(
+    entailment: Entailment,
+    refiner: _Refiner,
+    colours: Dict[Const, int],
+) -> Tuple[_Key, Dict[Const, int]]:
+    """Individualisation-refinement: the minimal encoding over all tie-breaks."""
+    colours = refiner.refine(colours)
+    cells = _cells(colours)
+    tied = next((cell for cell in cells if len(cell) > 1), None)
+    if tied is None:
+        # Discrete colouring: the colours induce a total order.  nil is pinned
+        # to position 0 — it can never be renamed, so the key must record
+        # which node it is — and the variables take 1..n in colour order.
+        ordered = sorted(colours, key=lambda c: (0 if c.is_nil else 1, colours[c]))
+        index = {constant: position for position, constant in enumerate(ordered)}
+        if not any(c.is_nil for c in colours):
+            # No nil anywhere: shift positions up so 0 still unambiguously
+            # means "nil" across the whole key space.
+            index = {constant: position + 1 for constant, position in index.items()}
+        return _encode(entailment, index), index
+    fresh = len(colours)  # strictly above every existing colour id
+    best: Optional[Tuple[_Key, Dict[Const, int]]] = None
+    for candidate in tied:
+        branched = dict(colours)
+        branched[candidate] = fresh
+        outcome = _search(entailment, refiner, branched)
+        if best is None or outcome[0] < best[0]:
+            best = outcome
+    assert best is not None
+    return best
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """An entailment's canonical fingerprint plus the renaming that realises it.
+
+    Attributes
+    ----------
+    key:
+        The hashable fingerprint.  ``a.key == b.key`` holds exactly when the
+        two entailments are alpha-equivalent (same problem up to renaming of
+        non-``nil`` constants and reordering of conjuncts).
+    renaming:
+        Bijection from the entailment's constants to the canonical names
+        ``c1, c2, ...`` (``nil`` maps to itself).  Applying it with
+        :meth:`Entailment.rename` yields the canonical representative shared
+        by the whole alpha-equivalence class.
+    inverse:
+        The inverse bijection, used to map cached proofs and counterexamples
+        back into the entailment's own vocabulary.
+    """
+
+    key: _Key
+    renaming: Mapping[Const, Const]
+    inverse: Mapping[Const, Const]
+
+
+def canonicalize(entailment: Entailment, budget: int = _DEFAULT_BUDGET) -> CanonicalForm:
+    """Compute the canonical form of ``entailment``.
+
+    Raises :class:`TooSymmetricError` for pathologically symmetric inputs
+    (callers should treat those as uncacheable).
+    """
+    occurrences = _occurrence_table(entailment)
+    # nil is pinned: it can never be renamed, so it starts in its own class.
+    colours = {c: (0 if c.is_nil else 1) for c in occurrences}
+    if not colours:
+        return CanonicalForm(key=_encode(entailment, {}), renaming={}, inverse={})
+    refiner = _Refiner(occurrences, budget)
+    key, index = _search(entailment, refiner, colours)
+    # Positions -> canonical names.  nil keeps its name; the remaining
+    # constants are numbered c1..cn by their canonical position.
+    ordered = sorted(
+        (c for c in index if not c.is_nil), key=lambda constant: index[constant]
+    )
+    renaming: Dict[Const, Const] = {}
+    inverse: Dict[Const, Const] = {}
+    for position, constant in enumerate(ordered, start=1):
+        canonical = make_const("{}{}".format(_CANONICAL_PREFIX, position))
+        renaming[constant] = canonical
+        inverse[canonical] = constant
+    return CanonicalForm(key=key, renaming=renaming, inverse=inverse)
+
+
+def fingerprint(entailment: Entailment, budget: int = _DEFAULT_BUDGET) -> _Key:
+    """The alpha-invariant fingerprint alone (see :class:`CanonicalForm`)."""
+    return canonicalize(entailment, budget=budget).key
+
+
+def canonical_entailment(
+    entailment: Entailment, budget: int = _DEFAULT_BUDGET
+) -> Entailment:
+    """The canonical representative of the entailment's alpha-equivalence class.
+
+    Alpha-equivalent entailments map to *equal* representatives: the renaming
+    is the canonical one and the pure conjuncts are sorted (spatial formulas
+    are already kept in canonical order by :class:`SpatialFormula`).
+    """
+    renamed = entailment.rename(dict(canonicalize(entailment, budget=budget).renaming))
+
+    def literal_key(literal):
+        return (literal.positive, literal.atom.sort_key)
+
+    return Entailment(
+        tuple(sorted(renamed.lhs_pure, key=literal_key)),
+        renamed.lhs_spatial,
+        tuple(sorted(renamed.rhs_pure, key=literal_key)),
+        renamed.rhs_spatial,
+    )

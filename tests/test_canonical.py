@@ -1,0 +1,146 @@
+"""Properties of the entailment canonicaliser (alpha-equivalence fingerprints).
+
+The proof cache is only sound if the fingerprint is a *complete* invariant of
+alpha-equivalence: invariant under constant renaming and conjunct reordering
+(so equivalent queries hit), and collision-free across genuinely different
+problems (so a hit never returns a wrong verdict).  These tests pin both
+directions, plus the bookkeeping (the kept renaming is a bijection realising
+the canonical representative).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.logic.canonical import (
+    TooSymmetricError,
+    canonical_entailment,
+    canonicalize,
+    fingerprint,
+)
+from repro.logic.formula import Entailment, eq, lseg, neq, pts
+from repro.logic.terms import make_const
+from tests.conftest import make_random_entailment
+
+SLOW = settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+def _alpha_rename(entailment: Entailment, rng: random.Random, prefix: str = "ren"):
+    """A random alpha-renaming: a bijection to fresh names, fixing nil."""
+    constants = sorted(c for c in entailment.constants() if not c.is_nil)
+    shuffled = list(constants)
+    rng.shuffle(shuffled)
+    return {
+        original: make_const("{}_{}".format(prefix, fresh.name))
+        for original, fresh in zip(constants, shuffled)
+    }
+
+
+def _shuffle_conjuncts(entailment: Entailment, rng: random.Random) -> Entailment:
+    """Permute the pure conjunct tuples (spatial formulas sort themselves)."""
+    lhs = list(entailment.lhs_pure)
+    rhs = list(entailment.rhs_pure)
+    rng.shuffle(lhs)
+    rng.shuffle(rhs)
+    return Entailment(tuple(lhs), entailment.lhs_spatial, tuple(rhs), entailment.rhs_spatial)
+
+
+@SLOW
+@given(st.integers(min_value=0, max_value=2 ** 30))
+def test_fingerprint_invariant_under_renaming_and_reordering(seed):
+    rng = random.Random(seed)
+    entailment = make_random_entailment(rng, n_vars=5)
+    twisted = _shuffle_conjuncts(entailment.rename(_alpha_rename(entailment, rng)), rng)
+    assert fingerprint(entailment) == fingerprint(twisted)
+    assert canonical_entailment(entailment) == canonical_entailment(twisted)
+
+
+@SLOW
+@given(st.integers(min_value=0, max_value=2 ** 30))
+def test_renaming_realises_the_canonical_representative(seed):
+    rng = random.Random(seed)
+    entailment = make_random_entailment(rng, n_vars=5)
+    form = canonicalize(entailment)
+    constants = {c for c in entailment.constants() if not c.is_nil}
+    # The kept renaming is a bijection over exactly the entailment's variables.
+    assert set(form.renaming) == constants
+    assert len(set(form.renaming.values())) == len(constants)
+    assert {form.inverse[v]: v for v in form.inverse} == dict(form.renaming)
+    # Applying it yields the canonical representative (up to conjunct order).
+    renamed = entailment.rename(dict(form.renaming))
+    canonical = canonical_entailment(entailment)
+    assert sorted(map(str, renamed.lhs_pure)) == sorted(map(str, canonical.lhs_pure))
+    assert renamed.lhs_spatial == canonical.lhs_spatial
+    assert sorted(map(str, renamed.rhs_pure)) == sorted(map(str, canonical.rhs_pure))
+    assert renamed.rhs_spatial == canonical.rhs_spatial
+
+
+@SLOW
+@given(st.integers(min_value=0, max_value=2 ** 30), st.integers(min_value=0, max_value=2 ** 30))
+def test_fingerprint_equality_implies_alpha_equivalence(seed_a, seed_b):
+    # Completeness: distinct problems must not collide.  Equal fingerprints
+    # must mean equal canonical representatives, i.e. the entailments really
+    # are renamings of each other.
+    a = make_random_entailment(random.Random(seed_a), n_vars=4)
+    b = make_random_entailment(random.Random(seed_b), n_vars=4)
+    if fingerprint(a) == fingerprint(b):
+        assert canonical_entailment(a) == canonical_entailment(b)
+    else:
+        assert canonical_entailment(a) != canonical_entailment(b)
+
+
+def test_nil_is_never_identified_with_a_variable():
+    # Regression: the fingerprint must record which node is nil, otherwise
+    # `x != nil |- false` (valid? no — satisfiable lhs) and `x != y |- false`
+    # would share a cache slot despite not being renamings of each other.
+    with_nil = Entailment.build(lhs=[neq("x", "nil")])
+    without_nil = Entailment.build(lhs=[neq("x", "y")])
+    assert fingerprint(with_nil) != fingerprint(without_nil)
+
+
+def test_distinguishes_structure_not_names():
+    a = Entailment.build(lhs=[pts("x", "y"), lseg("y", "nil")], rhs=[lseg("x", "nil")])
+    b = Entailment.build(lhs=[pts("q", "p"), lseg("p", "nil")], rhs=[lseg("q", "nil")])
+    c = Entailment.build(lhs=[lseg("x", "y"), lseg("y", "nil")], rhs=[lseg("x", "nil")])
+    assert fingerprint(a) == fingerprint(b)
+    assert fingerprint(a) != fingerprint(c)
+
+
+def test_multiplicities_are_preserved():
+    once = Entailment.build(lhs=[pts("x", "y")])
+    twice = Entailment.build(lhs=[pts("x", "y"), pts("x", "y")])
+    assert fingerprint(once) != fingerprint(twice)
+
+
+def test_polarity_and_side_matter():
+    assert fingerprint(Entailment.build(lhs=[eq("x", "y")])) != fingerprint(
+        Entailment.build(lhs=[neq("x", "y")])
+    )
+    assert fingerprint(Entailment.build(lhs=[eq("x", "y")])) != fingerprint(
+        Entailment.build(rhs=[eq("x", "y")])
+    )
+
+
+def test_empty_entailment_is_canonicalisable():
+    empty = Entailment.build()
+    assert fingerprint(empty) == fingerprint(empty)
+    assert canonicalize(empty).renaming == {}
+
+
+def test_pathologically_symmetric_inputs_opt_out():
+    # Eight disjoint, indistinguishable segments: the individualisation tree
+    # is factorial, so the canonicaliser must give up within its budget
+    # rather than stall the batch pipeline.
+    big = Entailment.build(
+        lhs=[lseg("a{}".format(i), "b{}".format(i)) for i in range(8)]
+    )
+    with pytest.raises(TooSymmetricError):
+        fingerprint(big)
+    # Small symmetric inputs stay within budget.
+    small = Entailment.build(lhs=[lseg("a0", "b0"), lseg("a1", "b1")])
+    rng = random.Random(5)
+    renamed = small.rename(_alpha_rename(small, rng))
+    assert fingerprint(small) == fingerprint(renamed)

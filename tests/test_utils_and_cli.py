@@ -138,3 +138,37 @@ class TestCli:
         path.write_text("this is not an entailment\n")
         assert main([str(path)]) == 2
         assert "error" in capsys.readouterr().out
+
+    def test_cli_parallel_jobs_preserve_input_order(self, tmp_path, capsys):
+        lines = [
+            "x |-> y * y |-> nil |- lseg(x, nil)",
+            "lseg(x, y) |- next(x, y)",
+            "next(x, nil) |- lseg(x, nil)",
+            "a |-> b * b |-> nil |- lseg(a, nil)",  # alpha-equivalent to line 1
+        ]
+        path = tmp_path / "entailments.txt"
+        path.write_text("\n".join(lines) + "\n")
+        assert main([str(path), "--jobs", "2"]) == 0
+        output = [line.split(None, 1) for line in capsys.readouterr().out.splitlines()]
+        assert [verdict for verdict, _ in output] == ["valid", "invalid", "valid", "valid"]
+        assert [rest for _, rest in output] == lines
+
+    def test_cli_no_cache_smoke(self, tmp_path, capsys):
+        path = tmp_path / "entailments.txt"
+        path.write_text("next(x, nil) |- lseg(x, nil)\nnext(y, nil) |- lseg(y, nil)\n")
+        assert main([str(path), "--no-cache"]) == 0
+        assert capsys.readouterr().out.count("valid") == 2
+
+    def test_cli_timeout_reports_undecided_instances(self, tmp_path, capsys):
+        path = tmp_path / "entailments.txt"
+        path.write_text("lseg(x, y) * lseg(y, nil) |- lseg(x, nil)\n")
+        assert main([str(path), "--timeout", "1e-9"]) == 0
+        assert "timeout" in capsys.readouterr().out
+
+    def test_cli_batch_flags_require_slp(self, tmp_path):
+        path = tmp_path / "entailments.txt"
+        path.write_text("next(x, nil) |- lseg(x, nil)\n")
+        with pytest.raises(SystemExit):
+            main([str(path), "--prover", "smallfoot", "--jobs", "2"])
+        with pytest.raises(SystemExit):
+            main([str(path), "--jobs", "0"])
