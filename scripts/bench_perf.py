@@ -310,6 +310,16 @@ def main(argv=None) -> int:
             "BENCH_saturation.json",
         )
     if out:
+        # The "fuzz" section is maintained by the fuzzing campaigns (see
+        # TESTING.md), not by this script; carry it over on regeneration.
+        if os.path.exists(out):
+            try:
+                with open(out) as handle:
+                    previous = json.load(handle)
+                if "fuzz" in previous:
+                    payload["fuzz"] = previous["fuzz"]
+            except (ValueError, OSError):
+                pass
         with open(out, "w") as handle:
             json.dump(payload, handle, indent=2)
             handle.write("\n")

@@ -21,6 +21,11 @@ completion order of the workers.
 Options also allow printing proofs and counterexamples and selecting one of
 the baseline provers for comparison (the baselines are sequential and ignore
 ``--jobs``/``--no-cache``).
+
+The ``fuzz`` subcommand runs a differential fuzzing campaign instead of
+checking a file (see :mod:`repro.fuzz.cli`)::
+
+    $ slp fuzz --seed 0 --iterations 200 --jobs 4
 """
 
 from __future__ import annotations
@@ -60,6 +65,12 @@ def _baseline_checker(name: str):
 
 def main(argv: Optional[Iterable[str]] = None) -> int:
     """Entry point of the ``slp`` console script."""
+    arguments_list = list(argv) if argv is not None else sys.argv[1:]
+    if arguments_list and arguments_list[0] == "fuzz":
+        from repro.fuzz.cli import fuzz_main
+
+        return fuzz_main(arguments_list[1:])
+
     parser = argparse.ArgumentParser(
         prog="slp",
         description="Check separation-logic entailments with list segments.",
@@ -108,7 +119,7 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         action="store_true",
         help="print the total wall-clock time at the end",
     )
-    arguments = parser.parse_args(list(argv) if argv is not None else None)
+    arguments = parser.parse_args(arguments_list)
 
     if arguments.jobs < 1:
         parser.error("--jobs must be at least 1")

@@ -1,0 +1,66 @@
+"""Differential fuzzing of the prover: generation, mutation, cross-checking.
+
+The subsystem has five layers, usable separately or through
+:func:`repro.fuzz.run_campaign` / the ``repro fuzz`` CLI:
+
+* :mod:`repro.fuzz.generator` — seeded, weight-configurable entailment
+  generation (unifies and extends the ``benchgen`` distributions);
+* :mod:`repro.fuzz.metamorphic` — validity-preserving and validity-flipping
+  transforms with tracked verdict relations;
+* :mod:`repro.fuzz.oracles` — the verdict-source registry (bounded
+  enumeration, reference prover, baselines);
+* :mod:`repro.fuzz.differential` — the campaign driver (batch proving,
+  cross-checking, finding collection);
+* :mod:`repro.fuzz.shrinker` / :mod:`repro.fuzz.corpus` — delta-debugging of
+  findings into minimal reproducers and the checked-in regression corpus.
+"""
+
+from repro.fuzz.corpus import CorpusEntry, load_corpus, save_reproducer
+from repro.fuzz.differential import Disagreement, FuzzReport, run_campaign
+from repro.fuzz.generator import (
+    DEFAULT_WEIGHTS,
+    EntailmentGenerator,
+    FuzzCase,
+    GeneratorProfile,
+    STRATEGIES,
+)
+from repro.fuzz.metamorphic import TRANSFORMS, Transform, VerdictRelation, transform_by_name
+from repro.fuzz.oracles import (
+    EnumerationOracle,
+    FunctionOracle,
+    JStarOracle,
+    Oracle,
+    ProverOracle,
+    ReferenceProverOracle,
+    SmallfootOracle,
+    default_oracles,
+)
+from repro.fuzz.shrinker import ShrinkResult, shrink
+
+__all__ = [
+    "CorpusEntry",
+    "load_corpus",
+    "save_reproducer",
+    "Disagreement",
+    "FuzzReport",
+    "run_campaign",
+    "DEFAULT_WEIGHTS",
+    "EntailmentGenerator",
+    "FuzzCase",
+    "GeneratorProfile",
+    "STRATEGIES",
+    "TRANSFORMS",
+    "Transform",
+    "VerdictRelation",
+    "transform_by_name",
+    "EnumerationOracle",
+    "FunctionOracle",
+    "JStarOracle",
+    "Oracle",
+    "ProverOracle",
+    "ReferenceProverOracle",
+    "SmallfootOracle",
+    "default_oracles",
+    "ShrinkResult",
+    "shrink",
+]

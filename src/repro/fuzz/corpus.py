@@ -1,0 +1,131 @@
+"""The checked-in regression corpus (``tests/corpus/*.ent``).
+
+Every fuzzing campaign that finds a disagreement shrinks it and appends the
+minimal reproducer here; the tier-1 suite replays the whole corpus against
+the full oracle battery on every run, so a once-found bug can never silently
+return.
+
+The ``.ent`` format is deliberately trivial — a text file the CLI could also
+consume:
+
+.. code-block:: text
+
+    # shrunk from a 14-conjunct mixed instance (seed 7, index 132)
+    # expected: valid
+    x != y /\\ next(x, y) |- lseg(x, y)
+
+Comment lines carry free-form provenance notes; the single mandatory
+``# expected:`` line records the ground-truth verdict (established at
+promotion time by the strongest available oracle); the first non-comment line
+is the entailment in the surface syntax of :mod:`repro.logic.parser`.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.logic.formula import Entailment
+from repro.logic.parser import parse_entailment
+
+__all__ = ["CorpusEntry", "load_corpus", "save_reproducer", "format_entry", "parse_entry"]
+
+CORPUS_SUFFIX = ".ent"
+
+_EXPECTED_LINE = re.compile(r"^#\s*expected\s*:\s*(valid|invalid)\s*$")
+
+
+@dataclass(frozen=True)
+class CorpusEntry:
+    """One regression entailment with its recorded ground truth."""
+
+    name: str
+    entailment: Entailment
+    expected_valid: bool
+    note: str = ""
+
+
+def parse_entry(text: str, name: str = "<memory>") -> CorpusEntry:
+    """Parse the ``.ent`` format (raises ``ValueError`` on malformed files)."""
+    expected: Optional[bool] = None
+    notes: List[str] = []
+    entailment: Optional[Entailment] = None
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#"):
+            match = _EXPECTED_LINE.match(stripped)
+            if match:
+                expected = match.group(1) == "valid"
+            else:
+                notes.append(stripped.lstrip("#").strip())
+            continue
+        if entailment is not None:
+            raise ValueError("{}: more than one entailment line".format(name))
+        entailment = parse_entailment(stripped)
+    if entailment is None:
+        raise ValueError("{}: no entailment line".format(name))
+    if expected is None:
+        raise ValueError("{}: missing '# expected: valid|invalid' line".format(name))
+    return CorpusEntry(
+        name=name, entailment=entailment, expected_valid=expected, note=" ".join(notes)
+    )
+
+
+def format_entry(entailment: Entailment, expected_valid: bool, note: str = "") -> str:
+    """Render an entry in the ``.ent`` format (the inverse of :func:`parse_entry`)."""
+    lines = []
+    if note:
+        for note_line in note.splitlines():
+            lines.append("# {}".format(note_line))
+    lines.append("# expected: {}".format("valid" if expected_valid else "invalid"))
+    lines.append(str(entailment))
+    return "\n".join(lines) + "\n"
+
+
+def load_corpus(directory: str) -> List[CorpusEntry]:
+    """Load every ``*.ent`` file of ``directory``, sorted by file name.
+
+    A missing directory is an empty corpus, so fresh checkouts and temporary
+    campaign output directories need no special-casing.
+    """
+    if not os.path.isdir(directory):
+        return []
+    entries = []
+    for file_name in sorted(os.listdir(directory)):
+        if not file_name.endswith(CORPUS_SUFFIX):
+            continue
+        path = os.path.join(directory, file_name)
+        with open(path, "r", encoding="utf-8") as handle:
+            entries.append(parse_entry(handle.read(), name=file_name[: -len(CORPUS_SUFFIX)]))
+    return entries
+
+
+def save_reproducer(
+    directory: str,
+    entailment: Entailment,
+    expected_valid: bool,
+    note: str = "",
+    prefix: str = "shrunk",
+) -> str:
+    """Write a reproducer into ``directory`` under a fresh ``prefix-NNN.ent`` name.
+
+    Returns the path written.  The directory is created when missing; names
+    count upwards so concurrent campaigns on different machines produce
+    mergeable corpora (collisions are resolved at review time, not runtime).
+    """
+    os.makedirs(directory, exist_ok=True)
+    taken = set(os.listdir(directory))
+    number = 0
+    while True:
+        file_name = "{}-{:03d}{}".format(prefix, number, CORPUS_SUFFIX)
+        if file_name not in taken:
+            break
+        number += 1
+    path = os.path.join(directory, file_name)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(format_entry(entailment, expected_valid, note))
+    return path

@@ -1,0 +1,350 @@
+"""Metamorphic transforms on entailments with tracked verdict relations.
+
+A metamorphic transform rewrites an entailment into a *mutant* whose validity
+is related to the original's in a known way, without knowing either verdict.
+Running both through the prover then yields an oracle-free consistency check:
+if the observed pair of verdicts violates the transform's relation, (at least)
+one of them is wrong.
+
+The relations are deliberately coarse — each is a function from the original
+verdict to the *expected* mutant verdict, with ``None`` meaning "the relation
+promises nothing in this direction":
+
+=====================  ======================================================
+relation               guarantee
+=====================  ======================================================
+``EQUIVALENT``         validity is preserved in both directions
+``PRESERVES_VALID``    original valid implies mutant valid
+``PRESERVES_INVALID``  original invalid implies mutant invalid
+``FORCES_VALID``       the mutant is valid whatever the original was
+=====================  ======================================================
+
+Every transform here is justified by a small semantic argument recorded in its
+docstring; the test suite additionally validates each relation empirically
+against the bounded enumeration oracle on small instances, so a transform
+whose argument is wrong cannot survive unnoticed.
+"""
+
+from __future__ import annotations
+
+import enum
+import random
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.logic.atoms import ListSegment, PointsTo
+from repro.logic.formula import Entailment, eq, lseg, neq, pts
+from repro.logic.terms import NIL, Const, make_const
+from repro.utils.naming import FreshNames
+
+__all__ = [
+    "VerdictRelation",
+    "Transform",
+    "TRANSFORMS",
+    "transform_by_name",
+    "applicable_transforms",
+]
+
+
+class VerdictRelation(enum.Enum):
+    """How a transform relates the mutant's validity to the original's."""
+
+    EQUIVALENT = "equivalent"
+    PRESERVES_VALID = "preserves-valid"
+    PRESERVES_INVALID = "preserves-invalid"
+    FORCES_VALID = "forces-valid"
+
+    def expected(self, original_valid: bool) -> Optional[bool]:
+        """The mutant verdict the relation promises (``None``: unconstrained)."""
+        if self is VerdictRelation.EQUIVALENT:
+            return original_valid
+        if self is VerdictRelation.PRESERVES_VALID:
+            return True if original_valid else None
+        if self is VerdictRelation.PRESERVES_INVALID:
+            return None if original_valid else False
+        return True  # FORCES_VALID
+
+    def __str__(self) -> str:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Transform:
+    """A named mutation with its verdict relation.
+
+    ``apply`` returns the mutant, or ``None`` when the transform does not
+    apply to this entailment (for example, dropping a right-hand pure literal
+    from an entailment that has none).
+    """
+
+    name: str
+    relation: VerdictRelation
+    apply: Callable[[Entailment, random.Random], Optional[Entailment]]
+
+    def __str__(self) -> str:
+        return "{} [{}]".format(self.name, self.relation)
+
+
+# ---------------------------------------------------------------------------
+# Helpers
+# ---------------------------------------------------------------------------
+
+
+def _fresh_names(entailment: Entailment, count: int) -> List[Const]:
+    fresh = FreshNames(constant.name for constant in entailment.constants())
+    return [make_const(fresh.fresh("f")) for _ in range(count)]
+
+
+def _some_variable(entailment: Entailment, rng: random.Random) -> Optional[Const]:
+    variables = sorted(entailment.variables(), key=lambda c: c.name)
+    return rng.choice(variables) if variables else None
+
+
+def _random_literal(entailment: Entailment, rng: random.Random):
+    variables = sorted(entailment.variables(), key=lambda c: c.name)
+    if not variables:
+        return None
+    left = rng.choice(variables)
+    right = rng.choice(variables + [NIL])
+    return neq(left, right) if rng.random() < 0.6 else eq(left, right)
+
+
+# ---------------------------------------------------------------------------
+# Transforms
+# ---------------------------------------------------------------------------
+
+
+def _alpha_rename(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Bijectively rename the program variables (``nil`` fixed): EQUIVALENT.
+
+    Validity, proofs and counterexamples all transport along a renaming; this
+    is the invariance the PR 2 proof cache is built on, so the transform also
+    functions as an end-to-end test of canonicalisation and rename-back.
+    """
+    variables = sorted(entailment.variables(), key=lambda c: c.name)
+    if not variables:
+        return None
+    fresh = _fresh_names(entailment, len(variables))
+    rng.shuffle(fresh)
+    return entailment.rename(dict(zip(variables, fresh)))
+
+
+def _shuffle_conjuncts(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Permute the pure conjuncts of both sides: EQUIVALENT.
+
+    Conjunction is commutative; spatial formulas are already canonically
+    sorted multisets, so only the pure tuples carry order.  The prover's
+    verdict must not depend on it.
+    """
+    if not entailment.lhs_pure and not entailment.rhs_pure:
+        return None
+    lhs_pure = list(entailment.lhs_pure)
+    rhs_pure = list(entailment.rhs_pure)
+    rng.shuffle(lhs_pure)
+    rng.shuffle(rhs_pure)
+    return Entailment(
+        tuple(lhs_pure), entailment.lhs_spatial, tuple(rhs_pure), entailment.rhs_spatial
+    )
+
+
+def _frame_extension(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Star one fresh-addressed atom onto *both* sides: EQUIVALENT.
+
+    Forward is the frame rule (``A |- B`` implies ``A * F |- B * F``).
+    Backward holds because the frame's address is a fresh variable ``f``: any
+    model of ``A`` extends with one fresh location for ``f`` (plus the frame
+    cell/segment), the frame atom's sub-heap in the extended model is forced
+    to be exactly that extension, and neither ``A`` nor ``B`` mentions ``f``.
+    """
+    (source,) = _fresh_names(entailment, 1)
+    variables = sorted(entailment.variables(), key=lambda c: c.name)
+    target = rng.choice(variables + [NIL]) if variables else NIL
+    atom = pts if rng.random() < 0.6 else lseg
+    frame = atom(source, target)
+    return Entailment(
+        entailment.lhs_pure,
+        entailment.lhs_spatial.add(frame),
+        entailment.rhs_pure,
+        entailment.rhs_spatial.add(frame),
+    )
+
+
+def _add_empty_segment(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Star a trivial ``lseg(v, v)`` onto one side: EQUIVALENT.
+
+    ``lseg(v, v)`` is satisfied exactly by the empty heap, so it is the unit
+    of ``*``; the N2/N4 normalisation rules must discard it on the left and
+    the unfolding rules must tolerate it on the right.
+    """
+    variable = _some_variable(entailment, rng)
+    target = variable if variable is not None else NIL
+    atom = lseg(target, target)
+    if rng.random() < 0.5:
+        return Entailment(
+            entailment.lhs_pure,
+            entailment.lhs_spatial.add(atom),
+            entailment.rhs_pure,
+            entailment.rhs_spatial,
+        )
+    return Entailment(
+        entailment.lhs_pure,
+        entailment.lhs_spatial,
+        entailment.rhs_pure,
+        entailment.rhs_spatial.add(atom),
+    )
+
+
+def _strengthen_antecedent(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Add a pure literal to the left-hand side: PRESERVES_VALID.
+
+    The strengthened antecedent has fewer models, so every consequence of the
+    original antecedent still follows.  (An *invalid* original can flip to
+    valid — e.g. when the new literal contradicts the left-hand side — so the
+    invalid direction promises nothing.)
+    """
+    literal = _random_literal(entailment, rng)
+    if literal is None:
+        return None
+    return Entailment(
+        entailment.lhs_pure + (literal,),
+        entailment.lhs_spatial,
+        entailment.rhs_pure,
+        entailment.rhs_spatial,
+    )
+
+
+def _weaken_consequent(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Drop one right-hand pure literal: PRESERVES_VALID.
+
+    A conjunction implies each of its sub-conjunctions.
+    """
+    if not entailment.rhs_pure:
+        return None
+    index = rng.randrange(len(entailment.rhs_pure))
+    remaining = entailment.rhs_pure[:index] + entailment.rhs_pure[index + 1 :]
+    return Entailment(
+        entailment.lhs_pure, entailment.lhs_spatial, remaining, entailment.rhs_spatial
+    )
+
+
+def _weaken_antecedent(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Drop one left-hand pure literal: PRESERVES_INVALID.
+
+    A counterexample of the original satisfies the full antecedent, hence
+    also the weakened one, and still falsifies the consequent.
+    """
+    if not entailment.lhs_pure:
+        return None
+    index = rng.randrange(len(entailment.lhs_pure))
+    remaining = entailment.lhs_pure[:index] + entailment.lhs_pure[index + 1 :]
+    return Entailment(
+        remaining, entailment.lhs_spatial, entailment.rhs_pure, entailment.rhs_spatial
+    )
+
+
+def _strengthen_consequent(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Add a pure literal to the right-hand side: PRESERVES_INVALID.
+
+    A counterexample falsifies the original consequent, hence also the
+    strengthened one.
+    """
+    literal = _random_literal(entailment, rng)
+    if literal is None:
+        return None
+    return Entailment(
+        entailment.lhs_pure,
+        entailment.lhs_spatial,
+        entailment.rhs_pure + (literal,),
+        entailment.rhs_spatial,
+    )
+
+
+def _contradict_antecedent(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Make the left-hand pure part unsatisfiable: FORCES_VALID.
+
+    ``x = nil /\\ x != nil`` has no model, so the mutant holds vacuously —
+    whatever the original verdict was.  This is the validity-*flipping* probe
+    for invalid instances: a prover that fails to refute the contradictory
+    antecedent is unsound on it.
+    """
+    variable = _some_variable(entailment, rng)
+    if variable is None:
+        (variable,) = _fresh_names(entailment, 1)
+    extra = (eq(variable, NIL), neq(variable, NIL))
+    return Entailment(
+        entailment.lhs_pure + extra,
+        entailment.lhs_spatial,
+        entailment.rhs_pure,
+        entailment.rhs_spatial,
+    )
+
+
+def _duplicate_cell(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
+    """Duplicate one left-hand ``next`` atom: FORCES_VALID.
+
+    Two cells at the same address cannot be separated, so the left-hand side
+    becomes unsatisfiable; the well-formedness rules (two atoms sharing an
+    address) are what must detect it.
+    """
+    cells = [atom for atom in entailment.lhs_spatial if isinstance(atom, PointsTo)]
+    if not cells:
+        return None
+    cell = rng.choice(sorted(cells, key=lambda a: (a.source.name, a.target.name)))
+    return Entailment(
+        entailment.lhs_pure,
+        entailment.lhs_spatial.add(cell),
+        entailment.rhs_pure,
+        entailment.rhs_spatial,
+    )
+
+
+TRANSFORMS: Tuple[Transform, ...] = (
+    Transform("alpha_rename", VerdictRelation.EQUIVALENT, _alpha_rename),
+    Transform("shuffle_conjuncts", VerdictRelation.EQUIVALENT, _shuffle_conjuncts),
+    Transform("frame_extension", VerdictRelation.EQUIVALENT, _frame_extension),
+    Transform("add_empty_segment", VerdictRelation.EQUIVALENT, _add_empty_segment),
+    Transform("strengthen_antecedent", VerdictRelation.PRESERVES_VALID, _strengthen_antecedent),
+    Transform("weaken_consequent", VerdictRelation.PRESERVES_VALID, _weaken_consequent),
+    Transform("weaken_antecedent", VerdictRelation.PRESERVES_INVALID, _weaken_antecedent),
+    Transform("strengthen_consequent", VerdictRelation.PRESERVES_INVALID, _strengthen_consequent),
+    Transform("contradict_antecedent", VerdictRelation.FORCES_VALID, _contradict_antecedent),
+    Transform("duplicate_cell", VerdictRelation.FORCES_VALID, _duplicate_cell),
+)
+
+
+def transform_by_name(name: str) -> Transform:
+    """Look a transform up by name (raises ``KeyError`` for unknown names)."""
+    for transform in TRANSFORMS:
+        if transform.name == name:
+            return transform
+    raise KeyError(name)
+
+
+def applicable_transforms(entailment: Entailment) -> Sequence[Transform]:
+    """The transforms guaranteed applicable to this entailment.
+
+    Cheap static check only — callers may still get ``None`` from ``apply``
+    for transforms whose applicability depends on random draws.
+    """
+    results = []
+    for transform in TRANSFORMS:
+        if transform.name in ("shuffle_conjuncts",) and not (
+            entailment.lhs_pure or entailment.rhs_pure
+        ):
+            continue
+        if transform.name == "weaken_consequent" and not entailment.rhs_pure:
+            continue
+        if transform.name == "weaken_antecedent" and not entailment.lhs_pure:
+            continue
+        if transform.name in ("strengthen_antecedent", "strengthen_consequent") and not (
+            entailment.variables()
+        ):
+            continue
+        if transform.name == "duplicate_cell" and not any(
+            isinstance(atom, PointsTo) for atom in entailment.lhs_spatial
+        ):
+            continue
+        if transform.name == "alpha_rename" and not entailment.variables():
+            continue
+        results.append(transform)
+    return results

@@ -1,0 +1,189 @@
+"""The verdict-source registry for differential fuzzing.
+
+Every oracle answers ``True`` (valid), ``False`` (invalid) or ``None``
+("cannot decide this instance": out of its bound, over budget, or outside its
+completeness envelope).  ``None`` never counts as a disagreement.
+
+The oracle hierarchy, from most to least trusted:
+
+1. **bounded enumeration** (:class:`EnumerationOracle`) — exhaustive search of
+   the exact semantics within a universe bound.  An ``invalid`` answer is
+   ground truth; a ``valid`` answer is ground truth *relative to the bound*
+   (the fragment has a small-model property that the bound comfortably covers
+   for the instance sizes the generator produces, but the oracle does not rely
+   on that: it simply refuses instances over its variable budget);
+2. **reference prover** (:class:`ReferenceProverOracle`) — the seed-behaviour
+   configuration (no clause index, from-scratch model generation), sharing no
+   optimised code paths with the fast prover;
+3. **indexed prover** (:class:`ProverOracle`) — the production configuration,
+   served through the same :class:`~repro.core.prover.Prover` the CLI and the
+   batch engine use;
+4. **baselines** — :class:`SmallfootOracle` (sound and complete, exponential
+   search, may answer ``None`` on budget) and :class:`JStarOracle`
+   (deliberately incomplete; only its ``valid`` verdicts are trusted, so it is
+   a *one-sided* oracle).
+
+The provers' built-in counterexample verification stays on: an oracle that
+crashes on a bad counterexample is itself a fuzzing finding, surfaced as an
+:class:`OracleError` by the driver.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.baselines.jstar import JStarProver
+from repro.baselines.smallfoot import SmallfootProver
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover, ProverTimeout
+from repro.logic.formula import Entailment
+from repro.semantics.enumeration import enumerate_counterexample
+
+__all__ = [
+    "Oracle",
+    "ProverOracle",
+    "ReferenceProverOracle",
+    "EnumerationOracle",
+    "SmallfootOracle",
+    "JStarOracle",
+    "FunctionOracle",
+    "default_oracles",
+]
+
+
+class Oracle:
+    """Base class: a named verdict source."""
+
+    name: str = "oracle"
+
+    def check(self, entailment: Entailment) -> Optional[bool]:
+        """``True``/``False`` for a decided instance, ``None`` for "can't say"."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return "<{} {!r}>".format(type(self).__name__, self.name)
+
+
+class ProverOracle(Oracle):
+    """The fast (indexed, incremental) prover as a verdict source."""
+
+    name = "slp"
+
+    def __init__(
+        self, config: Optional[ProverConfig] = None, max_seconds: Optional[float] = None
+    ):
+        base = config if config is not None else ProverConfig(record_proof=False)
+        if max_seconds is not None:
+            base = base.with_timeout(max_seconds)
+        self.config = base
+        self._prover = Prover(base)
+
+    def check(self, entailment: Entailment) -> Optional[bool]:
+        try:
+            return self._prover.prove(entailment).is_valid
+        except ProverTimeout:
+            return None
+
+
+class ReferenceProverOracle(ProverOracle):
+    """The seed-behaviour configuration (``ProverConfig.reference()``)."""
+
+    name = "reference"
+
+    def __init__(
+        self, config: Optional[ProverConfig] = None, max_seconds: Optional[float] = None
+    ):
+        base = config if config is not None else ProverConfig(record_proof=False)
+        super().__init__(base.reference(), max_seconds=max_seconds)
+
+
+class EnumerationOracle(Oracle):
+    """Bounded brute-force search of the exact semantics.
+
+    The search is exponential in the variable count, so the oracle answers
+    ``None`` for instances over ``max_variables`` (and for very wide spatial
+    formulas, which multiply the heap space).
+    """
+
+    name = "enumeration"
+
+    def __init__(self, max_variables: int = 3, max_atoms: int = 8, extra_locations: int = 1):
+        self.max_variables = max_variables
+        self.max_atoms = max_atoms
+        self.extra_locations = extra_locations
+
+    def within_bound(self, entailment: Entailment) -> bool:
+        """True when the instance is small enough to enumerate exhaustively."""
+        if len(entailment.variables()) > self.max_variables:
+            return False
+        return len(entailment.lhs_spatial) + len(entailment.rhs_spatial) <= self.max_atoms
+
+    def check(self, entailment: Entailment) -> Optional[bool]:
+        if not self.within_bound(entailment):
+            return None
+        return enumerate_counterexample(entailment, self.extra_locations) is None
+
+
+class SmallfootOracle(Oracle):
+    """The sound-and-complete baseline (may give up on its step/time budget)."""
+
+    name = "smallfoot"
+
+    def __init__(self, max_steps: Optional[int] = 200_000, max_seconds: Optional[float] = 5.0):
+        self._prover = SmallfootProver(max_steps=max_steps, max_seconds=max_seconds)
+
+    def check(self, entailment: Entailment) -> Optional[bool]:
+        result = self._prover.prove(entailment)
+        if result.verdict.value == "unknown":
+            return None
+        return result.is_valid
+
+
+class JStarOracle(Oracle):
+    """The deliberately incomplete baseline — trusted on ``valid`` only.
+
+    jStar's rule set is sound but incomplete, and its "cannot prove" outcome
+    carries no refutation, so everything except an explicit ``valid`` maps to
+    ``None``.
+    """
+
+    name = "jstar"
+
+    def __init__(self, max_steps: Optional[int] = 200_000, max_seconds: Optional[float] = 5.0):
+        self._prover = JStarProver(max_steps=max_steps, max_seconds=max_seconds)
+
+    def check(self, entailment: Entailment) -> Optional[bool]:
+        result = self._prover.prove(entailment)
+        return True if result.is_valid else None
+
+
+class FunctionOracle(Oracle):
+    """Wrap a plain callable as an oracle (used by tests to inject bugs)."""
+
+    def __init__(self, name: str, check: Callable[[Entailment], Optional[bool]]):
+        self.name = name
+        self._check = check
+
+    def check(self, entailment: Entailment) -> Optional[bool]:
+        return self._check(entailment)
+
+
+def default_oracles(
+    max_enum_variables: int = 3,
+    include_baselines: bool = False,
+    max_seconds: Optional[float] = None,
+) -> List[Oracle]:
+    """The cross-check battery the differential driver uses by default.
+
+    The *primary* verdict (the indexed prover through the batch engine) is
+    produced by the driver itself; these are the independent sources it is
+    checked against.  Order reflects trust: enumeration first.
+    """
+    oracles: List[Oracle] = [
+        EnumerationOracle(max_variables=max_enum_variables),
+        ReferenceProverOracle(max_seconds=max_seconds),
+    ]
+    if include_baselines:
+        oracles.append(SmallfootOracle(max_seconds=max_seconds if max_seconds else 5.0))
+        oracles.append(JStarOracle(max_seconds=max_seconds if max_seconds else 5.0))
+    return oracles

@@ -1,0 +1,145 @@
+"""Delta-debugging of disagreeing entailments down to minimal reproducers.
+
+Given an entailment on which some *interesting* property holds (in practice:
+"these two verdict sources still disagree"), the shrinker greedily searches
+for a structurally smaller entailment with the same property, alternating two
+families of reduction steps until a fixpoint:
+
+* **conjunct deletion** — drop one pure literal or one spatial atom from
+  either side (the classic ddmin granule, applied one conjunct at a time
+  because the instances here are tens of conjuncts at most);
+* **constant merging** — substitute one program variable by another (or by
+  ``nil``) throughout, which both shrinks the vocabulary and tends to unlock
+  further deletions.
+
+Every candidate is re-validated with the caller's predicate before it is
+accepted, so the result provably retains the property.  The predicate runs
+real provers; callers should give their oracles small budgets.
+
+The measure that must strictly decrease for a step to be accepted is
+``(conjuncts, variables)`` lexicographically — termination is immediate, and
+the reproducers that come out are the small, human-readable entailments the
+regression corpus (``tests/corpus/*.ent``) wants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.logic.formula import Entailment
+from repro.logic.terms import NIL, Const
+
+__all__ = ["shrink", "ShrinkResult"]
+
+Predicate = Callable[[Entailment], bool]
+
+
+@dataclass(frozen=True)
+class ShrinkResult:
+    """The outcome of a shrink run."""
+
+    entailment: Entailment
+    original: Entailment
+    steps_accepted: int
+    candidates_tried: int
+
+    @property
+    def conjuncts(self) -> int:
+        """Total conjunct count of the shrunk entailment (the headline metric)."""
+        return self.entailment.size()
+
+
+def _measure(entailment: Entailment) -> Tuple[int, int]:
+    return (entailment.size(), len(entailment.variables()))
+
+
+def _deletion_candidates(entailment: Entailment) -> Iterator[Entailment]:
+    """Every entailment obtainable by deleting exactly one conjunct."""
+    for index in range(len(entailment.lhs_pure)):
+        yield Entailment(
+            entailment.lhs_pure[:index] + entailment.lhs_pure[index + 1 :],
+            entailment.lhs_spatial,
+            entailment.rhs_pure,
+            entailment.rhs_spatial,
+        )
+    for index in range(len(entailment.rhs_pure)):
+        yield Entailment(
+            entailment.lhs_pure,
+            entailment.lhs_spatial,
+            entailment.rhs_pure[:index] + entailment.rhs_pure[index + 1 :],
+            entailment.rhs_spatial,
+        )
+    for atom in entailment.lhs_spatial:
+        yield Entailment(
+            entailment.lhs_pure,
+            entailment.lhs_spatial.remove(atom),
+            entailment.rhs_pure,
+            entailment.rhs_spatial,
+        )
+    for atom in entailment.rhs_spatial:
+        yield Entailment(
+            entailment.lhs_pure,
+            entailment.lhs_spatial,
+            entailment.rhs_pure,
+            entailment.rhs_spatial.remove(atom),
+        )
+
+
+def _merge_candidates(entailment: Entailment) -> Iterator[Entailment]:
+    """Every entailment obtainable by merging one variable into another/nil."""
+    variables: List[Const] = sorted(entailment.variables(), key=lambda c: c.name)
+    for victim in variables:
+        yield entailment.rename({victim: NIL})
+        for survivor in variables:
+            if survivor != victim:
+                yield entailment.rename({victim: survivor})
+
+
+def shrink(
+    entailment: Entailment,
+    predicate: Predicate,
+    max_candidates: int = 5000,
+) -> ShrinkResult:
+    """Greedily minimise ``entailment`` while ``predicate`` stays true.
+
+    ``predicate(entailment)`` must already hold; the function raises
+    ``ValueError`` otherwise, because a shrink of a non-reproducing input
+    would silently "minimise" to garbage.
+
+    ``max_candidates`` bounds the total number of predicate evaluations (each
+    may run several provers); the greedy loop converges far earlier on the
+    instance sizes the generator produces.
+    """
+    if not predicate(entailment):
+        raise ValueError("the predicate does not hold on the input; nothing to shrink")
+
+    current = entailment
+    accepted = 0
+    tried = 0
+    improved = True
+    while improved and tried < max_candidates:
+        improved = False
+        for candidate in _deletion_candidates(current):
+            if tried >= max_candidates:
+                break
+            tried += 1
+            if _measure(candidate) < _measure(current) and predicate(candidate):
+                current = candidate
+                accepted += 1
+                improved = True
+                break  # restart: deletion indices shifted
+        if improved:
+            continue
+        for candidate in _merge_candidates(current):
+            if tried >= max_candidates:
+                break
+            tried += 1
+            if _measure(candidate) < _measure(current) and predicate(candidate):
+                current = candidate
+                accepted += 1
+                improved = True
+                break
+    return ShrinkResult(
+        entailment=current, original=entailment, steps_accepted=accepted, candidates_tried=tried
+    )

@@ -2,9 +2,11 @@
 
 from __future__ import annotations
 
+import os
 import random
 
 import pytest
+from hypothesis import HealthCheck, settings
 
 from repro.baselines.jstar import JStarProver
 from repro.baselines.smallfoot import SmallfootProver
@@ -12,6 +14,29 @@ from repro.core.config import ProverConfig
 from repro.core.prover import Prover
 from repro.logic.formula import Entailment, eq, lseg, neq, pts
 from repro.logic.terms import NIL, variable_pool
+
+# ---------------------------------------------------------------------------
+# Hypothesis settings profiles.  Local runs default to the quick ``dev``
+# profile; CI exports HYPOTHESIS_PROFILE=ci for a wider, derandomised (hence
+# reproducible) search.  Individual tests may still tighten settings with an
+# inline @settings decorator, which composes with the loaded profile.
+# ---------------------------------------------------------------------------
+
+settings.register_profile(
+    "dev",
+    max_examples=30,
+    deadline=None,  # the prover's worst case dwarfs any per-example deadline
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.register_profile(
+    "ci",
+    max_examples=120,
+    deadline=None,
+    derandomize=True,  # CI failures must reproduce exactly, run over run
+    suppress_health_check=[HealthCheck.too_slow],
+    print_blob=True,
+)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 
 @pytest.fixture(scope="session")

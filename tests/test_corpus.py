@@ -1,0 +1,82 @@
+"""Replay of the checked-in regression corpus (``tests/corpus/*.ent``).
+
+Every reproducer the fuzzer ever banked — plus the seeded classics — is
+re-checked on every tier-1 run against the full oracle battery, so a
+once-found disagreement can never silently return.  See TESTING.md for the
+promotion workflow.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import format_entry, load_corpus, parse_entry, save_reproducer
+from repro.fuzz.oracles import (
+    EnumerationOracle,
+    ProverOracle,
+    ReferenceProverOracle,
+    SmallfootOracle,
+)
+from repro.logic.parser import parse_entailment
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+ENTRIES = load_corpus(CORPUS_DIR)
+
+_slp = ProverOracle()
+_reference = ReferenceProverOracle()
+_enumeration = EnumerationOracle(max_variables=4)
+_smallfoot = SmallfootOracle()
+
+
+def test_corpus_is_not_empty():
+    assert len(ENTRIES) >= 8
+
+
+@pytest.mark.parametrize("entry", ENTRIES, ids=lambda e: e.name)
+def test_corpus_entry_replays_on_every_oracle(entry):
+    assert _slp.check(entry.entailment) == entry.expected_valid, entry.name
+    assert _reference.check(entry.entailment) == entry.expected_valid, entry.name
+    answer = _enumeration.check(entry.entailment)
+    assert answer in (None, entry.expected_valid), entry.name
+    answer = _smallfoot.check(entry.entailment)
+    assert answer in (None, entry.expected_valid), entry.name
+
+
+class TestCorpusFormat:
+    def test_round_trip(self, tmp_path):
+        entailment = parse_entailment("x != y /\\ next(x, y) |- lseg(x, y)")
+        path = save_reproducer(
+            str(tmp_path), entailment, expected_valid=True, note="round trip\nsecond line"
+        )
+        assert path.endswith(".ent")
+        (entry,) = load_corpus(str(tmp_path))
+        assert entry.entailment == entailment
+        assert entry.expected_valid is True
+        assert "round trip" in entry.note and "second line" in entry.note
+
+    def test_fresh_names_do_not_collide(self, tmp_path):
+        entailment = parse_entailment("emp |- lseg(x, x)")
+        first = save_reproducer(str(tmp_path), entailment, True)
+        second = save_reproducer(str(tmp_path), entailment, True)
+        assert first != second
+        assert len(load_corpus(str(tmp_path))) == 2
+
+    def test_missing_directory_is_an_empty_corpus(self, tmp_path):
+        assert load_corpus(str(tmp_path / "nowhere")) == []
+
+    def test_malformed_entries_are_rejected(self):
+        with pytest.raises(ValueError):
+            parse_entry("# expected: valid\n")  # no entailment
+        with pytest.raises(ValueError):
+            parse_entry("emp |- emp\n")  # no expected line
+        with pytest.raises(ValueError):
+            parse_entry("# expected: valid\nemp |- emp\nemp |- emp\n")  # two entailments
+
+    def test_format_entry_is_parseable(self):
+        entailment = parse_entailment("next(a, nil) |- lseg(a, nil)")
+        text = format_entry(entailment, expected_valid=True, note="note")
+        entry = parse_entry(text)
+        assert entry.entailment == entailment and entry.expected_valid

@@ -1,0 +1,247 @@
+"""Edge cases of :mod:`repro.spatial.normalization` and :mod:`repro.spatial.unfolding`.
+
+The shapes below are the ones the fuzz generator keeps surfacing: empty-heap
+antecedents, ``lseg(x, x)`` trivial cycles, nil-terminated versus dangling
+segments, and aliased addresses that only normalisation can collapse.  Each is
+pinned both at the rule level (driving ``normalize_clause``/``unfold``
+directly) and end-to-end (prover versus the exact-semantics enumeration
+oracle on generator-produced instances).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.fuzz.generator import EntailmentGenerator, GeneratorProfile
+from repro.fuzz.oracles import EnumerationOracle, ProverOracle
+from repro.logic.atoms import EqAtom, ListSegment, PointsTo, SpatialFormula, spatial
+from repro.logic.clauses import Clause
+from repro.logic.formula import Entailment, lseg, pts
+from repro.logic.ordering import default_order
+from repro.logic.terms import make_const, make_consts
+from repro.spatial.normalization import normalize_clause
+from repro.spatial.unfolding import unfold
+from repro.superposition.model import generate_model
+
+
+def _model(pure_clauses, constants):
+    order = default_order(make_consts(constants))
+    return generate_model([Clause.pure(**kw) for kw in pure_clauses], order)
+
+
+def _empty_model(constants="x y z"):
+    return _model([], constants)
+
+
+class TestNormalizationEdgeCases:
+    def test_pure_clause_is_untouched(self):
+        clause = Clause.pure(delta=[EqAtom("x", "y")])
+        normalized, steps = normalize_clause(clause, _empty_model())
+        assert normalized == clause and steps == []
+
+    def test_empty_spatial_formula_is_a_fixpoint(self):
+        clause = Clause.positive_spatial(SpatialFormula(()))
+        normalized, steps = normalize_clause(clause, _empty_model())
+        assert normalized.spatial is not None and normalized.spatial.is_emp
+        assert steps == []
+
+    def test_trivial_self_segment_is_dropped_n2(self):
+        clause = Clause.positive_spatial(spatial(lseg("x", "x"), pts("y", "z")))
+        normalized, steps = normalize_clause(clause, _empty_model())
+        assert normalized.spatial == spatial(pts("y", "z"))
+        assert [step.rule for step in steps] == ["N2"]
+        assert steps[0].removed == lseg("x", "x")
+
+    def test_trivial_segment_on_negative_clause_uses_n4(self):
+        clause = Clause.negative_spatial(spatial(lseg("x", "x")))
+        normalized, steps = normalize_clause(clause, _empty_model())
+        assert normalized.spatial is not None and normalized.spatial.is_emp
+        assert [step.rule for step in steps] == ["N4"]
+
+    def test_rewriting_creates_then_removes_a_cycle(self):
+        # The model's edge y => x (larger constant rewrites to smaller) turns
+        # lseg(x, y) into the trivial lseg(x, x), which the same normalisation
+        # pass must then drop: N1 then N2.
+        model = _model([{"delta": [EqAtom("x", "y")]}], "x y")
+        clause = Clause.positive_spatial(spatial(lseg("x", "y")))
+        normalized, steps = normalize_clause(clause, model)
+        assert normalized.spatial is not None and normalized.spatial.is_emp
+        assert [step.rule for step in steps] == ["N1", "N2"]
+        assert steps[0].rewritten == (make_const("y"), make_const("x"))
+
+    def test_alias_collapse_rewrites_every_occurrence(self):
+        # z => x collapses an alias chain spread over two atoms.
+        model = _model([{"delta": [EqAtom("z", "x")]}], "x y z")
+        clause = Clause.positive_spatial(spatial(pts("z", "y"), lseg("y", "z")))
+        normalized, steps = normalize_clause(clause, model)
+        assert normalized.spatial == spatial(pts("x", "y"), lseg("y", "x"))
+        assert all(step.rule == "N1" for step in steps)
+
+    def test_leftover_literals_of_the_generator_are_merged(self):
+        # A conditional equality x = y \/ x = z: its generating clause leaves
+        # a reminder literal in the normalised clause (the Section 2 example).
+        model = _model([{"delta": [EqAtom("y", "x"), EqAtom("z", "x")]}], "x y z")
+        clause = Clause.positive_spatial(spatial(pts("z", "w")))
+        normalized, steps = normalize_clause(clause, model)
+        assert len(steps) == 1 and steps[0].rule == "N1"
+        # The leftover of the applied edge survives in gamma or delta.
+        assert normalized.gamma or normalized.delta
+
+    def test_normalization_terminates_on_generator_instances(self):
+        # Alias-heavy instances are exactly the ones that drive long rewrite
+        # chains; every one must normalise to irreducible constants.
+        generator = EntailmentGenerator(
+            seed=99, profile=GeneratorProfile.only("alias_heavy")
+        )
+        from repro.logic.cnf import cnf
+
+        for case in generator.cases(15):
+            embedding = cnf(case.entailment)
+            order = default_order(case.entailment.constants())
+            try:
+                model = generate_model(
+                    [c for c in embedding.pure_clauses if c.is_pure], order
+                )
+            except Exception:
+                continue  # unsaturated input set may not admit a model; fine
+            normalized, _ = normalize_clause(embedding.positive_spatial, model)
+            assert normalized.spatial is not None
+            for constant in normalized.spatial.constants():
+                assert model.relation.is_irreducible(constant)
+
+
+def _positive(*atoms):
+    return Clause.positive_spatial(SpatialFormula(atoms))
+
+
+def _negative(*atoms):
+    return Clause.negative_spatial(SpatialFormula(atoms))
+
+
+class TestUnfoldingEdgeCases:
+    def test_empty_against_empty_resolves_immediately(self):
+        outcome = unfold(_positive(), _negative())
+        assert outcome.success
+        assert outcome.steps[-1].rule == "SR"
+        assert outcome.derived_pure is not None and outcome.derived_pure.is_pure
+
+    def test_empty_heap_satisfies_only_trivial_segments(self):
+        # emp |- lseg(x, x): the trivial segment demands no cells.
+        outcome = unfold(_positive(), _negative(ListSegment("x", "x")))
+        assert outcome.success
+        # emp |- lseg(x, y): the demanded path dangles immediately.
+        outcome = unfold(_positive(), _negative(ListSegment("x", "y")))
+        assert not outcome.success and outcome.failure_kind == "mismatch"
+
+    def test_nil_terminated_run_folds_via_u2_u1(self):
+        outcome = unfold(
+            _positive(PointsTo("x", "y"), PointsTo("y", "nil")),
+            _negative(ListSegment("x", "nil")),
+        )
+        assert outcome.success
+        rules = [step.rule for step in outcome.steps]
+        assert rules == ["U2", "U1", "SR"]
+
+    def test_dangling_segment_failure_names_the_target(self):
+        # lseg(x, y) * lseg(y, z) |- lseg(x, z) with z unallocated: the inner
+        # split cannot guarantee the segment stops at z.
+        outcome = unfold(
+            _positive(ListSegment("x", "y"), ListSegment("y", "z")),
+            _negative(ListSegment("x", "z")),
+        )
+        assert not outcome.success
+        assert outcome.failure_kind == "dangling_segment"
+        assert outcome.failure_target == make_const("z")
+
+    def test_nil_anchor_uses_u3(self):
+        outcome = unfold(
+            _positive(ListSegment("x", "y"), ListSegment("y", "nil")),
+            _negative(ListSegment("x", "nil")),
+        )
+        assert outcome.success
+        assert [step.rule for step in outcome.steps][0] == "U3"
+
+    def test_allocated_cell_anchor_uses_u4(self):
+        outcome = unfold(
+            _positive(ListSegment("x", "y"), ListSegment("y", "z"), PointsTo("z", "nil")),
+            _negative(ListSegment("x", "z"), PointsTo("z", "nil")),
+        )
+        assert outcome.success
+        assert "U4" in [step.rule for step in outcome.steps]
+
+    def test_allocated_segment_anchor_uses_u5_with_side_condition(self):
+        outcome = unfold(
+            _positive(ListSegment("x", "y"), ListSegment("y", "z"), ListSegment("z", "w")),
+            _negative(ListSegment("x", "z"), ListSegment("z", "w")),
+        )
+        assert outcome.success
+        u5 = [step for step in outcome.steps if step.rule == "U5"]
+        assert u5 and u5[0].side_condition == EqAtom("z", "w")
+
+    def test_next_expects_cell_failure(self):
+        outcome = unfold(
+            _positive(ListSegment("x", "y")), _negative(PointsTo("x", "y"))
+        )
+        assert not outcome.success
+        assert outcome.failure_kind == "next_expects_cell"
+        assert outcome.failure_edge == (make_const("x"), make_const("y"))
+
+    def test_self_loop_cycle_is_detected(self):
+        # next(x, y) * next(y, x) demanded as lseg(x, nil): the walk loops.
+        outcome = unfold(
+            _positive(PointsTo("x", "y"), PointsTo("y", "x")),
+            _negative(ListSegment("x", "nil")),
+        )
+        assert not outcome.success and outcome.failure_kind == "mismatch"
+        assert "cycle" in outcome.failure_detail
+
+    def test_uncovered_cells_are_a_mismatch(self):
+        outcome = unfold(
+            _positive(PointsTo("x", "nil"), PointsTo("y", "nil")),
+            _negative(ListSegment("x", "nil")),
+        )
+        assert not outcome.success and outcome.failure_kind == "mismatch"
+        assert "uncovered" in outcome.failure_detail
+
+    def test_malformed_positive_formula_is_rejected(self):
+        with pytest.raises(ValueError):
+            unfold(
+                _positive(PointsTo("x", "y"), PointsTo("x", "z")),
+                _negative(ListSegment("x", "y")),
+            )
+        with pytest.raises(ValueError):
+            unfold(_negative(PointsTo("x", "y")), _negative(PointsTo("x", "y")))
+
+
+class TestGeneratorSurfacedShapesEndToEnd:
+    """Prover vs exact semantics on the fuzz families that target these rules."""
+
+    oracle = EnumerationOracle(max_variables=3, max_atoms=8)
+    prover = ProverOracle()
+
+    @pytest.mark.parametrize("strategy", ["diseq_chain", "alias_heavy", "mixed"])
+    def test_prover_matches_enumeration_on_small_instances(self, strategy):
+        profile = GeneratorProfile.only(strategy, min_variables=2, max_variables=3)
+        generator = EntailmentGenerator(seed=23, profile=profile)
+        checked = 0
+        for case in generator.cases(40):
+            truth = self.oracle.check(case.entailment)
+            if truth is None:
+                continue
+            assert self.prover.check(case.entailment) == truth, case.entailment
+            checked += 1
+        assert checked >= 10
+
+    def test_empty_antecedent_instances(self):
+        # Hand-picked generator-style shapes around the empty heap.
+        cases = [
+            (Entailment.build(lhs=[], rhs=[]), True),  # true |- emp
+            (Entailment.build(lhs=[], rhs=[lseg("x", "x")]), True),
+            (Entailment.build(lhs=[], rhs=[lseg("x", "y")]), False),
+            (Entailment.build(lhs=[lseg("x", "x")], rhs=[]), True),
+            (Entailment.build(lhs=[lseg("x", "x"), lseg("y", "y")], rhs=[lseg("x", "x")]), True),
+            (Entailment.build(lhs=[], rhs=[pts("x", "y")]), False),
+        ]
+        for entailment, expected in cases:
+            assert self.prover.check(entailment) == expected, entailment
+            assert self.oracle.check(entailment) in (None, expected), entailment
