@@ -24,6 +24,7 @@ import pytest
 from repro.benchgen.random_unsat import UnsatParameters, random_unsat_batch
 from repro.core.config import ProverConfig
 from repro.core.prover import Prover
+from repro.fuzz.generator import EntailmentGenerator, GeneratorProfile
 from repro.logic.cnf import cnf
 from repro.logic.ordering import default_order
 from repro.superposition.saturation import SaturationEngine
@@ -67,6 +68,30 @@ def test_saturation_macro(benchmark, variables, bench_instances):
             variables, len(batch), valid, reference_seconds
         )
     )
+
+
+@pytest.mark.parametrize("theory,family", [("sll", "fold"), ("dll", "dll")])
+def test_theory_macro(benchmark, theory, family, bench_instances):
+    """Prove a fold-leaning batch of one spatial theory end to end.
+
+    The per-theory twin of ``test_saturation_macro``: the singly-linked row is
+    the Table 2 fold family, the doubly-linked row is the ``dll`` generator
+    family, both through the default (indexed) prover.  The committed
+    trajectory lives in ``BENCH_saturation.json`` under ``"theories"``.
+    """
+    profile = GeneratorProfile.only(family, min_variables=2, max_variables=6)
+    batch = EntailmentGenerator(seed=424242, profile=profile).entailments(
+        max(bench_instances, 20)
+    )
+    prover = Prover(ProverConfig().for_benchmarking())
+
+    def run():
+        return sum(1 for entailment in batch if prover.prove(entailment).is_valid)
+
+    valid = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["theory"] = theory
+    benchmark.extra_info["instances"] = len(batch)
+    benchmark.extra_info["valid"] = valid
 
 
 @pytest.mark.parametrize("use_index", [True, False], ids=["indexed", "linear-scan"])

@@ -190,6 +190,45 @@ def run_batch_section(quick: bool, jobs: int):
     return {"parallel": parallel, "cache": cache_row}
 
 
+def run_theory_section(quick: bool):
+    """Per-spatial-theory proving throughput on matched fold workloads.
+
+    One row per registered predicate family, each timed through the same
+    ``Prover`` on its generator family's fold-leaning distribution (singly
+    linked: the Table 2 ``fold`` family; doubly linked: the ``dll`` family).
+    The rows track how much a second theory costs relative to the builtin one
+    as both evolve; the absolute numbers are host specific, the ratio is not.
+    """
+    from repro.fuzz.generator import EntailmentGenerator, GeneratorProfile
+
+    config = ProverConfig().for_benchmarking()
+    instances = 60 if quick else 300
+    rows = []
+    for theory, family in (("sll", "fold"), ("dll", "dll")):
+        profile = GeneratorProfile.only(family, min_variables=2, max_variables=6)
+        batch = EntailmentGenerator(seed=424242, profile=profile).entailments(instances)
+        prover = Prover(config)
+        prover.prove(batch[0])  # warm the caches outside the timed region
+        start = time.perf_counter()
+        valid = sum(1 for entailment in batch if prover.prove(entailment).is_valid)
+        elapsed = time.perf_counter() - start
+        rows.append(
+            {
+                "theory": theory,
+                "family": family,
+                "instances": instances,
+                "seconds": round(elapsed, 4),
+                "per_instance_ms": round(1000.0 * elapsed / instances, 3),
+                "valid": valid,
+            }
+        )
+        print(
+            "[bench_perf] theory/{:<4} family={:<5} {:>8.3f}s  ({:.2f} ms/instance, "
+            "valid={})".format(theory, family, elapsed, rows[-1]["per_instance_ms"], valid)
+        )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -264,6 +303,7 @@ def main(argv=None) -> int:
         merged.append(row)
 
     batch_section = run_batch_section(args.quick, jobs)
+    theory_section = run_theory_section(args.quick)
 
     total_indexed = sum(row["indexed_seconds"] for row in merged)
     total_reference = sum(row["reference_seconds"] for row in merged)
@@ -274,6 +314,7 @@ def main(argv=None) -> int:
         "quick": args.quick,
         "rows": merged,
         "batch": batch_section,
+        "theories": theory_section,
         "total": {
             "indexed_seconds": round(total_indexed, 4),
             "reference_seconds": round(total_reference, 4),

@@ -17,8 +17,8 @@ The public API is intentionally small.  The central entry points are:
     Parse an entailment written in the textual surface syntax, e.g.
     ``"x != y /\\ lseg(x, y) |- next(x, z) * lseg(z, y)"``.
 
-``Entailment`` and the atom constructors ``eq``, ``neq``, ``pts`` (``next``)
-and ``lseg``
+``Entailment`` and the atom constructors ``eq``, ``neq``, ``pts`` (``next``),
+``lseg``, ``dcell`` (``cell``) and ``dlseg``
     Build entailments programmatically.
 
 Sub-packages
@@ -30,7 +30,10 @@ Sub-packages
 ``repro.superposition``
     The ground superposition calculus *I*, saturation and model generation.
 ``repro.spatial``
-    The spatial inference rules of the *SI* proof system.
+    The spatial inference rules of the *SI* proof system, organised around
+    the pluggable ``SpatialTheory`` layer (``repro.spatial.theory``): the
+    builtin singly-linked ``next``/``lseg`` fragment plus the doubly-linked
+    ``cell``/``dlseg`` family.  See ARCHITECTURE.md.
 ``repro.core``
     The ``prove`` algorithm, proofs and results.
 ``repro.semantics``
@@ -51,12 +54,22 @@ Sub-packages
 from repro.core.prover import Prover, prove
 from repro.core.config import ProverConfig
 from repro.core.result import ProofResult, Verdict
-from repro.logic.atoms import EqAtom, PointsTo, ListSegment, SpatialFormula, emp
+from repro.logic.atoms import (
+    DllCell,
+    DllSegment,
+    EqAtom,
+    ListSegment,
+    PointsTo,
+    SpatialFormula,
+    emp,
+)
 from repro.logic.formula import (
     Entailment,
     PureLiteral,
     const,
     consts,
+    dcell,
+    dlseg,
     eq,
     lseg,
     neq,
@@ -80,6 +93,8 @@ __all__ = [
     "EqAtom",
     "PointsTo",
     "ListSegment",
+    "DllCell",
+    "DllSegment",
     "SpatialFormula",
     "emp",
     "const",
@@ -89,5 +104,7 @@ __all__ = [
     "neq",
     "pts",
     "lseg",
+    "dcell",
+    "dlseg",
     "__version__",
 ]

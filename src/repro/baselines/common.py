@@ -12,15 +12,29 @@ from __future__ import annotations
 import enum
 import time
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Optional, Set, Tuple
 
-from repro.logic.atoms import EqAtom, ListSegment, PointsTo, SpatialAtom
+from repro.logic.atoms import EqAtom, SpatialAtom
 from repro.logic.formula import Entailment, PureLiteral
-from repro.logic.terms import Const, NIL
+from repro.logic.terms import Const
 
 
 class ResourceExhausted(RuntimeError):
     """Raised when a baseline exceeds its step or time budget."""
+
+
+def sll_only(entailment: Entailment) -> bool:
+    """True when every spatial atom belongs to the singly-linked theory.
+
+    The baselines reimplement tools that only ever spoke the ``next``/``lseg``
+    vocabulary; other theories are out of their scope and must answer
+    ``unknown`` rather than misread the atoms.
+    """
+    return all(
+        atom.theory == "sll"
+        for sigma in (entailment.lhs_spatial, entailment.rhs_spatial)
+        for atom in sigma
+    )
 
 
 @dataclass

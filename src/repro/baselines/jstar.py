@@ -30,9 +30,10 @@ the prover never claims validity of an invalid entailment.
 from __future__ import annotations
 
 import time
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.baselines.common import (
+    sll_only,
     BaselineResult,
     BaselineVerdict,
     ResourceBudget,
@@ -57,7 +58,13 @@ class JStarProver:
 
     # ------------------------------------------------------------------
     def prove(self, entailment: Entailment) -> BaselineResult:
-        """Attempt to prove ``entailment``; answers ``unknown`` when the rules get stuck."""
+        """Attempt to prove ``entailment``; answers ``unknown`` when the rules get stuck.
+
+        The rule set only speaks the singly-linked (``next``/``lseg``)
+        vocabulary; entailments of any other spatial theory answer ``unknown``.
+        """
+        if not sll_only(entailment):
+            return BaselineResult(verdict=BaselineVerdict.UNKNOWN, entailment=entailment)
         budget = ResourceBudget(max_steps=self.max_steps, max_seconds=self.max_seconds)
         budget.start()
         start = time.perf_counter()

@@ -37,6 +37,7 @@ import time
 from typing import List, Optional
 
 from repro.baselines.common import (
+    sll_only,
     BaselineResult,
     BaselineVerdict,
     ResourceBudget,
@@ -63,7 +64,13 @@ class SmallfootProver:
 
     # ------------------------------------------------------------------
     def prove(self, entailment: Entailment) -> BaselineResult:
-        """Decide ``entailment``; may answer ``unknown`` if the budget is exhausted."""
+        """Decide ``entailment``; may answer ``unknown`` if the budget is exhausted.
+
+        The rule set only speaks the singly-linked (``next``/``lseg``)
+        vocabulary; entailments of any other spatial theory answer ``unknown``.
+        """
+        if not sll_only(entailment):
+            return BaselineResult(verdict=BaselineVerdict.UNKNOWN, entailment=entailment)
         budget = ResourceBudget(max_steps=self.max_steps, max_seconds=self.max_seconds)
         budget.start()
         start = time.perf_counter()

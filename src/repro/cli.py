@@ -10,6 +10,14 @@ textual surface syntax (see :mod:`repro.logic.parser`)::
     $ echo "x |-> y * y |-> nil |- lseg(x, nil)" | slp -
     valid    x |-> y * y |-> nil |- lseg(x, nil)
 
+    $ echo "cell(x, y, nil) * cell(y, nil, x) |- dlseg(x, nil, nil, y)" | slp -
+    valid    cell(x, y, nil) * cell(y, nil, x) |- dlseg(x, nil, nil, y)
+
+Every registered spatial theory's syntax is accepted (singly-linked
+``next``/``lseg``, doubly-linked ``cell``/``dlseg``; see ARCHITECTURE.md);
+the baselines only speak the singly-linked fragment and report ``invalid``
+as "cannot prove" on anything else.
+
 Batches go through the batch engine (:mod:`repro.core.batch`): ``--jobs N``
 checks the file on ``N`` worker processes, and alpha-equivalent entailments
 (same problem up to variable renaming and conjunct order) are proved once and

@@ -77,7 +77,7 @@ def rename_counterexample(
     }
     bindings = counterexample.stack.bindings
     cells = counterexample.heap.cells
-    locations = set(bindings.values()) | set(cells) | set(cells.values())
+    locations = set(bindings.values()) | set(cells) | counterexample.heap.locations()
     taken = set(loc_map.values()) | {NIL_LOC}
     final: Dict[str, str] = {}
     fresh_index = 0
@@ -99,7 +99,12 @@ def rename_counterexample(
             for variable, location in bindings.items()
         }
     )
-    heap = Heap({final[address]: final[value] for address, value in cells.items()})
+    def rename_cell(value):
+        if isinstance(value, tuple):
+            return tuple(final[field] for field in value)
+        return final[value]
+
+    heap = Heap({final[address]: rename_cell(value) for address, value in cells.items()})
     return Counterexample(stack=stack, heap=heap, description=counterexample.description)
 
 

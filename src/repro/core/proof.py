@@ -10,7 +10,7 @@ a linearised form of the proof tree shown in Figure 4 of the paper.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.logic.clauses import Clause, EMPTY_CLAUSE

@@ -21,13 +21,13 @@ pure clause over the finite vocabulary of the entailment.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.config import ProverConfig
 from repro.core.proof import Proof, ProofTrace
 from repro.core.result import ProofResult, ProverStatistics, Verdict
 from repro.logic.clauses import Clause
-from repro.logic.cnf import CnfEmbedding, cnf
+from repro.logic.cnf import cnf
 from repro.logic.formula import Entailment
 from repro.logic.ordering import TermOrder, default_order
 from repro.semantics.counterexample import Counterexample, build_counterexample

@@ -25,7 +25,7 @@ precondition, a body (a sequence of commands) and a postcondition.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Sequence, Tuple, Union
 
 from repro.logic.atoms import SpatialAtom, SpatialFormula
 from repro.logic.formula import Entailment, PureLiteral

@@ -27,7 +27,7 @@ but faithful version of the Smallfoot pipeline used for Table 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 from repro.baselines.common import UnionFind, canonical_pair
 from repro.frontend.programs import (
@@ -43,7 +43,7 @@ from repro.frontend.programs import (
     Skip,
     While,
 )
-from repro.logic.atoms import EqAtom, ListSegment, PointsTo, SpatialFormula
+from repro.logic.atoms import EqAtom, ListSegment, PointsTo
 from repro.logic.formula import Entailment, PureLiteral, eq
 from repro.logic.terms import Const, NIL
 from repro.utils.naming import FreshNames

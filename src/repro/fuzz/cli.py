@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import Iterable, List, Optional
+from typing import Iterable, Optional
 
 from repro.fuzz.differential import run_campaign
 from repro.fuzz.generator import DEFAULT_WEIGHTS, GeneratorProfile
@@ -67,6 +67,11 @@ def _build_parser() -> argparse.ArgumentParser:
         "(known strategies: {})".format(", ".join(sorted(DEFAULT_WEIGHTS))),
     )
     parser.add_argument(
+        "--family", default=None, metavar="STRATEGY",
+        help="campaign a single generator family in isolation (sets its weight "
+        "to 1 and every other to 0); mutually exclusive with --weight",
+    )
+    parser.add_argument(
         "--no-shrink", action="store_true", help="report findings without delta-debugging them"
     )
     parser.add_argument(
@@ -91,6 +96,16 @@ def fuzz_main(argv: Optional[Iterable[str]] = None) -> int:
     if not 0.0 <= arguments.p_transform <= 1.0:
         parser.error("--p-transform must be in [0, 1]")
 
+    if arguments.family is not None:
+        if arguments.weight:
+            parser.error("--family and --weight are mutually exclusive")
+        if arguments.family not in DEFAULT_WEIGHTS:
+            parser.error(
+                "unknown family {!r}; known: {}".format(
+                    arguments.family, ", ".join(sorted(DEFAULT_WEIGHTS))
+                )
+            )
+
     weights = {}
     for override in arguments.weight:
         name, _, value = override.partition("=")
@@ -103,11 +118,18 @@ def fuzz_main(argv: Optional[Iterable[str]] = None) -> int:
         except ValueError:
             parser.error("weight for {!r} is not a number: {!r}".format(name, value))
     try:
-        profile = GeneratorProfile(
-            min_variables=arguments.min_vars, max_variables=arguments.max_vars
-        )
-        if weights:
-            profile = profile.with_weights(**weights)
+        if arguments.family is not None:
+            profile = GeneratorProfile.only(
+                arguments.family,
+                min_variables=arguments.min_vars,
+                max_variables=arguments.max_vars,
+            )
+        else:
+            profile = GeneratorProfile(
+                min_variables=arguments.min_vars, max_variables=arguments.max_vars
+            )
+            if weights:
+                profile = profile.with_weights(**weights)
     except ValueError as error:
         parser.error(str(error))
 

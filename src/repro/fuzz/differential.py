@@ -32,13 +32,13 @@ from __future__ import annotations
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.batch import BatchProver
 from repro.core.config import ProverConfig
 from repro.fuzz.corpus import save_reproducer
 from repro.fuzz.generator import EntailmentGenerator, FuzzCase, GeneratorProfile
-from repro.fuzz.metamorphic import TRANSFORMS, Transform, applicable_transforms
+from repro.fuzz.metamorphic import Transform, applicable_transforms
 from repro.fuzz.oracles import (
     EnumerationOracle,
     Oracle,

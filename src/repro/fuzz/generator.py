@@ -34,7 +34,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.benchgen.random_fold import FoldParameters, random_fold_entailment
 from repro.logic.atoms import SpatialAtom
-from repro.logic.formula import Entailment, eq, lseg, neq, pts
+from repro.logic.formula import Entailment, dcell, dlseg, eq, lseg, neq, pts
 from repro.logic.terms import NIL, Const, variable_pool
 
 __all__ = [
@@ -51,12 +51,13 @@ __all__ = [
 #: smaller but non-negligible shares so every subsystem is stressed in any
 #: few-hundred-instance campaign.
 DEFAULT_WEIGHTS: Mapping[str, float] = {
-    "mixed": 0.40,
-    "fold": 0.15,
-    "unsat": 0.15,
-    "alias_heavy": 0.12,
-    "diseq_chain": 0.12,
+    "mixed": 0.34,
+    "fold": 0.13,
+    "unsat": 0.13,
+    "alias_heavy": 0.11,
+    "diseq_chain": 0.11,
     "near_symmetric": 0.06,
+    "dll": 0.12,
 }
 
 
@@ -292,6 +293,105 @@ def _near_symmetric(rng: random.Random, profile: GeneratorProfile) -> Entailment
     return Entailment.build(lhs=lhs, rhs=rhs)
 
 
+def _dll(rng: random.Random, profile: GeneratorProfile) -> Entailment:
+    """Doubly-linked entailments over ``cell``/``dlseg`` atoms.
+
+    Variable counts honour the profile bounds but lean hard on the smallest
+    allowed sizes: two-field heaps multiply the enumeration oracle's search
+    space, so only two-variable dll instances fit its default budget — for
+    maximal oracle coverage campaign the family with ``--min-vars 2``.
+    Three sub-shapes:
+
+    * ``fold`` — a backlinked chain of cells on the left, a random contiguous
+      run folded into one ``dlseg`` on the right (valid unless a perturbation
+      corrupts a ``prev``/back argument);
+    * ``mixed`` — arbitrary small ``cell``/``dlseg`` conjunctions plus pure
+      literals on both sides;
+    * ``clash`` — shapes aimed at the well-formedness rules: shared
+      addresses and the degenerate ``dlseg`` argument patterns (``py = nil``,
+      ``py = y``, ``x = y`` with ``px != py``), often with a ``false``
+      right-hand side.
+    """
+    lowest = max(2, profile.min_variables)
+    highest = max(lowest, profile.max_variables)
+    # Lean hard on the smallest allowed sizes: two-variable instances are the
+    # ones the enumeration oracle can decide exhaustively.
+    sizes = list(range(lowest, min(highest, lowest + 2) + 1))
+    count = rng.choices(sizes, weights=(0.55, 0.35, 0.10)[: len(sizes)], k=1)[0]
+    pool = list(variable_pool(count))
+    shape = rng.choices(("fold", "mixed", "clash"), weights=(0.5, 0.35, 0.15), k=1)[0]
+
+    def anywhere() -> Const:
+        return rng.choice(pool + [NIL])
+
+    if shape == "mixed":
+        def atom() -> SpatialAtom:
+            source = rng.choice(pool)
+            if rng.random() < 0.55:
+                return dcell(source, anywhere(), anywhere())
+            return dlseg(source, anywhere(), anywhere(), anywhere())
+
+        lhs: list = [atom() for _ in range(rng.randint(0, 3))]
+        rhs: list = [atom() for _ in range(rng.randint(0, 2))]
+        for _ in range(rng.randint(0, profile.max_pure)):
+            (lhs if rng.random() < 0.7 else rhs).append(_random_pure(rng, pool))
+        return Entailment.build(lhs=lhs, rhs=rhs)
+
+    if shape == "clash":
+        source = rng.choice(pool)
+        gadget = rng.choice(("shared_address", "nil_back", "end_back", "empty_mismatch"))
+        lhs = []
+        if gadget == "shared_address":
+            lhs = [dcell(source, anywhere(), anywhere())]
+            lhs.append(
+                dcell(source, anywhere(), anywhere())
+                if rng.random() < 0.5
+                else dlseg(source, anywhere(), anywhere(), anywhere())
+            )
+        elif gadget == "nil_back":
+            lhs = [dlseg(source, anywhere(), anywhere(), NIL), neq(source, anywhere())]
+        elif gadget == "end_back":
+            end = anywhere()
+            lhs = [dlseg(source, anywhere(), end, end), neq(source, end)]
+        else:  # empty_mismatch: x = y but px != py
+            px, py = rng.choice(pool), NIL
+            lhs = [dlseg(source, px, source, py), neq(px, py)]
+        if rng.random() < 0.6:
+            return Entailment.with_false_rhs(lhs)
+        return Entailment.build(lhs=lhs, rhs=[dlseg(source, anywhere(), anywhere(), anywhere())])
+
+    # fold: a backlinked chain with a folded right-hand side.
+    rng.shuffle(pool)
+    length = rng.randint(1, len(pool))
+    chain = pool[:length]
+    tail = NIL if rng.random() < 0.7 else rng.choice(pool)
+    first_prev = NIL if rng.random() < 0.7 else rng.choice(pool)
+    nexts = chain[1:] + [tail]
+    prevs = [first_prev] + chain[:-1]
+    lhs = [dcell(chain[i], nexts[i], prevs[i]) for i in range(length)]
+    # Occasionally present one link as the equivalent one-cell segment.
+    if rng.random() < 0.3:
+        i = rng.randrange(length)
+        lhs[i] = dlseg(chain[i], prevs[i], nexts[i], chain[i])
+    # Fold the run [start..stop] into a single segment on the right.
+    start = rng.randrange(length)
+    stop = rng.randrange(start, length)
+    rhs = [dcell(chain[i], nexts[i], prevs[i]) for i in range(start)]
+    rhs.append(dlseg(chain[start], prevs[start], nexts[stop], chain[stop]))
+    rhs.extend(dcell(chain[i], nexts[i], prevs[i]) for i in range(stop + 1, length))
+    # Perturb an argument sometimes, flipping the instance towards invalid.
+    if rng.random() < 0.35:
+        victim = rng.randrange(len(rhs))
+        atom = rhs[victim]
+        if atom.kind == "dlseg":
+            rhs[victim] = dlseg(atom.source, anywhere(), atom.target, anywhere())
+        else:
+            rhs[victim] = dcell(atom.source, anywhere(), anywhere())
+    if rng.random() < 0.3:
+        lhs.append(_random_pure(rng, pool))
+    return Entailment.build(lhs=lhs, rhs=rhs)
+
+
 STRATEGIES: Mapping[str, Callable[[random.Random, GeneratorProfile], Entailment]] = {
     "mixed": _mixed,
     "fold": _fold,
@@ -299,6 +399,7 @@ STRATEGIES: Mapping[str, Callable[[random.Random, GeneratorProfile], Entailment]
     "alias_heavy": _alias_heavy,
     "diseq_chain": _diseq_chain,
     "near_symmetric": _near_symmetric,
+    "dll": _dll,
 }
 
 

@@ -32,9 +32,9 @@ import random
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from repro.logic.atoms import ListSegment, PointsTo
-from repro.logic.formula import Entailment, eq, lseg, neq, pts
+from repro.logic.formula import Entailment, eq, neq
 from repro.logic.terms import NIL, Const, make_const
+from repro.spatial.theory import theory_of
 from repro.utils.naming import FreshNames
 
 __all__ = [
@@ -158,9 +158,7 @@ def _frame_extension(entailment: Entailment, rng: random.Random) -> Optional[Ent
     """
     (source,) = _fresh_names(entailment, 1)
     variables = sorted(entailment.variables(), key=lambda c: c.name)
-    target = rng.choice(variables + [NIL]) if variables else NIL
-    atom = pts if rng.random() < 0.6 else lseg
-    frame = atom(source, target)
+    frame = theory_of(entailment).frame_atom(source, variables, rng)
     return Entailment(
         entailment.lhs_pure,
         entailment.lhs_spatial.add(frame),
@@ -170,15 +168,17 @@ def _frame_extension(entailment: Entailment, rng: random.Random) -> Optional[Ent
 
 
 def _add_empty_segment(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
-    """Star a trivial ``lseg(v, v)`` onto one side: EQUIVALENT.
+    """Star a trivial segment (``lseg(v, v)`` / ``dlseg(v, w, v, w)``) onto one
+    side: EQUIVALENT.
 
-    ``lseg(v, v)`` is satisfied exactly by the empty heap, so it is the unit
-    of ``*``; the N2/N4 normalisation rules must discard it on the left and
-    the unfolding rules must tolerate it on the right.
+    A trivial segment is satisfied exactly by the empty heap, so it is the
+    unit of ``*``; the N2/N4 normalisation rules must discard it on the left
+    and the unfolding rules must tolerate it on the right.
     """
     variable = _some_variable(entailment, rng)
     target = variable if variable is not None else NIL
-    atom = lseg(target, target)
+    variables = sorted(entailment.variables(), key=lambda c: c.name)
+    atom = theory_of(entailment).empty_segment_atom(target, variables, rng)
     if rng.random() < 0.5:
         return Entailment(
             entailment.lhs_pure,
@@ -280,16 +280,17 @@ def _contradict_antecedent(entailment: Entailment, rng: random.Random) -> Option
 
 
 def _duplicate_cell(entailment: Entailment, rng: random.Random) -> Optional[Entailment]:
-    """Duplicate one left-hand ``next`` atom: FORCES_VALID.
+    """Duplicate one left-hand cell atom: FORCES_VALID.
 
     Two cells at the same address cannot be separated, so the left-hand side
     becomes unsatisfiable; the well-formedness rules (two atoms sharing an
     address) are what must detect it.
     """
-    cells = [atom for atom in entailment.lhs_spatial if isinstance(atom, PointsTo)]
+    theory = theory_of(entailment)
+    cells = [atom for atom in entailment.lhs_spatial if theory.is_cell(atom)]
     if not cells:
         return None
-    cell = rng.choice(sorted(cells, key=lambda a: (a.source.name, a.target.name)))
+    cell = rng.choice(sorted(cells, key=lambda a: a.sort_key))
     return Entailment(
         entailment.lhs_pure,
         entailment.lhs_spatial.add(cell),
@@ -326,6 +327,7 @@ def applicable_transforms(entailment: Entailment) -> Sequence[Transform]:
     Cheap static check only — callers may still get ``None`` from ``apply``
     for transforms whose applicability depends on random draws.
     """
+    theory = theory_of(entailment)
     results = []
     for transform in TRANSFORMS:
         if transform.name in ("shuffle_conjuncts",) and not (
@@ -341,7 +343,7 @@ def applicable_transforms(entailment: Entailment) -> Sequence[Transform]:
         ):
             continue
         if transform.name == "duplicate_cell" and not any(
-            isinstance(atom, PointsTo) for atom in entailment.lhs_spatial
+            theory.is_cell(atom) for atom in entailment.lhs_spatial
         ):
             continue
         if transform.name == "alpha_rename" and not entailment.variables():

@@ -30,14 +30,14 @@ crashes on a bad counterexample is itself a fuzzing finding, surfaced as an
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Sequence
+from typing import Callable, List, Optional
 
 from repro.baselines.jstar import JStarProver
 from repro.baselines.smallfoot import SmallfootProver
 from repro.core.config import ProverConfig
 from repro.core.prover import Prover, ProverTimeout
 from repro.logic.formula import Entailment
-from repro.semantics.enumeration import enumerate_counterexample
+from repro.semantics.enumeration import enumerate_counterexample, interpretation_count
 
 __all__ = [
     "Oracle",
@@ -107,16 +107,34 @@ class EnumerationOracle(Oracle):
 
     name = "enumeration"
 
-    def __init__(self, max_variables: int = 3, max_atoms: int = 8, extra_locations: int = 1):
+    def __init__(
+        self,
+        max_variables: int = 3,
+        max_atoms: int = 8,
+        extra_locations: int = 1,
+        max_interpretations: int = 200_000,
+    ):
         self.max_variables = max_variables
         self.max_atoms = max_atoms
         self.extra_locations = extra_locations
+        self.max_interpretations = max_interpretations
 
     def within_bound(self, entailment: Entailment) -> bool:
-        """True when the instance is small enough to enumerate exhaustively."""
+        """True when the instance is small enough to enumerate exhaustively.
+
+        Besides the variable and atom caps, the estimated interpretation
+        count must fit the budget — multi-field theories square the heap
+        value space per cell, so e.g. three-variable doubly-linked instances
+        fall out while the singly-linked bounds are unchanged.
+        """
         if len(entailment.variables()) > self.max_variables:
             return False
-        return len(entailment.lhs_spatial) + len(entailment.rhs_spatial) <= self.max_atoms
+        if len(entailment.lhs_spatial) + len(entailment.rhs_spatial) > self.max_atoms:
+            return False
+        return (
+            interpretation_count(entailment, self.extra_locations)
+            <= self.max_interpretations
+        )
 
     def check(self, entailment: Entailment) -> Optional[bool]:
         if not self.within_bound(entailment):

@@ -25,7 +25,7 @@ regression corpus (``tests/corpus/*.ent``) wants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Tuple
+from typing import Callable, Iterator, List, Tuple
 
 from repro.logic.formula import Entailment
 from repro.logic.terms import NIL, Const

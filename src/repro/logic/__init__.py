@@ -4,8 +4,10 @@ The modules in this package define the object language of the prover:
 
 * :mod:`repro.logic.terms` — constant symbols (program variables) and ``nil``;
 * :mod:`repro.logic.atoms` — pure equality atoms ``x ~ y`` and the basic
-  spatial atoms ``next(x, y)`` and ``lseg(x, y)``, together with spatial
-  formulas (multisets of basic atoms joined by the separating conjunction);
+  spatial atoms of the registered theories (``next(x, y)``/``lseg(x, y)``
+  singly-linked, ``cell(x, n, p)``/``dlseg(x, px, y, py)`` doubly-linked),
+  together with spatial formulas (multisets of basic atoms joined by the
+  separating conjunction);
 * :mod:`repro.logic.formula` — pure literals and entailments
   ``Pi /\\ Sigma |- Pi' /\\ Sigma'``;
 * :mod:`repro.logic.clauses` — the clause representation ``Gamma -> Delta``
@@ -22,8 +24,29 @@ The modules in this package define the object language of the prover:
 """
 
 from repro.logic.terms import Const, NIL
-from repro.logic.atoms import EqAtom, PointsTo, ListSegment, SpatialAtom, SpatialFormula, emp
-from repro.logic.formula import Entailment, PureLiteral, const, consts, eq, neq, pts, lseg, nil
+from repro.logic.atoms import (
+    DllCell,
+    DllSegment,
+    EqAtom,
+    ListSegment,
+    PointsTo,
+    SpatialAtom,
+    SpatialFormula,
+    emp,
+)
+from repro.logic.formula import (
+    Entailment,
+    PureLiteral,
+    const,
+    consts,
+    dcell,
+    dlseg,
+    eq,
+    lseg,
+    neq,
+    nil,
+    pts,
+)
 from repro.logic.clauses import Clause, EMPTY_CLAUSE
 from repro.logic.cnf import CnfEmbedding, cnf
 from repro.logic.ordering import TermOrder
@@ -35,6 +58,8 @@ __all__ = [
     "EqAtom",
     "PointsTo",
     "ListSegment",
+    "DllCell",
+    "DllSegment",
     "SpatialAtom",
     "SpatialFormula",
     "emp",
@@ -46,6 +71,8 @@ __all__ = [
     "neq",
     "pts",
     "lseg",
+    "dcell",
+    "dlseg",
     "nil",
     "Clause",
     "EMPTY_CLAUSE",

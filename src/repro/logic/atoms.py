@@ -4,12 +4,19 @@ Three kinds of atoms exist:
 
 * the *pure* equality atom ``x ~ y`` (written ``x ' y`` in the paper), which
   constrains the stack only;
-* the basic *spatial* atoms ``next(x, y)`` (a single heap cell at ``x``
-  pointing to ``y``) and ``lseg(x, y)`` (a possibly empty acyclic list segment
-  from ``x`` to ``y``);
+* basic *spatial* atoms, drawn from the predicate vocabulary of a registered
+  spatial theory (:mod:`repro.spatial.theory`).  The paper's fragment — the
+  builtin singly-linked theory — has ``next(x, y)`` (a single heap cell at
+  ``x`` pointing to ``y``) and ``lseg(x, y)`` (a possibly empty acyclic list
+  segment from ``x`` to ``y``); the doubly-linked theory has two-field cells
+  ``cell(x, n, p)`` and segments ``dlseg(x, px, y, py)``;
 * *spatial formulas* ``S1 * ... * Sn`` — finite multisets of basic spatial
   atoms joined by the separating conjunction, with ``emp`` for the empty
   multiset.
+
+Atoms are plain data: every rule system that *interprets* them (normalisation,
+well-formedness, unfolding, satisfaction) lives with the owning theory object,
+keyed by the :attr:`SpatialAtom.theory` tag.
 
 Disequalities ``x != y`` are not a separate atom kind: they are negated
 equality atoms and are represented at the literal/clause level.
@@ -20,7 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Tuple
 
-from repro.logic.terms import Const, NIL, make_const
+from repro.logic.terms import Const, make_const
 
 
 def _order_pair(a: Const, b: Const) -> Tuple[Const, Const]:
@@ -102,18 +109,26 @@ class EqAtom:
 
 
 class SpatialAtom:
-    """Common interface of the two basic spatial atoms.
+    """Common interface of all basic spatial atoms, across theories.
 
-    Both ``next(x, y)`` and ``lseg(x, y)`` describe a piece of heap reachable
-    from the *address* ``x`` and ending at ``y``.  The class is an abstract
-    base; use :class:`PointsTo` and :class:`ListSegment`.
+    Every basic atom describes a piece of heap reachable from its *address*
+    ``source``; the remaining arguments are theory specific.  The class is an
+    abstract base; the builtin instances are :class:`PointsTo` and
+    :class:`ListSegment` (singly-linked theory) and :class:`DllCell` and
+    :class:`DllSegment` (doubly-linked theory).
     """
 
     source: Const
     target: Const
 
-    #: Short tag used by the printer and by rule implementations ("next"/"lseg").
+    #: Short predicate tag used by the printer, the parser and the canonical
+    #: fingerprint ("next"/"lseg"/"cell"/"dlseg").
     kind: str = ""
+
+    #: Name of the spatial theory the atom belongs to (see
+    #: :mod:`repro.spatial.theory`).  Atoms of different theories may never be
+    #: mixed in one formula that reaches the prover.
+    theory: str = "sll"
 
     @property
     def address(self) -> Const:
@@ -122,19 +137,37 @@ class SpatialAtom:
 
     @property
     def is_trivial(self) -> bool:
-        """True only for ``lseg(x, x)``, which is satisfied by the empty heap."""
+        """True for atoms satisfied exactly by the empty heap (empty segments)."""
         return False
+
+    def argument_roles(self) -> Tuple[Tuple[str, Const], ...]:
+        """The atom's arguments in declaration order, each with its role name.
+
+        The role names feed the canonical fingerprint
+        (:mod:`repro.logic.canonical`) and generic traversals; they must be
+        stable across releases for any atom kind that can be cached.
+        """
+        raise NotImplementedError
+
+    @property
+    def sort_key(self) -> Tuple[str, ...]:
+        """Deterministic structural key used to canonically order formulas."""
+        raise NotImplementedError
 
     def constants(self) -> FrozenSet[Const]:
         """The set of constants occurring in the atom."""
-        return frozenset((self.source, self.target))
+        return frozenset(constant for _, constant in self.argument_roles())
 
     def substitute(self, mapping: Dict[Const, Const]) -> "SpatialAtom":
         """Simultaneously replace constants according to ``mapping``."""
         raise NotImplementedError
 
     def with_ends(self, source: Const, target: Const) -> "SpatialAtom":
-        """Return an atom of the same kind with the given endpoints."""
+        """Return an atom of the same kind with the given endpoints.
+
+        Only meaningful for binary (singly-linked) atoms; the baselines use it
+        to rename endpoints through their union-find.
+        """
         raise NotImplementedError
 
 
@@ -145,10 +178,21 @@ class PointsTo(SpatialAtom):
     source: Const
     target: Const
     kind = "next"
+    theory = "sll"
 
     def __init__(self, source: "Const | str", target: "Const | str") -> None:
         object.__setattr__(self, "source", make_const(source))
         object.__setattr__(self, "target", make_const(target))
+
+    def argument_roles(self) -> Tuple[Tuple[str, Const], ...]:
+        return (("src", self.source), ("tgt", self.target))
+
+    @property
+    def sort_key(self) -> Tuple[str, ...]:
+        return (self.source.name, self.target.name, self.kind)
+
+    def constants(self) -> FrozenSet[Const]:
+        return frozenset((self.source, self.target))
 
     def substitute(self, mapping: Dict[Const, Const]) -> "PointsTo":
         return PointsTo(
@@ -176,6 +220,7 @@ class ListSegment(SpatialAtom):
     source: Const
     target: Const
     kind = "lseg"
+    theory = "sll"
 
     def __init__(self, source: "Const | str", target: "Const | str") -> None:
         object.__setattr__(self, "source", make_const(source))
@@ -184,6 +229,16 @@ class ListSegment(SpatialAtom):
     @property
     def is_trivial(self) -> bool:
         return self.source == self.target
+
+    def argument_roles(self) -> Tuple[Tuple[str, Const], ...]:
+        return (("src", self.source), ("tgt", self.target))
+
+    @property
+    def sort_key(self) -> Tuple[str, ...]:
+        return (self.source.name, self.target.name, self.kind)
+
+    def constants(self) -> FrozenSet[Const]:
+        return frozenset((self.source, self.target))
 
     def substitute(self, mapping: Dict[Const, Const]) -> "ListSegment":
         return ListSegment(
@@ -200,8 +255,127 @@ class ListSegment(SpatialAtom):
         return "ListSegment({!r}, {!r})".format(self.source.name, self.target.name)
 
 
-def _atom_sort_key(atom: SpatialAtom) -> Tuple[str, str, str]:
-    return (atom.source.name, atom.target.name, atom.kind)
+@dataclass(frozen=True)
+class DllCell(SpatialAtom):
+    """The doubly-linked cell ``cell(x, n, p)``: one cell at ``x`` with two
+    pointer fields, ``next = n`` and ``prev = p``."""
+
+    source: Const
+    target: Const  # the next field
+    prev: Const
+    kind = "cell"
+    theory = "dll"
+
+    def __init__(
+        self, source: "Const | str", target: "Const | str", prev: "Const | str"
+    ) -> None:
+        object.__setattr__(self, "source", make_const(source))
+        object.__setattr__(self, "target", make_const(target))
+        object.__setattr__(self, "prev", make_const(prev))
+
+    def argument_roles(self) -> Tuple[Tuple[str, Const], ...]:
+        return (("src", self.source), ("tgt", self.target), ("prv", self.prev))
+
+    @property
+    def sort_key(self) -> Tuple[str, ...]:
+        return (self.source.name, self.target.name, self.kind, self.prev.name)
+
+    def substitute(self, mapping: Dict[Const, Const]) -> "DllCell":
+        return DllCell(
+            mapping.get(self.source, self.source),
+            mapping.get(self.target, self.target),
+            mapping.get(self.prev, self.prev),
+        )
+
+    def __str__(self) -> str:
+        return "cell({}, {}, {})".format(self.source, self.target, self.prev)
+
+    def __repr__(self) -> str:
+        return "DllCell({!r}, {!r}, {!r})".format(
+            self.source.name, self.target.name, self.prev.name
+        )
+
+
+@dataclass(frozen=True)
+class DllSegment(SpatialAtom):
+    """The doubly-linked segment ``dlseg(x, px, y, py)``.
+
+    The segment runs from ``x`` (exclusive end ``y``); ``px`` is what the
+    first cell's ``prev`` field points to and ``py`` is the *last cell* of the
+    segment.  Inductively::
+
+        dlseg(x, px, y, py)  =  (x = y /\\ px = py /\\ emp)
+                             \\/ (exists u. cell(x, u, px) * dlseg(u, x, y, py))
+
+    so the empty segment requires ``x = y`` and ``px = py``, a one-cell
+    segment is ``cell(x, y, px)`` with ``py = x``, and in general the cells
+    form a chain whose ``prev`` fields backlink each cell to its predecessor.
+    The forced-path property of the fragment is preserved: a heap is a partial
+    function, so the cells a ``dlseg`` atom may own are determined by walking
+    ``next`` pointers from ``x`` while checking ``prev`` backlinks — no search.
+    """
+
+    source: Const
+    prev: Const  # px: what the first cell's prev field points to
+    target: Const  # y: the exclusive end of the segment
+    back: Const  # py: the last cell of the segment
+    kind = "dlseg"
+    theory = "dll"
+
+    def __init__(
+        self,
+        source: "Const | str",
+        prev: "Const | str",
+        target: "Const | str",
+        back: "Const | str",
+    ) -> None:
+        object.__setattr__(self, "source", make_const(source))
+        object.__setattr__(self, "prev", make_const(prev))
+        object.__setattr__(self, "target", make_const(target))
+        object.__setattr__(self, "back", make_const(back))
+
+    @property
+    def is_trivial(self) -> bool:
+        """True for ``dlseg(x, p, x, p)``: satisfied exactly by the empty heap."""
+        return self.source == self.target and self.prev == self.back
+
+    def argument_roles(self) -> Tuple[Tuple[str, Const], ...]:
+        return (
+            ("src", self.source),
+            ("psrc", self.prev),
+            ("tgt", self.target),
+            ("pback", self.back),
+        )
+
+    @property
+    def sort_key(self) -> Tuple[str, ...]:
+        return (
+            self.source.name,
+            self.target.name,
+            self.kind,
+            self.prev.name,
+            self.back.name,
+        )
+
+    def substitute(self, mapping: Dict[Const, Const]) -> "DllSegment":
+        return DllSegment(
+            mapping.get(self.source, self.source),
+            mapping.get(self.prev, self.prev),
+            mapping.get(self.target, self.target),
+            mapping.get(self.back, self.back),
+        )
+
+    def __str__(self) -> str:
+        return "dlseg({}, {}, {}, {})".format(self.source, self.prev, self.target, self.back)
+
+    def __repr__(self) -> str:
+        return "DllSegment({!r}, {!r}, {!r}, {!r})".format(
+            self.source.name, self.prev.name, self.target.name, self.back.name
+        )
+
+
+def _atom_sort_key(atom: SpatialAtom) -> Tuple[str, ...]:
+    return atom.sort_key
 
 
 class SpatialFormula:

@@ -44,7 +44,7 @@ caching via :class:`TooSymmetricError`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from repro.logic.formula import Entailment
 from repro.logic.terms import Const, make_const
@@ -100,8 +100,26 @@ def _occurrence_table(entailment: Entailment) -> Dict[Const, List[_Occurrence]]:
             table[right].append((("pure", side, kind, "end"), left))
     for side, sigma in (("lhs", entailment.lhs_spatial), ("rhs", entailment.rhs_spatial)):
         for atom in sigma:
-            table[atom.source].append((("spatial", side, atom.kind, "src"), atom.target))
-            table[atom.target].append((("spatial", side, atom.kind, "tgt"), atom.source))
+            roles = atom.argument_roles()
+            if len(roles) == 2:
+                # Binary atoms keep the original single-neighbour labels so
+                # that singly-linked fingerprints are unchanged.
+                (role_a, const_a), (role_b, const_b) = roles
+                table[const_a].append((("spatial", side, atom.kind, role_a), const_b))
+                table[const_b].append((("spatial", side, atom.kind, role_b), const_a))
+                continue
+            # Wider atoms: connect every argument to every other argument,
+            # labelling the edge with the ordered role pair so refinement sees
+            # the full incidence structure of the atom.
+            for i, (role_i, const_i) in enumerate(roles):
+                for j, (role_j, const_j) in enumerate(roles):
+                    if i != j:
+                        table[const_i].append(
+                            (
+                                ("spatial", side, atom.kind, "{}>{}".format(role_i, role_j)),
+                                const_j,
+                            )
+                        )
     return table
 
 
@@ -172,7 +190,10 @@ def _encode(entailment: Entailment, index: Mapping[Const, int]) -> _Key:
 
     def spatial(sigma) -> Tuple:
         return tuple(
-            sorted((atom.kind, index[atom.source], index[atom.target]) for atom in sigma)
+            sorted(
+                (atom.kind,) + tuple(index[constant] for _, constant in atom.argument_roles())
+                for atom in sigma
+            )
         )
 
     return (

@@ -22,9 +22,11 @@ This module provides:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Sequence, Tuple, Union
+from typing import Dict, FrozenSet, Iterable, Tuple, Union
 
 from repro.logic.atoms import (
+    DllCell,
+    DllSegment,
     EqAtom,
     ListSegment,
     PointsTo,
@@ -124,6 +126,16 @@ def pts(source: ConstLike, target: ConstLike) -> PointsTo:
 def lseg(source: ConstLike, target: ConstLike) -> ListSegment:
     """The basic spatial atom ``lseg(source, target)``."""
     return ListSegment(make_const(source), make_const(target))
+
+
+def dcell(source: ConstLike, target: ConstLike, prev: ConstLike) -> DllCell:
+    """The doubly-linked cell ``cell(source, target, prev)``."""
+    return DllCell(make_const(source), make_const(target), make_const(prev))
+
+
+def dlseg(source: ConstLike, prev: ConstLike, target: ConstLike, back: ConstLike) -> DllSegment:
+    """The doubly-linked segment ``dlseg(source, prev, target, back)``."""
+    return DllSegment(make_const(source), make_const(prev), make_const(target), make_const(back))
 
 
 SideItem = Union[PureLiteral, SpatialAtom, SpatialFormula]

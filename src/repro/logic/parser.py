@@ -10,21 +10,30 @@ Smallfoot's assertion language:
     conjunct    ::=  'true' | 'emp' | pure | spatial
     pure        ::=  ident ('=' | '==') ident
                   |  ident ('!=' | '<>') ident
-    spatial     ::=  'next' '(' ident ',' ident ')'
+    spatial     ::=  pred '(' ident (',' ident)* ')'
                   |  ident '|->' ident
-                  |  ('lseg' | 'ls') '(' ident ',' ident ')'
     ident       ::=  [A-Za-z_][A-Za-z0-9_']*  |  'nil' | 'null' | 'NULL'
 
-Pure and spatial conjuncts may be freely interleaved; the parser sorts them
-into the pure part ``Pi`` and the spatial part ``Sigma`` of each side.  The
-keyword ``false`` may be used as the complete right-hand side to express the
-``F |- false`` entailments of the Table 1 benchmark.
+The spatial predicate names come from the registered spatial theories
+(:func:`repro.spatial.theory.predicate_table`): the singly-linked theory
+contributes ``next(x, y)`` and ``lseg(x, y)`` (``ls`` is accepted as an
+alias, ``x |-> y`` abbreviates ``next``), the doubly-linked theory
+contributes ``cell(x, n, p)`` and ``dlseg(x, px, y, py)``.  Pure and spatial
+conjuncts may be freely interleaved; the parser sorts them into the pure part
+``Pi`` and the spatial part ``Sigma`` of each side.  The keyword ``false``
+may be used as the complete right-hand side to express the ``F |- false``
+entailments of the Table 1 benchmark.
+
+Syntax errors raise :class:`ParseError` carrying the 1-based line and column
+of the offending token (and the token itself), so multi-line ``.ent`` files
+report exactly where they broke.
 
 Examples::
 
     parse_entailment("c != e /\\ lseg(a, b) * lseg(a, c) * next(c, d) * lseg(d, e) "
                      "|- lseg(b, c) * lseg(c, e)")
     parse_entailment("x |-> y * y |-> nil |- lseg(x, nil)")
+    parse_entailment("cell(x, y, nil) * cell(y, nil, x) |- dlseg(x, nil, nil, y)")
     parse_entailment("x != y /\\ lseg(x, y) |- false")
 """
 
@@ -32,21 +41,49 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Iterator, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.logic.atoms import SpatialAtom, SpatialFormula
-from repro.logic.formula import Entailment, PureLiteral, eq, lseg, neq, pts
+from repro.logic.formula import Entailment, PureLiteral, eq, neq, pts
 
 
 class ParseError(ValueError):
-    """Raised when the input text is not a well-formed entailment."""
+    """Raised when the input text is not a well-formed entailment.
+
+    Attributes
+    ----------
+    reason:
+        The bare problem description, without the location prefix.
+    line, column:
+        1-based position of the offending token (or of the end of input);
+        ``None`` when the error is not tied to a position.
+    token:
+        The offending token's text, or ``None`` at end of input.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        line: Optional[int] = None,
+        column: Optional[int] = None,
+        token: Optional[str] = None,
+    ):
+        self.reason = reason
+        self.line = line
+        self.column = column
+        self.token = token
+        if line is not None and column is not None:
+            message = "line {}, column {}: {}".format(line, column, reason)
+        else:
+            message = reason
+        super().__init__(message)
 
 
 @dataclass(frozen=True)
 class _Token:
     kind: str
     text: str
-    position: int
+    position: int  # flat character offset; line/column are derived lazily
 
 
 _TOKEN_SPEC = [
@@ -65,6 +102,16 @@ _TOKEN_SPEC = [
 
 _TOKEN_RE = re.compile("|".join("(?P<{}>{})".format(name, pattern) for name, pattern in _TOKEN_SPEC))
 
+#: Extra spellings accepted for registered predicate names.
+_PREDICATE_ALIASES = {"ls": "lseg", "dll": "dlseg"}
+
+
+def _line_and_column(text: str, position: int) -> Tuple[int, int]:
+    """1-based (line, column) of a character offset into ``text``."""
+    line = text.count("\n", 0, position) + 1
+    start = text.rfind("\n", 0, position) + 1
+    return line, position - start + 1
+
 
 def _tokenize(text: str) -> List[_Token]:
     tokens: List[_Token] = []
@@ -72,14 +119,31 @@ def _tokenize(text: str) -> List[_Token]:
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
         if match is None:
+            line, column = _line_and_column(text, position)
             raise ParseError(
-                "unexpected character {!r} at position {}".format(text[position], position)
+                "unexpected character {!r}".format(text[position]),
+                line=line,
+                column=column,
+                token=text[position],
             )
         kind = match.lastgroup or ""
         if kind != "WS":
             tokens.append(_Token(kind, match.group(), position))
         position = match.end()
     return tokens
+
+
+def _predicate_constructors() -> Dict[str, Tuple[int, Callable[..., SpatialAtom], str]]:
+    """Surface predicate name -> (arity, constructor, theory), from the registry."""
+    from repro.spatial.theory import predicate_table
+
+    table: Dict[str, Tuple[int, Callable[..., SpatialAtom], str]] = {}
+    for name, (theory, signature) in predicate_table().items():
+        table[name] = (signature.arity, signature.constructor, theory.name)
+    for alias, name in _PREDICATE_ALIASES.items():
+        if name in table:
+            table[alias] = table[name]
+    return table
 
 
 class _Parser:
@@ -89,6 +153,31 @@ class _Parser:
         self._tokens = tokens
         self._text = text
         self._index = 0
+        self._predicates = _predicate_constructors()
+        # The theory of the first spatial atom seen; later atoms must match
+        # (mixed-theory formulas have no heap model and would otherwise only
+        # blow up deep inside the prover, without a source location).
+        self._theory: Optional[str] = None
+
+    def _check_theory(self, theory: str, token: _Token) -> None:
+        if self._theory is None:
+            self._theory = theory
+        elif self._theory != theory:
+            raise self._error(
+                "predicate {!r} belongs to the {!r} theory but the entailment "
+                "already uses {!r} atoms; spatial theories cannot be mixed".format(
+                    token.text, theory, self._theory
+                ),
+                token,
+            )
+
+    # -- error helpers -------------------------------------------------------
+    def _error(self, reason: str, token: Optional[_Token]) -> ParseError:
+        if token is None:
+            line, column = _line_and_column(self._text, len(self._text))
+            return ParseError(reason + " at end of input", line=line, column=column)
+        line, column = _line_and_column(self._text, token.position)
+        return ParseError(reason, line=line, column=column, token=token.text)
 
     # -- token helpers -------------------------------------------------------
     def _peek(self) -> Optional[_Token]:
@@ -99,16 +188,19 @@ class _Parser:
     def _advance(self) -> _Token:
         token = self._peek()
         if token is None:
-            raise ParseError("unexpected end of input in {!r}".format(self._text))
+            raise self._error("unexpected end of input", None)
         self._index += 1
         return token
 
-    def _expect(self, kind: str) -> _Token:
-        token = self._advance()
+    def _expect(self, kind: str, what: str) -> _Token:
+        token = self._peek()
+        if token is None:
+            raise self._error("expected {}".format(what), None)
         if token.kind != kind:
-            raise ParseError(
-                "expected {} but found {!r} at position {}".format(kind, token.text, token.position)
+            raise self._error(
+                "expected {} but found {!r}".format(what, token.text), token
             )
+        self._index += 1
         return token
 
     def _match(self, kind: str) -> bool:
@@ -121,18 +213,16 @@ class _Parser:
     # -- grammar -------------------------------------------------------------
     def parse_entailment(self) -> Entailment:
         lhs = self.parse_side()
-        self._expect("TURNSTILE")
+        self._expect("TURNSTILE", "'|-'")
         rhs = self.parse_side()
-        if self._peek() is not None:
-            token = self._peek()
-            raise ParseError(
-                "unexpected trailing input {!r} at position {}".format(token.text, token.position)
-            )
-        if rhs == "false":
-            if lhs == "false":
+        token = self._peek()
+        if token is not None:
+            raise self._error("unexpected trailing input {!r}".format(token.text), token)
+        if isinstance(rhs, str):  # the "false" right-hand side
+            if isinstance(lhs, str):
                 raise ParseError("'false' can only appear as the whole right-hand side")
             return Entailment.with_false_rhs(lhs)
-        if lhs == "false":
+        if isinstance(lhs, str):
             raise ParseError("'false' can only appear as the whole right-hand side")
         return Entailment.build(lhs=lhs, rhs=rhs)
 
@@ -156,44 +246,54 @@ class _Parser:
     def parse_conjunct(self) -> Optional[Union[PureLiteral, SpatialAtom]]:
         token = self._advance()
         if token.kind != "IDENT":
-            raise ParseError(
-                "expected an atom but found {!r} at position {}".format(token.text, token.position)
+            raise self._error(
+                "expected an atom but found {!r}".format(token.text), token
             )
         word = token.text
 
         if word in ("true", "emp"):
             return None
 
-        if word in ("next", "lseg", "ls"):
+        if word in self._predicates:
             next_token = self._peek()
             if next_token is not None and next_token.kind == "LPAREN":
+                arity, constructor, theory = self._predicates[word]
+                self._check_theory(theory, token)
                 self._advance()
-                first = self._expect("IDENT").text
-                self._expect("COMMA")
-                second = self._expect("IDENT").text
-                self._expect("RPAREN")
-                if word == "next":
-                    return pts(first, second)
-                return lseg(first, second)
-            # fall through: "next" or "lseg" used as a plain identifier
+                arguments = [self._expect("IDENT", "an identifier").text]
+                while self._match("COMMA"):
+                    arguments.append(self._expect("IDENT", "an identifier").text)
+                closing = self._peek()
+                if len(arguments) != arity:
+                    raise self._error(
+                        "{} takes {} arguments but got {}".format(word, arity, len(arguments)),
+                        closing if closing is not None else next_token,
+                    )
+                self._expect("RPAREN", "')'")
+                return constructor(*arguments)
+            # fall through: a predicate name used as a plain identifier
 
         follower = self._peek()
         if follower is None:
-            raise ParseError("dangling identifier {!r} at end of input".format(word))
+            raise self._error("dangling identifier {!r}".format(word), None)
         if follower.kind == "EQ":
             self._advance()
-            other = self._expect("IDENT").text
+            other = self._expect("IDENT", "an identifier").text
             return eq(word, other)
         if follower.kind == "NEQ":
             self._advance()
-            other = self._expect("IDENT").text
+            other = self._expect("IDENT", "an identifier").text
             return neq(word, other)
         if follower.kind == "POINTS":
+            self._check_theory("sll", token)  # x |-> y abbreviates next(x, y)
             self._advance()
-            other = self._expect("IDENT").text
+            other = self._expect("IDENT", "an identifier").text
             return pts(word, other)
-        raise ParseError(
-            "expected '=', '!=' or '|->' after {!r} at position {}".format(word, follower.position)
+        raise self._error(
+            "expected '=', '!=' or '|->' after {!r} but found {!r}".format(
+                word, follower.text
+            ),
+            follower,
         )
 
 
@@ -211,12 +311,12 @@ def parse_spatial_formula(text: str) -> SpatialFormula:
     """
     parser = _Parser(_tokenize(text), text)
     side = parser.parse_side()
-    if parser._peek() is not None:  # noqa: SLF001 - module-internal access
-        token = parser._peek()
-        raise ParseError(
-            "unexpected trailing input {!r} at position {}".format(token.text, token.position)
+    token = parser._peek()  # noqa: SLF001 - module-internal access
+    if token is not None:
+        raise parser._error(  # noqa: SLF001
+            "unexpected trailing input {!r}".format(token.text), token
         )
-    if side == "false":
+    if isinstance(side, str):  # the "false" keyword
         raise ParseError("'false' is not a spatial formula")
     atoms = []
     for conjunct in side:

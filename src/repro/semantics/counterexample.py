@@ -8,23 +8,25 @@ right-hand side:
 * the *stack* is the stack ``s_R`` induced by the equality model ``R``
   (Definition 3.1): every variable is mapped to the location named after its
   ``R``-normal form;
-* the *heap* starts from the graph of the normalised left-hand side formula
-  ``gr_R Sigma_R`` — each basic atom realised as a single cell — and is then
-  possibly "tweaked" along the lines of Lemma 4.4 when the unfolding failed in
-  one of its case-(b) situations:
+* the *heap* starts from the candidate-model realisation of the normalised
+  left-hand side formula — each basic atom realised with as few cells as the
+  theory allows — and is then possibly "tweaked" along the lines of Lemma 4.4
+  when the unfolding failed in one of its case-(b) situations:
 
-  - ``next_expects_cell``: the right-hand side demands a single cell where the
-    left-hand side only guarantees a list segment; stretching that segment
-    into two cells (through a fresh anonymous location) keeps the left-hand
-    side satisfied but breaks the right-hand side;
+  - ``next_expects_cell``: the right-hand side pins down cells where the
+    left-hand side only guarantees a stretchable segment; stretching that
+    segment through a fresh anonymous location keeps the left-hand side
+    satisfied but breaks the right-hand side;
   - ``dangling_segment``: a right-hand segment must stop at a location that
     the left-hand side never allocates; re-routing the corresponding left-hand
     segment through that location again preserves the left side and breaks the
     right side.
 
-Every candidate interpretation is verified against the exact satisfaction
-relation before being returned, so a returned counterexample is always
-genuine.
+The realisation and the tweaks are theory specific and live with the owning
+:class:`~repro.spatial.theory.SpatialTheory`; this module supplies the stack,
+orchestrates the candidates and — crucially — verifies every candidate
+against the exact satisfaction relation before returning it, so a returned
+counterexample is always genuine.
 """
 
 from __future__ import annotations
@@ -35,9 +37,9 @@ from typing import Dict, List, Optional, Tuple
 from repro.logic.clauses import Clause
 from repro.logic.formula import Entailment
 from repro.logic.terms import Const
-from repro.semantics.heap import Heap, Loc, NIL_LOC, Stack, induced_stack
+from repro.semantics.heap import Cell, Heap, Loc, NIL_LOC, Stack, induced_stack
 from repro.semantics.satisfaction import falsifies_entailment
-from repro.spatial.graph import spatial_graph
+from repro.spatial.theory import theory_of
 from repro.spatial.unfolding import UnfoldingOutcome
 from repro.superposition.model import EqualityModel
 
@@ -68,26 +70,6 @@ def _location_of(model: EqualityModel, constant: Const) -> Loc:
     return NIL_LOC if normal.is_nil else normal.name
 
 
-def _base_heap(model: EqualityModel, positive: Clause) -> Dict[Loc, Loc]:
-    """The graph of the normalised left-hand side formula, as location cells."""
-    sigma = positive.spatial
-    assert sigma is not None
-    graph = spatial_graph(sigma, strict=True)
-    return {
-        _location_of(model, source): _location_of(model, target)
-        for source, target in graph.items()
-    }
-
-
-def _fresh_location(used: List[Loc]) -> Loc:
-    index = 0
-    while True:
-        candidate = "anon{}".format(index)
-        if candidate not in used:
-            return candidate
-        index += 1
-
-
 def build_counterexample(
     entailment: Entailment,
     model: EqualityModel,
@@ -113,45 +95,17 @@ def build_counterexample(
     verify:
         Check each candidate against the exact semantics (recommended).
     """
+    theory = theory_of(entailment, positive)
     stack = induced_stack(model.normal_form, entailment.variables())
-    base_cells = _base_heap(model, positive)
 
-    candidates: List[Tuple[Dict[Loc, Loc], str]] = []
+    def locate(constant: Const) -> Loc:
+        return _location_of(model, constant)
 
-    if outcome is not None and outcome.failure_kind == "next_expects_cell":
-        assert outcome.failure_edge is not None
-        source, target = outcome.failure_edge
-        source_loc = _location_of(model, source)
-        target_loc = _location_of(model, target)
-        used = list(base_cells) + list(base_cells.values()) + [NIL_LOC]
-        middle = _fresh_location(used)
-        stretched = dict(base_cells)
-        stretched[source_loc] = middle
-        stretched[middle] = target_loc
-        candidates.append(
-            (
-                stretched,
-                "the segment lseg({}, {}) stretched into two cells".format(source, target),
-            )
-        )
+    base_cells = theory.model_heap_cells(locate, positive)
 
-    if outcome is not None and outcome.failure_kind == "dangling_segment":
-        assert outcome.failure_edge is not None and outcome.failure_target is not None
-        source, target = outcome.failure_edge
-        via = outcome.failure_target
-        source_loc = _location_of(model, source)
-        target_loc = _location_of(model, target)
-        via_loc = _location_of(model, via)
-        rerouted = dict(base_cells)
-        rerouted[source_loc] = via_loc
-        rerouted[via_loc] = target_loc
-        candidates.append(
-            (
-                rerouted,
-                "the segment lseg({}, {}) re-routed through {}".format(source, target, via),
-            )
-        )
-
+    candidates: List[Tuple[Dict[Loc, Cell], str]] = list(
+        theory.counterexample_candidates(locate, base_cells, outcome)
+    )
     candidates.append((base_cells, "the graph of the left-hand side"))
 
     if not verify:
@@ -160,7 +114,7 @@ def build_counterexample(
 
     for cells, description in candidates:
         heap = Heap(cells)
-        if falsifies_entailment(stack, heap, entailment):
+        if falsifies_entailment(stack, heap, entailment, theory):
             return Counterexample(stack=stack, heap=heap, description=description)
 
     raise CounterexampleError(

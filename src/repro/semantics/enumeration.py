@@ -26,8 +26,9 @@ from typing import Iterator, List, Optional, Tuple
 
 from repro.logic.formula import Entailment
 from repro.logic.terms import Const
-from repro.semantics.heap import Heap, Loc, NIL_LOC, Stack
+from repro.semantics.heap import Cell, Heap, Loc, NIL_LOC, Stack
 from repro.semantics.satisfaction import falsifies_entailment
+from repro.spatial.theory import theory_of
 
 
 def _partitions(items: List[Const]) -> Iterator[List[List[Const]]]:
@@ -64,12 +65,22 @@ def _candidate_stacks(variables: List[Const]) -> Iterator[Stack]:
             yield Stack(bindings)
 
 
-def _candidate_heaps(locations: List[Loc]) -> Iterator[Heap]:
-    """Enumerate all partial functions from the given locations to the universe."""
+def _candidate_heaps(locations: List[Loc], fields: int = 1) -> Iterator[Heap]:
+    """Enumerate all partial functions from the given locations to the universe.
+
+    ``fields`` is the number of pointer fields per cell (the owning theory's
+    :attr:`~repro.spatial.theory.SpatialTheory.cell_fields`): one-field heaps
+    store bare locations, multi-field heaps store location tuples.
+    """
     addresses = [location for location in locations if location != NIL_LOC]
     universe = locations
-    # Each address is either unallocated (None) or stores some location.
-    choices: List[List[Optional[Loc]]] = [[None] + list(universe) for _ in addresses]
+    # Each address is either unallocated (None) or stores some cell value.
+    values: List[Cell] = (
+        list(universe)
+        if fields == 1
+        else [tuple(value) for value in itertools.product(universe, repeat=fields)]
+    )
+    choices: List[List[Optional[Cell]]] = [[None] + values for _ in addresses]
     for assignment in itertools.product(*choices):
         cells = {
             address: value
@@ -77,6 +88,22 @@ def _candidate_heaps(locations: List[Loc]) -> Iterator[Heap]:
             if value is not None
         }
         yield Heap(cells)
+
+
+def interpretation_count(entailment: Entailment, extra_locations: int = 1) -> int:
+    """Rough size of the search space :func:`enumerate_counterexample` visits.
+
+    Used by callers (e.g. the fuzzing oracle) to refuse instances whose
+    exhaustive search would be too slow.  The estimate is the heap count of
+    the dominant (all-variables-distinct) stack: a universe of
+    ``variables + 1 + extra_locations`` locations, every non-``nil`` one an
+    address, each address unallocated or storing any of ``universe ^ fields``
+    cell values.
+    """
+    fields = theory_of(entailment).cell_fields
+    universe = len(entailment.variables()) + 1 + extra_locations
+    addresses = universe - 1
+    return (1 + universe**fields) ** addresses
 
 
 def enumerate_counterexample(
@@ -87,13 +114,14 @@ def enumerate_counterexample(
     Returns a falsifying ``(stack, heap)`` pair, or ``None`` when no
     counterexample exists within the bound.
     """
+    theory = theory_of(entailment)
     variables = sorted(entailment.variables(), key=lambda c: c.name)
     for stack in _candidate_stacks(variables):
         locations = sorted(stack.locations())
         anonymous = ["a{}".format(i) for i in range(extra_locations)]
         universe = locations + anonymous
-        for heap in _candidate_heaps(universe):
-            if falsifies_entailment(stack, heap, entailment):
+        for heap in _candidate_heaps(universe, theory.cell_fields):
+            if falsifies_entailment(stack, heap, entailment, theory):
                 return stack, heap
     return None
 

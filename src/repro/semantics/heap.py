@@ -3,13 +3,19 @@
 Locations are represented by plain strings; the distinguished string
 ``"nil"`` plays the role of the null location.  A *stack* maps program
 variables (constants) to locations; a *heap* is a finite partial function
-from non-``nil`` locations to locations.  Both types are immutable value
+from non-``nil`` locations to cell values.  Both types are immutable value
 objects so that interpretations can be hashed, compared and safely shared.
+
+The cell-value shape is owned by the spatial theory interpreting the heap
+(:mod:`repro.spatial.theory`): the singly-linked theory stores a bare
+location per cell, theories with ``k > 1`` pointer fields store a ``k``-tuple
+of locations.  The :class:`Heap` container itself is agnostic — it only
+guarantees that addresses are non-``nil`` locations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterator, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Optional, Tuple, Union
 
 from repro.logic.terms import Const, NIL
 
@@ -17,6 +23,9 @@ from repro.logic.terms import Const, NIL
 NIL_LOC = "nil"
 
 Loc = str
+
+#: A heap-cell value: one location per pointer field of the owning theory.
+Cell = Union[Loc, Tuple[Loc, ...]]
 
 
 class Stack:
@@ -88,16 +97,20 @@ class Stack:
 
 
 class Heap:
-    """A heap ``h: Loc -> Loc+``: a finite partial map on non-``nil`` locations."""
+    """A heap ``h: Loc -> Cell``: a finite partial map on non-``nil`` locations.
+
+    Cell values are bare locations for one-field theories and location tuples
+    for multi-field theories (see the module docstring).
+    """
 
     __slots__ = ("_cells",)
 
-    def __init__(self, cells: Mapping[Loc, Loc] = ()):
-        cleaned: Dict[Loc, Loc] = {}
+    def __init__(self, cells: Mapping[Loc, Cell] = ()):
+        cleaned: Dict[Loc, Cell] = {}
         for address, value in dict(cells).items():
             if address == NIL_LOC:
                 raise ValueError("a heap cannot have a cell at the nil location")
-            cleaned[address] = value
+            cleaned[address] = tuple(value) if isinstance(value, (tuple, list)) else value
         self._cells = cleaned
 
     # -- basic protocol ----------------------------------------------------
@@ -124,7 +137,7 @@ class Heap:
 
     # -- queries -----------------------------------------------------------
     @property
-    def cells(self) -> Dict[Loc, Loc]:
+    def cells(self) -> Dict[Loc, Cell]:
         """The cells as a dictionary (a copy)."""
         return dict(self._cells)
 
@@ -137,16 +150,22 @@ class Heap:
         """The set of allocated locations."""
         return frozenset(self._cells)
 
-    def lookup(self, address: Loc) -> Optional[Loc]:
+    def lookup(self, address: Loc) -> Optional[Cell]:
         """The value stored at ``address``, or ``None`` if unallocated."""
         return self._cells.get(address)
 
     def locations(self) -> FrozenSet[Loc]:
-        """All locations mentioned by the heap (domain and range)."""
-        return frozenset(self._cells) | frozenset(self._cells.values())
+        """All locations mentioned by the heap (domain and range, fields flattened)."""
+        mentioned = set(self._cells)
+        for value in self._cells.values():
+            if isinstance(value, tuple):
+                mentioned.update(value)
+            else:
+                mentioned.add(value)
+        return frozenset(mentioned)
 
     # -- constructive operations --------------------------------------------
-    def store(self, address: Loc, value: Loc) -> "Heap":
+    def store(self, address: Loc, value: Cell) -> "Heap":
         """Return a heap with the cell at ``address`` set to ``value``."""
         updated = dict(self._cells)
         updated[address] = value
@@ -167,6 +186,21 @@ class Heap:
         combined = dict(self._cells)
         combined.update(other._cells)
         return Heap(combined)
+
+
+def fresh_location(used: Iterable[Loc]) -> Loc:
+    """The first ``anonN`` location name not occurring in ``used``.
+
+    Counterexample builders introduce these anonymous locations when
+    stretching or re-routing segments (Lemma 4.4).
+    """
+    taken = set(used)
+    index = 0
+    while True:
+        candidate = "anon{}".format(index)
+        if candidate not in taken:
+            return candidate
+        index += 1
 
 
 def induced_stack(normal_form_of, variables) -> Stack:

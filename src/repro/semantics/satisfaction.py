@@ -2,21 +2,28 @@
 
 The fragment's semantics has a pleasant property that the implementation
 exploits: because a heap is a partial *function*, the sub-heap that can
-satisfy any basic spatial atom is forced.  A ``next(x, y)`` atom must own
-exactly the cell at ``s^(x)``; a ``lseg(x, y)`` atom must own either nothing
-(when ``s^(x) = s^(y)``) or exactly the cells along the unique successor chain
-from ``s^(x)`` to ``s^(y)``.  Checking ``s, h |= Sigma`` therefore requires no
-search: each atom claims its forced cells and the claim must be a partition of
-the heap.
+satisfy any basic spatial atom is forced.  In the singly-linked theory a
+``next(x, y)`` atom must own exactly the cell at ``s^(x)`` and a
+``lseg(x, y)`` atom must own either nothing (when ``s^(x) = s^(y)``) or
+exactly the cells along the unique successor chain from ``s^(x)`` to
+``s^(y)``; the doubly-linked atoms are forced the same way, with ``prev``
+backlinks checked along the walk.  Checking ``s, h |= Sigma`` therefore
+requires no search: each atom claims its forced cells and the claim must be a
+partition of the heap.
+
+The per-atom claiming rules belong to the spatial theory owning the formula's
+predicates (:mod:`repro.spatial.theory`); this module dispatches to it and
+keeps the theory-independent pure-literal and entailment-level relations.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set
+from typing import Iterable, Optional
 
-from repro.logic.atoms import ListSegment, PointsTo, SpatialFormula
+from repro.logic.atoms import SpatialFormula
 from repro.logic.formula import Entailment, PureLiteral
-from repro.semantics.heap import Heap, Loc, NIL_LOC, Stack
+from repro.semantics.heap import Heap, Stack
+from repro.spatial.theory import SpatialTheory, theory_of
 
 
 def satisfies_pure_literal(stack: Stack, literal: PureLiteral) -> bool:
@@ -31,67 +38,61 @@ def satisfies_pure_literals(stack: Stack, literals: Iterable[PureLiteral]) -> bo
     return all(satisfies_pure_literal(stack, literal) for literal in literals)
 
 
-def satisfies_spatial(stack: Stack, heap: Heap, sigma: SpatialFormula) -> bool:
+def satisfies_spatial(
+    stack: Stack,
+    heap: Heap,
+    sigma: SpatialFormula,
+    theory: Optional[SpatialTheory] = None,
+) -> bool:
     """``s, h |= S1 * ... * Sn``: the heap splits into portions satisfying each atom.
 
-    The portions are forced (see the module docstring), so the check walks the
-    heap claiming cells and finally verifies that every cell was claimed
-    exactly once.
+    The portions are forced (see the module docstring), so the owning theory
+    walks the heap claiming cells and finally verifies that every cell was
+    claimed exactly once.  Callers checking many interpretations of one
+    formula should resolve the theory once and pass it in — it is invariant
+    across interpretations.
     """
-    claimed: Set[Loc] = set()
-
-    for atom in sigma:
-        source = stack.evaluate(atom.source)
-        target = stack.evaluate(atom.target)
-
-        if isinstance(atom, PointsTo):
-            if source == NIL_LOC:
-                return False
-            if heap.lookup(source) != target:
-                return False
-            if source in claimed:
-                return False
-            claimed.add(source)
-            continue
-
-        assert isinstance(atom, ListSegment)
-        if source == target:
-            continue  # the empty segment owns no cells
-        current = source
-        visited: Set[Loc] = set()
-        while current != target:
-            if current == NIL_LOC:
-                return False
-            if current in visited:
-                return False  # a cycle that never reaches the target
-            visited.add(current)
-            value = heap.lookup(current)
-            if value is None:
-                return False
-            if current in claimed:
-                return False
-            claimed.add(current)
-            current = value
-
-    return claimed == heap.domain()
+    if theory is None:
+        theory = theory_of(sigma)
+    return theory.satisfies_spatial(stack, heap, sigma)
 
 
 def satisfies_side(
-    stack: Stack, heap: Heap, pure: Iterable[PureLiteral], sigma: SpatialFormula
+    stack: Stack,
+    heap: Heap,
+    pure: Iterable[PureLiteral],
+    sigma: SpatialFormula,
+    theory: Optional[SpatialTheory] = None,
 ) -> bool:
     """``s, h |= Pi /\\ Sigma`` for one side of an entailment."""
-    return satisfies_pure_literals(stack, pure) and satisfies_spatial(stack, heap, sigma)
+    return satisfies_pure_literals(stack, pure) and satisfies_spatial(
+        stack, heap, sigma, theory
+    )
 
 
-def satisfies_entailment(stack: Stack, heap: Heap, entailment: Entailment) -> bool:
+def satisfies_entailment(
+    stack: Stack,
+    heap: Heap,
+    entailment: Entailment,
+    theory: Optional[SpatialTheory] = None,
+) -> bool:
     """``s, h |= (Pi /\\ Sigma -> Pi' /\\ Sigma')`` for one interpretation."""
-    if not satisfies_side(stack, heap, entailment.lhs_pure, entailment.lhs_spatial):
+    if theory is None:
+        theory = theory_of(entailment)
+    if not satisfies_side(stack, heap, entailment.lhs_pure, entailment.lhs_spatial, theory):
         return True
-    return satisfies_side(stack, heap, entailment.rhs_pure, entailment.rhs_spatial)
+    return satisfies_side(stack, heap, entailment.rhs_pure, entailment.rhs_spatial, theory)
 
 
-def falsifies_entailment(stack: Stack, heap: Heap, entailment: Entailment) -> bool:
+def falsifies_entailment(
+    stack: Stack,
+    heap: Heap,
+    entailment: Entailment,
+    theory: Optional[SpatialTheory] = None,
+) -> bool:
     """True when ``(s, h)`` is a counterexample: it satisfies the left side but not the right."""
+    if theory is None:
+        theory = theory_of(entailment)
     return satisfies_side(
-        stack, heap, entailment.lhs_pure, entailment.lhs_spatial
-    ) and not satisfies_side(stack, heap, entailment.rhs_pure, entailment.rhs_spatial)
+        stack, heap, entailment.lhs_pure, entailment.lhs_spatial, theory
+    ) and not satisfies_side(stack, heap, entailment.rhs_pure, entailment.rhs_spatial, theory)

@@ -16,15 +16,37 @@ rules that manipulate the spatial formula carried by a clause:
 
 :mod:`repro.spatial.graph` computes the graph ``gr_R Sigma`` of a spatial
 formula, i.e. the heap induced by reading every basic atom as a single cell.
+
+Which concrete rules fire is owned by the spatial theory of the formula's
+predicates: :mod:`repro.spatial.theory` defines the :class:`SpatialTheory`
+interface and the registry, :mod:`repro.spatial.sll` is the builtin
+``next``/``lseg`` fragment and :mod:`repro.spatial.dll` the doubly-linked
+``cell``/``dlseg`` family (see ARCHITECTURE.md).
 """
 
 from repro.spatial.graph import spatial_graph
 from repro.spatial.normalization import NormalizationStep, normalize_clause
+from repro.spatial.theory import (
+    MixedTheoryError,
+    PredicateSignature,
+    SpatialTheory,
+    available_theories,
+    get_theory,
+    register_theory,
+    theory_of,
+)
 from repro.spatial.unfolding import UnfoldingOutcome, UnfoldingStep, unfold
 from repro.spatial.wellformedness import WellFormednessConsequence, well_formedness_consequences
 
 __all__ = [
     "spatial_graph",
+    "MixedTheoryError",
+    "PredicateSignature",
+    "SpatialTheory",
+    "available_theories",
+    "get_theory",
+    "register_theory",
+    "theory_of",
     "NormalizationStep",
     "normalize_clause",
     "WellFormednessConsequence",

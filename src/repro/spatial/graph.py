@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from repro.logic.atoms import SpatialAtom, SpatialFormula
+from repro.logic.atoms import SpatialFormula
 from repro.logic.terms import Const
 
 

@@ -1,4 +1,4 @@
-"""Unfolding rules U1–U5 and spatial resolution SR (Figure 1, Lemma 4.4).
+"""Unfolding: rewrite a demanded spatial formula into the asserted one.
 
 Unfolding is the heart of the prover's spatial reasoning.  Its inputs are
 
@@ -10,9 +10,13 @@ Unfolding is the heart of the prover's spatial reasoning.  Its inputs are
 The positive formula induces a concrete heap — its graph — and the procedure
 checks whether that heap also satisfies ``Sigma'``.  Crucially, because both
 formulas are normalised, the check involves **no search**: the heap is a
-partial function, so the path each ``lseg`` atom of ``Sigma'`` must follow is
+partial function, so the path each segment atom of ``Sigma'`` must follow is
 forced, and every rewrite of ``Sigma'`` towards ``Sigma`` is an application of
-exactly one unfolding rule:
+exactly one unfolding rule of the owning spatial theory
+(:mod:`repro.spatial.theory`).
+
+For the builtin singly-linked theory these are the paper's rules (Figure 1,
+Lemma 4.4):
 
 * U1 turns a final ``lseg(x, z)`` into the cell ``next(x, z)`` (side condition
   ``x = z`` recorded in ``Delta'``);
@@ -25,14 +29,18 @@ exactly one unfolding rule:
 * SR finally resolves the two identical spatial formulas away, producing a
   pure clause.
 
+The doubly-linked theory (:mod:`repro.spatial.dll`) instantiates the same
+rule skeleton over two-field cells, additionally tracking ``prev`` backlinks
+and the segment's last cell.
+
 When the rewrite cannot be completed the procedure reports *why*, and the
 reason tells the counterexample builder how to exhibit a heap satisfying the
 left-hand side but not the right-hand side:
 
 * ``"mismatch"`` — the graph of ``Sigma`` itself already fails ``Sigma'``;
-* ``"next_expects_cell"`` — ``Sigma'`` demands a single cell where ``Sigma``
-  only guarantees a list segment (stretching the segment to two cells breaks
-  the entailment);
+* ``"next_expects_cell"`` — ``Sigma'`` pins down cells where ``Sigma`` only
+  guarantees a stretchable segment (stretching the segment through a fresh
+  anonymous location breaks the entailment);
 * ``"dangling_segment"`` — a segment of ``Sigma'`` should stop at a location
   about which ``Sigma`` says nothing (re-routing the heap through that
   location breaks the entailment).
@@ -43,9 +51,10 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
-from repro.logic.atoms import EqAtom, ListSegment, PointsTo, SpatialAtom, SpatialFormula
+from repro.logic.atoms import EqAtom, SpatialAtom, SpatialFormula
 from repro.logic.clauses import Clause
 from repro.logic.terms import Const
+from repro.spatial.theory import theory_of
 
 
 @dataclass(frozen=True)
@@ -79,6 +88,9 @@ class UnfoldingOutcome:
     failure_edge:
         For the two case-(b) failures, the edge ``(x, y)`` of the positive
         graph involved in the failure.
+    failure_atom:
+        For the two case-(b) failures, the positive atom involved — the
+        segment the counterexample builder stretches or re-routes.
     failure_target:
         For ``"dangling_segment"``, the end point ``z`` the segment should have
         reached.
@@ -91,11 +103,12 @@ class UnfoldingOutcome:
     steps: List[UnfoldingStep] = field(default_factory=list)
     failure_kind: Optional[str] = None
     failure_edge: Optional[Tuple[Const, Const]] = None
+    failure_atom: Optional[SpatialAtom] = None
     failure_target: Optional[Const] = None
     failure_detail: str = ""
 
 
-def _address_map(sigma: SpatialFormula) -> Dict[Const, SpatialAtom]:
+def address_map(sigma: SpatialFormula) -> Dict[Const, SpatialAtom]:
     """Map each address of a well-formed formula to its unique atom."""
     mapping: Dict[Const, SpatialAtom] = {}
     for atom in sigma:
@@ -110,198 +123,12 @@ def _address_map(sigma: SpatialFormula) -> Dict[Const, SpatialAtom]:
     return mapping
 
 
-def unfold(positive: Clause, negative: Clause) -> UnfoldingOutcome:
-    """Attempt to rewrite the negative clause's formula into the positive one.
-
-    ``positive`` must be a normalised, well-formed positive spatial clause and
-    ``negative`` a normalised negative spatial clause (both as produced by
-    :func:`repro.spatial.normalization.normalize_clause`).
-    """
-    if not positive.is_positive_spatial:
-        raise ValueError("the first argument must be a positive spatial clause")
-    if not negative.is_negative_spatial:
-        raise ValueError("the second argument must be a negative spatial clause")
-
-    sigma = positive.spatial
-    sigma_neg = negative.spatial
-    assert sigma is not None and sigma_neg is not None
-
-    addresses = _address_map(sigma)
-    claimed: Dict[Const, bool] = {address: False for address in addresses}
-
-    # ------------------------------------------------------------------
-    # Phase 1: matching.  Determine, for every atom of Sigma', the forced
-    # sequence of Sigma atoms whose graph it must cover.  Any failure here
-    # means the graph of Sigma itself falsifies Sigma' ("mismatch"), except
-    # for the next-vs-lseg clash which is the paper's case (b).
-    # ------------------------------------------------------------------
-    matches: List[Tuple[SpatialAtom, List[SpatialAtom]]] = []
-    for demanded in sigma_neg:
-        if demanded.is_trivial:
-            continue
-        if isinstance(demanded, PointsTo):
-            cell = addresses.get(demanded.source)
-            if cell is None or cell.target != demanded.target:
-                return _mismatch(
-                    "no cell at {} pointing to {}".format(demanded.source, demanded.target)
-                )
-            if claimed[cell.address]:
-                return _mismatch("cell at {} needed twice".format(cell.address))
-            if isinstance(cell, ListSegment):
-                return UnfoldingOutcome(
-                    success=False,
-                    failure_kind="next_expects_cell",
-                    failure_edge=(cell.source, cell.target),
-                    failure_detail=(
-                        "{} demands a single cell but the left-hand side only "
-                        "guarantees the segment {}".format(demanded, cell)
-                    ),
-                )
-            claimed[cell.address] = True
-            matches.append((demanded, [cell]))
-        else:  # a non-trivial list segment lseg(x, z)
-            chain: List[SpatialAtom] = []
-            current = demanded.source
-            visited = {current}
-            while current != demanded.target:
-                cell = addresses.get(current)
-                if cell is None:
-                    return _mismatch(
-                        "the path demanded by {} dangles at {}".format(demanded, current)
-                    )
-                if claimed[cell.address]:
-                    return _mismatch(
-                        "the path demanded by {} reuses the cell at {}".format(demanded, current)
-                    )
-                claimed[cell.address] = True
-                chain.append(cell)
-                current = cell.target
-                if current in visited and current != demanded.target:
-                    return _mismatch(
-                        "the path demanded by {} runs into a cycle at {}".format(demanded, current)
-                    )
-                visited.add(current)
-            matches.append((demanded, chain))
-
-    unclaimed = [address for address, used in claimed.items() if not used]
-    if unclaimed:
-        return _mismatch(
-            "the right-hand side leaves the cell(s) at {} uncovered".format(
-                ", ".join(str(address) for address in sorted(unclaimed, key=str))
-            )
-        )
-
-    # ------------------------------------------------------------------
-    # Phase 2: rewriting.  Replay the matching as a sequence of U-rule
-    # applications on the negative clause, accumulating side conditions.
-    # ------------------------------------------------------------------
-    steps: List[UnfoldingStep] = []
-    current_clause = negative
-
-    for demanded, chain in matches:
-        if isinstance(demanded, PointsTo):
-            # Exact match with a next atom: nothing to rewrite.
-            continue
-
-        remaining = demanded  # the lseg atom still to be unfolded
-        for index, cell in enumerate(chain):
-            is_last = index == len(chain) - 1
-            if is_last:
-                if isinstance(cell, ListSegment):
-                    # The final piece is literally the remaining segment.
-                    break
-                # U1: the final piece is a cell next(x, z).
-                current_clause, step = _apply_rule(
-                    current_clause,
-                    positive,
-                    "U1",
-                    remaining,
-                    [PointsTo(cell.source, cell.target)],
-                    side_condition=EqAtom(cell.source, demanded.target),
-                    description="fold the final cell {} into {}".format(cell, remaining),
-                )
-                steps.append(step)
-                break
-
-            peeled = ListSegment(cell.target, demanded.target)
-            if isinstance(cell, PointsTo):
-                # U2: peel a cell off the front of the segment.
-                current_clause, step = _apply_rule(
-                    current_clause,
-                    positive,
-                    "U2",
-                    remaining,
-                    [PointsTo(cell.source, cell.target), peeled],
-                    side_condition=EqAtom(cell.source, demanded.target),
-                    description="peel {} off {}".format(cell, remaining),
-                )
-            else:
-                target = demanded.target
-                if target.is_nil:
-                    rule, side = "U3", None
-                else:
-                    anchor = addresses.get(target)
-                    if anchor is None:
-                        return UnfoldingOutcome(
-                            success=False,
-                            steps=steps,
-                            failure_kind="dangling_segment",
-                            failure_edge=(cell.source, cell.target),
-                            failure_target=target,
-                            failure_detail=(
-                                "{} must stop at {} but the left-hand side does not "
-                                "allocate {}".format(demanded, target, target)
-                            ),
-                        )
-                    if isinstance(anchor, PointsTo):
-                        rule, side = "U4", None
-                    else:
-                        rule, side = "U5", EqAtom(anchor.source, anchor.target)
-                current_clause, step = _apply_rule(
-                    current_clause,
-                    positive,
-                    rule,
-                    remaining,
-                    [ListSegment(cell.source, cell.target), peeled],
-                    side_condition=side,
-                    description="split {} at {}".format(remaining, cell.target),
-                )
-            steps.append(step)
-            remaining = peeled
-
-    # ------------------------------------------------------------------
-    # Phase 3: spatial resolution.  After the rewrite the two spatial formulas
-    # coincide and SR produces a pure clause.
-    # ------------------------------------------------------------------
-    rewritten_sigma = current_clause.spatial
-    assert rewritten_sigma is not None
-    if rewritten_sigma.drop_trivial() != sigma.drop_trivial():
-        raise AssertionError(
-            "unfolding completed but the rewritten formula {} differs from {}".format(
-                rewritten_sigma, sigma
-            )
-        )
-
-    derived = Clause.pure(
-        positive.gamma | current_clause.gamma, positive.delta | current_clause.delta
-    )
-    steps.append(
-        UnfoldingStep(
-            rule="SR",
-            before=current_clause,
-            after=derived,
-            positive_premise=positive,
-            description="resolve the matching spatial formulas away",
-        )
-    )
-    return UnfoldingOutcome(success=True, derived_pure=derived, steps=steps)
-
-
-def _mismatch(detail: str) -> UnfoldingOutcome:
+def mismatch(detail: str) -> UnfoldingOutcome:
+    """A failed outcome of kind ``"mismatch"`` (the base graph falsifies)."""
     return UnfoldingOutcome(success=False, failure_kind="mismatch", failure_detail=detail)
 
 
-def _apply_rule(
+def apply_rule(
     negative: Clause,
     positive: Clause,
     rule: str,
@@ -325,3 +152,67 @@ def _apply_rule(
         description=description,
     )
     return updated, step
+
+
+def unclaimed_cells_mismatch(claimed: Dict[Const, bool]) -> Optional[UnfoldingOutcome]:
+    """The end-of-matching check: every positive atom must have been claimed.
+
+    Returns the ``"mismatch"`` outcome naming the uncovered addresses, or
+    ``None`` when the cover is complete.  Shared by every theory's matcher.
+    """
+    unclaimed = [address for address, used in claimed.items() if not used]
+    if not unclaimed:
+        return None
+    return mismatch(
+        "the right-hand side leaves the cell(s) at {} uncovered".format(
+            ", ".join(str(address) for address in sorted(unclaimed, key=str))
+        )
+    )
+
+
+def resolve_spatial(
+    positive: Clause, current_clause: Clause, steps: List[UnfoldingStep]
+) -> UnfoldingOutcome:
+    """Spatial resolution: the shared final phase of every theory's unfolding.
+
+    After the rewrite the two spatial formulas coincide (asserted here) and SR
+    produces the pure clause ``Gamma u Gamma' -> Delta u Delta'``.
+    """
+    sigma = positive.spatial
+    rewritten_sigma = current_clause.spatial
+    assert sigma is not None and rewritten_sigma is not None
+    if rewritten_sigma.drop_trivial() != sigma.drop_trivial():
+        raise AssertionError(
+            "unfolding completed but the rewritten formula {} differs from {}".format(
+                rewritten_sigma, sigma
+            )
+        )
+
+    derived = Clause.pure(
+        positive.gamma | current_clause.gamma, positive.delta | current_clause.delta
+    )
+    steps.append(
+        UnfoldingStep(
+            rule="SR",
+            before=current_clause,
+            after=derived,
+            positive_premise=positive,
+            description="resolve the matching spatial formulas away",
+        )
+    )
+    return UnfoldingOutcome(success=True, derived_pure=derived, steps=steps)
+
+
+def unfold(positive: Clause, negative: Clause) -> UnfoldingOutcome:
+    """Attempt to rewrite the negative clause's formula into the positive one.
+
+    ``positive`` must be a normalised, well-formed positive spatial clause and
+    ``negative`` a normalised negative spatial clause (both as produced by
+    :func:`repro.spatial.normalization.normalize_clause`).  The rewrite is
+    delegated to the spatial theory owning the formulas' predicates.
+    """
+    if not positive.is_positive_spatial:
+        raise ValueError("the first argument must be a positive spatial clause")
+    if not negative.is_negative_spatial:
+        raise ValueError("the second argument must be a negative spatial clause")
+    return theory_of(positive, negative).unfold(positive, negative)

@@ -1,8 +1,16 @@
-"""Well-formedness rules W1–W5 (Figure 1).
+"""Well-formedness rules: unsatisfiable heap shapes become pure clauses.
 
 A positive spatial clause ``Gamma -> Delta, Sigma`` asserts a heap shape; the
 well-formedness rules detect shapes that cannot be realised by any heap and
-turn them into *pure* clauses:
+turn them into *pure* clauses.  Which shapes those are is theory specific —
+the rules belong to the :class:`~repro.spatial.theory.SpatialTheory` owning
+the formula's predicates — but they all follow the same scheme: an allocated
+address that is ``nil`` or claimed twice forces the involved segments to be
+empty (their emptiness equations are added to ``Delta``) or, when no segment
+can absorb the conflict, yields the plain clause ``Gamma -> Delta``.
+
+For the builtin singly-linked theory these are the paper's rules W1–W5
+(Figure 1):
 
 * **W1** ``next(nil, y)`` occurs in ``Sigma``: no heap has a cell at ``nil``;
   derive ``Gamma -> Delta``.
@@ -15,6 +23,9 @@ turn them into *pure* clauses:
 * **W5** ``lseg(x, y)`` and ``lseg(x, z)`` share the address ``x``: one of the
   two segments must be empty; derive ``Gamma -> x = y, x = z, Delta``.
 
+The doubly-linked rules (W1–W5 analogues plus the back-anchor rules D1–D4)
+live in :mod:`repro.spatial.dll`.
+
 Like normalisation, computing these consequences involves no search: it is a
 single pass over the (finitely many) atoms and pairs of atoms of ``Sigma``.
 """
@@ -24,14 +35,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Tuple
 
-from repro.logic.atoms import EqAtom, ListSegment, PointsTo, SpatialAtom
+from repro.logic.atoms import SpatialAtom
 from repro.logic.clauses import Clause
-from repro.logic.terms import NIL
+from repro.spatial.theory import theory_of
 
 
 @dataclass(frozen=True)
 class WellFormednessConsequence:
-    """A pure clause derived by one of the rules W1–W5."""
+    """A pure clause derived by one of the well-formedness rules."""
 
     rule: str
     conclusion: Clause
@@ -42,61 +53,31 @@ class WellFormednessConsequence:
         return "[{}] {}".format(self.rule, self.conclusion)
 
 
-def well_formedness_consequences(clause: Clause) -> List[WellFormednessConsequence]:
-    """All pure clauses derivable from a positive spatial clause by W1–W5.
+def consequence_emitter(clause: Clause, consequences: List[WellFormednessConsequence]):
+    """An ``emit(rule, extra_delta, offending)`` closure appending consequences.
 
-    The input must be a positive spatial clause; the consequences are pure
-    clauses sharing the input's ``Gamma``/``Delta`` with the extra equalities
-    mandated by each rule.
+    Shared by the theories' rule implementations: the conclusion is always the
+    premise's pure part with the rule's extra equalities added to ``Delta``.
     """
-    if not clause.is_positive_spatial:
-        raise ValueError("well-formedness rules apply to positive spatial clauses only")
-    sigma = clause.spatial
-    assert sigma is not None
 
-    consequences: List[WellFormednessConsequence] = []
-
-    def emit(rule: str, extra_delta: Tuple[EqAtom, ...], offending: Tuple[SpatialAtom, ...]) -> None:
+    def emit(rule, extra_delta, offending) -> None:
         conclusion = Clause.pure(clause.gamma, clause.delta | frozenset(extra_delta))
         consequences.append(
             WellFormednessConsequence(
-                rule=rule, conclusion=conclusion, premise=clause, offending=offending
+                rule=rule, conclusion=conclusion, premise=clause, offending=tuple(offending)
             )
         )
 
-    atoms = list(sigma)
+    return emit
 
-    # W1 / W2: nil used as an address.
-    for atom in atoms:
-        if not atom.address.is_nil:
-            continue
-        if isinstance(atom, PointsTo):
-            emit("W1", (), (atom,))
-        elif isinstance(atom, ListSegment) and not atom.is_trivial:
-            emit("W2", (EqAtom(atom.target, NIL),), (atom,))
 
-    # W3 / W4 / W5: two atoms sharing the same address.
-    for i in range(len(atoms)):
-        for j in range(i + 1, len(atoms)):
-            first, second = atoms[i], atoms[j]
-            if first.address != second.address or first.address.is_nil:
-                continue
-            first_is_next = isinstance(first, PointsTo)
-            second_is_next = isinstance(second, PointsTo)
-            if first_is_next and second_is_next:
-                emit("W3", (), (first, second))
-            elif first_is_next and not second_is_next:
-                emit("W4", (EqAtom(second.source, second.target),), (first, second))
-            elif not first_is_next and second_is_next:
-                emit("W4", (EqAtom(first.source, first.target),), (second, first))
-            else:
-                emit(
-                    "W5",
-                    (
-                        EqAtom(first.source, first.target),
-                        EqAtom(second.source, second.target),
-                    ),
-                    (first, second),
-                )
+def well_formedness_consequences(clause: Clause) -> List[WellFormednessConsequence]:
+    """All pure clauses derivable from a positive spatial clause.
 
-    return consequences
+    The input must be a positive spatial clause; the consequences are pure
+    clauses sharing the input's ``Gamma``/``Delta`` with the extra equalities
+    mandated by each rule of the owning theory.
+    """
+    if not clause.is_positive_spatial:
+        raise ValueError("well-formedness rules apply to positive spatial clauses only")
+    return theory_of(clause).well_formedness_consequences(clause)

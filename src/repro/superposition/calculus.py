@@ -36,7 +36,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from operator import attrgetter
-from typing import Iterable, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.logic.atoms import EqAtom
 from repro.logic.clauses import Clause

@@ -20,7 +20,7 @@ from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
 
-from repro.logic.clauses import Clause, EMPTY_CLAUSE
+from repro.logic.clauses import Clause
 from repro.logic.ordering import TermOrder
 from repro.superposition.calculus import Inference, SuperpositionCalculus
 from repro.superposition.index import ClauseIndex
