@@ -59,6 +59,73 @@ SEED_SECONDS = {12: 0.313, 16: 1.982, 20: 6.919}
 SEED_INSTANCES = 40
 
 
+def run_profile(top: int = 25) -> int:
+    """Emit the top-``top`` ``tottime`` table for the PERFORMANCE.md workload.
+
+    This is the manual cProfile recipe from PERFORMANCE.md ("Profiling
+    methodology") as one command, so before/after profiles of a perf change
+    are ``python scripts/bench_perf.py --profile`` at each commit.
+    """
+    import cProfile
+    import io
+    import pstats
+
+    batch = random_unsat_batch(UnsatParameters.paper(20), 15, seed=1020)
+    prover = Prover(ProverConfig().for_benchmarking())
+    for entailment in batch[:2]:  # warm caches outside the profiled region
+        prover.prove(entailment)
+    profile = cProfile.Profile()
+    profile.enable()
+    for entailment in batch:
+        prover.prove(entailment)
+    profile.disable()
+    stream = io.StringIO()
+    pstats.Stats(profile, stream=stream).sort_stats("tottime").print_stats(top)
+    print(stream.getvalue())
+    return 0
+
+
+def run_ablation_section(instances: int):
+    """Single-lever ablations on the n=20 row (the default config is both levers on).
+
+    * ``kernel_off``   — clause index + incremental models, symbolic engine;
+    * ``unit_rewrite`` — the kernel plus unit-rewrite demodulation (changes
+      ``generated_clauses``; verdict-equivalence is pinned by the fuzzer).
+    """
+    from dataclasses import replace
+
+    batch = random_unsat_batch(UnsatParameters.paper(20), instances, seed=1020)
+    rows = {}
+    base = ProverConfig().for_benchmarking()
+    for label, config in (
+        ("kernel_off", replace(base, use_int_kernel=False)),
+        ("unit_rewrite", base.with_unit_rewrite()),
+    ):
+        prover = Prover(config)
+        prover.prove(batch[0])
+        start = time.perf_counter()
+        valid = 0
+        generated = 0
+        for entailment in batch:
+            result = prover.prove(entailment)
+            valid += result.is_valid
+            generated += result.statistics.generated_clauses
+        elapsed = time.perf_counter() - start
+        rows[label] = {
+            "variables": 20,
+            "instances": instances,
+            "seconds": round(elapsed, 4),
+            "valid": valid,
+            "generated_clauses": generated,
+        }
+        print(
+            "[bench_perf] ablation/{:<12} n=20 {:>8.3f}s  valid={:<3} generated={}".format(
+                label, elapsed, valid, generated
+            )
+        )
+    return rows
+
+
 def run_config(label: str, config: ProverConfig, rows, instances: int):
     """Time one prover configuration over every workload row."""
     results = []
@@ -251,6 +318,12 @@ def main(argv=None) -> int:
         help="worker processes for the batch section (default: min(4, cpu count); quick: 2)",
     )
     parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="instead of benchmarking, print the top-25 tottime cProfile table "
+        "for the PERFORMANCE.md workload (n=20, 15 instances, seed 1020) and exit",
+    )
+    parser.add_argument(
         "--seed-baseline",
         action="store_true",
         help="also report speedups against the hardcoded seed-commit timings; "
@@ -258,6 +331,9 @@ def main(argv=None) -> int:
         "other host compare reference_seconds instead",
     )
     args = parser.parse_args(argv)
+
+    if args.profile:
+        return run_profile()
 
     rows = (12, 16) if args.quick else (12, 16, 20)
     instances = args.instances if args.instances is not None else (8 if args.quick else 40)
@@ -304,6 +380,7 @@ def main(argv=None) -> int:
 
     batch_section = run_batch_section(args.quick, jobs)
     theory_section = run_theory_section(args.quick)
+    ablation_section = None if args.quick else run_ablation_section(instances)
 
     total_indexed = sum(row["indexed_seconds"] for row in merged)
     total_reference = sum(row["reference_seconds"] for row in merged)
@@ -315,22 +392,32 @@ def main(argv=None) -> int:
         "rows": merged,
         "batch": batch_section,
         "theories": theory_section,
+        "ablations": ablation_section,
         "total": {
             "indexed_seconds": round(total_indexed, 4),
             "reference_seconds": round(total_reference, 4),
             "speedup_vs_reference": round(total_reference / total_indexed, 2),
         },
         "notes": (
-            "reference_seconds re-run the unindexed algorithm in-tree on the "
-            "same machine and are the portable trajectory metric (a lower "
-            "bound on the speedup over the seed commit).  seed_seconds, when "
-            "present (--seed-baseline), were measured at the seed commit "
-            "(da8c932) with 40 instances per row and are only comparable on "
-            "the machine that produced them.  batch.parallel scaling is "
-            "bounded by cpu_count (a 1-core host shows the IPC overhead, not "
-            "a speedup); batch.cache is host-independent: it reports the "
-            "throughput of answering an alpha-renamed copy of the corpus "
-            "from the warm proof cache."
+            "indexed_seconds run the default configuration — since PR 5 that "
+            "is the dense integer clause kernel plus the adaptive clause "
+            "index and incremental model maintenance; unit-rewrite stays "
+            "off, so generated_clauses must equal the reference's (the "
+            "script aborts otherwise).  reference_seconds re-run the "
+            "unindexed symbolic algorithm in-tree on the same machine and "
+            "are the portable trajectory metric (a lower bound on the "
+            "speedup over the seed commit).  seed_seconds, when present "
+            "(--seed-baseline), were measured at the seed commit (da8c932) "
+            "with 40 instances per row and are only comparable on the "
+            "machine that produced them.  ablations single-lever the n=20 "
+            "row: kernel_off keeps index+incremental on the symbolic "
+            "engine; unit_rewrite adds demodulation (different "
+            "generated_clauses by design, verdict-equivalence pinned by the "
+            "fuzzer).  batch.parallel scaling is bounded by cpu_count (a "
+            "1-core host shows the IPC overhead, not a speedup); "
+            "batch.cache is host-independent: it reports the throughput of "
+            "answering an alpha-renamed copy of the corpus from the warm "
+            "proof cache."
         ),
     }
     if merged and all("speedup_vs_seed" in row for row in merged):

@@ -31,7 +31,7 @@ from repro.logic.cnf import cnf
 from repro.logic.formula import Entailment
 from repro.logic.ordering import TermOrder, default_order
 from repro.semantics.counterexample import Counterexample, build_counterexample
-from repro.spatial.normalization import normalize_clause
+from repro.spatial.normalization import normalize_clause, normalize_clause_fast
 from repro.spatial.unfolding import UnfoldingOutcome, unfold
 from repro.spatial.wellformedness import well_formedness_consequences
 from repro.superposition.model import (
@@ -92,6 +92,8 @@ class Prover:
             order,
             max_clauses=self.config.max_saturation_clauses,
             use_index=self.config.use_clause_index,
+            use_kernel=self.config.use_int_kernel,
+            use_unit_rewrite=self.config.use_unit_rewrite,
         )
         model_generator = (
             IncrementalModelGenerator(order, verify=self.config.verify_model)
@@ -110,6 +112,27 @@ class Prover:
         proof: Optional[Proof] = None
         counterexample: Optional[Counterexample] = None
 
+        # Without a trace the normalisation steps are only *counted*, so the
+        # one-pass fast path applies; the stepwise path exists to materialise
+        # the per-step records a proof tree needs.  The well-formedness
+        # consequences are a pure function of the normalised clause and the
+        # inner loop can reproduce the same normal form — memoise them.
+        consequence_cache: dict = {}
+
+        def normalized(side: Clause, model: EqualityModel):
+            if trace is None:
+                return normalize_clause_fast(side, model)
+            result, steps = normalize_clause(side, model)
+            self._trace_normalization(trace, steps)
+            return result, len(steps)
+
+        def consequences_of(positive: Clause):
+            hit = consequence_cache.get(positive)
+            if hit is None:
+                hit = tuple(well_formedness_consequences(positive))
+                consequence_cache[positive] = hit
+            return hit
+
         for _ in range(self.config.max_iterations):
             statistics.iterations += 1
             if deadline is not None and time.perf_counter() > deadline:
@@ -126,11 +149,9 @@ class Prover:
                 if model is None:
                     refuted = True
                     break
-                positive, steps = normalize_clause(embedding.positive_spatial, model)
-                statistics.normalization_steps += len(steps)
-                if trace is not None:
-                    self._trace_normalization(trace, steps)
-                consequences = well_formedness_consequences(positive)
+                positive, step_count = normalized(embedding.positive_spatial, model)
+                statistics.normalization_steps += step_count
+                consequences = consequences_of(positive)
                 fresh = [
                     consequence
                     for consequence in consequences
@@ -170,10 +191,8 @@ class Prover:
                 break
 
             # ---------------- lines 12-14: normalise the right-hand side and unfold
-            negative, neg_steps = normalize_clause(embedding.negative_spatial, model)
-            statistics.normalization_steps += len(neg_steps)
-            if trace is not None:
-                self._trace_normalization(trace, neg_steps)
+            negative, neg_step_count = normalized(embedding.negative_spatial, model)
+            statistics.normalization_steps += neg_step_count
 
             outcome = unfold(positive, negative)
             statistics.unfolding_steps += len(outcome.steps)
@@ -210,6 +229,10 @@ class Prover:
             if trace is not None:
                 self._trace_unfolding(trace, outcome)
             engine.add_clauses([derived])
+            # Keep the statistic in sync with the engine: the clause just
+            # queued is generated work even if the next event is a timeout or
+            # an immediate refutation inside ``add_clauses`` itself.
+            statistics.generated_clauses = engine.generated_count
         else:
             raise ProverInternalError(
                 "the prover did not terminate within {} iterations".format(
@@ -257,7 +280,7 @@ class Prover:
                 return None
             try:
                 if model_generator is not None:
-                    return model_generator.model_for(engine.known_pure_clauses())
+                    return model_generator.model_for_engine(engine)
                 return generate_model(
                     engine.known_pure_clauses(), order, verify=self.config.verify_model
                 )

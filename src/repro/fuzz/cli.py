@@ -44,6 +44,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="also cross-check against the smallfoot/jstar baseline provers",
     )
     parser.add_argument(
+        "--unit-rewrite", action="store_true",
+        help="run the primary prover with unit-rewrite simplification enabled "
+        "(ProverConfig.use_unit_rewrite): the campaign then pins the "
+        "demodulating engine's verdicts against the reference and the "
+        "enumeration oracle",
+    )
+    parser.add_argument(
         "--max-enum-vars", type=int, default=3, metavar="K",
         help="enumeration-oracle variable bound (default 3; the oracle is exponential)",
     )
@@ -133,6 +140,12 @@ def fuzz_main(argv: Optional[Iterable[str]] = None) -> int:
     except ValueError as error:
         parser.error(str(error))
 
+    config = None
+    if arguments.unit_rewrite:
+        from repro.core.config import ProverConfig
+
+        config = ProverConfig(record_proof=False).with_unit_rewrite()
+
     report = run_campaign(
         seed=arguments.seed,
         iterations=arguments.iterations,
@@ -144,6 +157,7 @@ def fuzz_main(argv: Optional[Iterable[str]] = None) -> int:
         timeout=arguments.timeout,
         shrink_findings=not arguments.no_shrink,
         corpus_dir=arguments.corpus,
+        config=config,
     )
 
     for line in report.summary_lines():

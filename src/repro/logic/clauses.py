@@ -105,13 +105,27 @@ class Clause:
 
     # -- queries -----------------------------------------------------------
     def constants(self) -> FrozenSet[Const]:
-        """All constants occurring in the clause."""
+        """All constants occurring in the clause (memoised).
+
+        Callers treat a clause's constant set as a static property — the
+        incremental model generator keys its per-constant invalidation on it
+        every round — so it is computed once per clause object.
+        """
+        cached = self._constants  # type: ignore[attr-defined]
+        if cached is not None:
+            return cached
         result = set()
-        for atom in self.gamma | self.delta:
-            result.update(atom.constants())
+        for atom in self.gamma:
+            result.add(atom.left)
+            result.add(atom.right)
+        for atom in self.delta:
+            result.add(atom.left)
+            result.add(atom.right)
         if self.spatial is not None:
             result.update(self.spatial.constants())
-        return frozenset(result)
+        cached = frozenset(result)
+        object.__setattr__(self, "_constants", cached)
+        return cached
 
     def literals(self) -> Tuple[Tuple[EqAtom, bool], ...]:
         """The pure literals of the clause as ``(atom, positive)`` pairs.
@@ -120,9 +134,33 @@ class Clause:
         formatting them: this method sits on hot paths (CNF embedding, proof
         reconstruction) where string building shows up in profiles.
         """
-        negative = tuple((atom, False) for atom in sorted(self.gamma, key=_atom_key))
-        positive = tuple((atom, True) for atom in sorted(self.delta, key=_atom_key))
+        negative = tuple((atom, False) for atom in self.sorted_gamma())
+        positive = tuple((atom, True) for atom in self.sorted_delta())
         return negative + positive
+
+    def sorted_gamma(self) -> Tuple[EqAtom, ...]:
+        """``gamma`` as a tuple in structural (presentation) sort-key order.
+
+        This is the *canonical iteration order* of the clause's negative
+        atoms.  The superposition calculus iterates negative literals in this
+        order when generating inferences, so that every engine configuration
+        — naive scan, clause index, dense integer kernel — emits conclusions
+        in an identical sequence.  Memoised: the same clause is asked for its
+        sorted sides by every inference it participates in.
+        """
+        cached = self._sorted_gamma  # type: ignore[attr-defined]
+        if cached is None:
+            cached = tuple(sorted(self.gamma, key=_atom_key))
+            object.__setattr__(self, "_sorted_gamma", cached)
+        return cached
+
+    def sorted_delta(self) -> Tuple[EqAtom, ...]:
+        """``delta`` as a tuple in structural sort-key order (memoised)."""
+        cached = self._sorted_delta  # type: ignore[attr-defined]
+        if cached is None:
+            cached = tuple(sorted(self.delta, key=_atom_key))
+            object.__setattr__(self, "_sorted_delta", cached)
+        return cached
 
     def subsumes(self, other: "Clause") -> bool:
         """Clause subsumption for pure clauses.
@@ -182,6 +220,11 @@ class Clause:
         )
         #: Cheap syntactic tautology check for pure clauses.
         object.__setattr__(self, "is_tautology", tautology)
+        # Lazily-filled caches for the canonical iteration order (see
+        # ``sorted_gamma``/``sorted_delta``) and the constant set.
+        object.__setattr__(self, "_sorted_gamma", None)
+        object.__setattr__(self, "_sorted_delta", None)
+        object.__setattr__(self, "_constants", None)
 
     def __hash__(self) -> int:
         return self._hash  # type: ignore[attr-defined]

@@ -61,6 +61,11 @@ def clear_intern_tables() -> None:
     Call between unrelated workloads to stop the tables from pinning every
     name the process has ever seen.  Existing objects stay valid — interning
     only affects sharing, never equality.
+
+    The dense kernel's clause-level decode memos deliberately do *not* live
+    here: they are per-engine (see ``DenseEncoder.decode``), so a long batch
+    or fuzzing run releases each problem's clauses with its engine instead of
+    pinning them process-wide.
     """
     _ATOM_INTERN.clear()
     clear_const_intern()

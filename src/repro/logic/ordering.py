@@ -65,6 +65,18 @@ class TermOrder:
         self._production_cache: Dict["Clause", Optional[Tuple[Const, Const, EqAtom]]] = {}
 
     # -- term level ---------------------------------------------------------
+    def known_constants(self) -> List[Const]:
+        """Every constant the precedence explicitly ranks, smallest first.
+
+        ``nil`` is always included (and always first).  The dense integer
+        kernel (:mod:`repro.superposition.kernel`) seeds its id space from
+        this list: assigning ids in ascending precedence order turns every
+        term comparison — and therefore every literal and clause comparison —
+        into a plain integer compare on the dense side.
+        """
+        ranked = sorted(self._rank, key=self._rank.__getitem__)
+        return [NIL] + ranked
+
     def key(self, constant: Const) -> Tuple[int, int, str]:
         """A sort key that realises the precedence (larger key = larger term)."""
         cached = self._key_cache.get(constant)

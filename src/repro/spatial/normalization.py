@@ -136,3 +136,83 @@ def _find_reducible_constant(sigma: SpatialFormula, model: EqualityModel) -> Opt
         if not model.relation.is_irreducible(constant):
             return constant
     return None
+
+
+def normalize_clause_fast(clause: Clause, model: EqualityModel) -> Tuple[Clause, int]:
+    """:func:`normalize_clause` without materialising the step objects.
+
+    Returns the identical normalised clause together with the *number* of
+    rule applications the step-by-step algorithm would record.  The prover
+    uses this path whenever no proof trace is being recorded: the stepwise
+    loop builds a fresh clause and spatial formula per rewrite step purely
+    for the trace, which dominated normalisation cost in profiles.
+
+    Equivalence with the stepwise algorithm (pinned by
+    ``tests/test_kernel.py``):
+
+    * the final spatial formula is the one-pass simultaneous substitution of
+      every constant by its normal form — sequential single-edge application
+      composes to exactly that map;
+    * the merged leftover literals are those of the *applied* edges, and the
+      set of applied edges is the union of the rewrite paths of the
+      formula's original constants (every applied edge lies on such a path,
+      and every path edge eventually fires);
+    * the step count is replayed on a lightweight constant set using the
+      same pick order (name-least reducible constant first).
+    """
+    if clause.is_pure or clause.spatial is None:
+        return clause, 0
+
+    sigma = clause.spatial
+    relation = model.relation
+    successor = relation.successor
+
+    constants = set(sigma.constants())
+    if not any(constant in relation for constant in constants):
+        rewrite_steps = 0
+        gamma, delta = clause.gamma, clause.delta
+        final_sigma = sigma
+    else:
+        rewrite_steps = 0
+        gamma_parts = [clause.gamma]
+        delta_parts = [clause.delta]
+        present = set(constants)
+        while True:
+            source = None
+            for constant in sorted(present, key=_const_name):
+                if constant in relation:
+                    source = constant
+                    break
+            if source is None:
+                break
+            target = successor(source)
+            assert target is not None
+            generator = model.generator_for(source, target)
+            gamma_parts.append(generator.leftover_gamma)
+            delta_parts.append(generator.leftover_delta)
+            present.discard(source)
+            present.add(target)
+            rewrite_steps += 1
+        gamma = frozenset().union(*gamma_parts)
+        delta = frozenset().union(*delta_parts)
+        mapping = {
+            constant: relation.normal_form(constant)
+            for constant in constants
+            if constant in relation
+        }
+        final_sigma = sigma.substitute(mapping)
+
+    removals = sum(1 for atom in final_sigma if atom.is_trivial)
+    if removals:
+        final_sigma = SpatialFormula(
+            atom for atom in final_sigma if not atom.is_trivial
+        )
+    if rewrite_steps or removals:
+        normalized = Clause(gamma, delta, final_sigma, clause.spatial_on_right)
+    else:
+        normalized = clause
+    return normalized, rewrite_steps + removals
+
+
+def _const_name(constant: Const) -> str:
+    return constant.name

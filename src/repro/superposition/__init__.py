@@ -20,11 +20,15 @@ clauses over equalities between constant symbols.  The three modules are:
   constants and their normal forms;
 * :mod:`repro.superposition.index` — the literal-occurrence / feature-vector
   clause index that turns the engine's subsumption and partner-selection
-  queries into dictionary lookups.
+  queries into dictionary lookups;
+* :mod:`repro.superposition.kernel` — the dense integer clause kernel: the
+  same given-clause loop over per-problem interned integer codes, with
+  symbolic clauses only at the engine boundary.
 """
 
 from repro.superposition.calculus import SuperpositionCalculus
 from repro.superposition.index import ClauseIndex
+from repro.superposition.kernel import DenseEncoder, IntClauseIndex, IntSaturationCore
 from repro.superposition.model import (
     EqualityModel,
     IncrementalModelGenerator,
@@ -40,6 +44,9 @@ __all__ = [
     "SaturationResult",
     "RewriteRelation",
     "ClauseIndex",
+    "DenseEncoder",
+    "IntClauseIndex",
+    "IntSaturationCore",
     "EqualityModel",
     "IncrementalModelGenerator",
     "ModelGenerationError",

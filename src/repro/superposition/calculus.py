@@ -35,7 +35,6 @@ problem's constants.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from operator import attrgetter
 from typing import List, Optional, Tuple
 
 from repro.logic.atoms import EqAtom
@@ -43,11 +42,6 @@ from repro.logic.clauses import Clause
 from repro.logic.intern import intern_atom
 from repro.logic.ordering import TermOrder
 from repro.logic.terms import Const
-
-#: Structural sort key of an atom, precomputed by ``EqAtom.__init__`` — the
-#: deterministic iteration order for equality factoring, without the string
-#: formatting a ``key=str`` sort would pay per comparison.
-_atom_key = attrgetter("sort_key")
 
 
 @dataclass(frozen=True)
@@ -121,7 +115,7 @@ class SuperpositionCalculus:
         if not clause.is_pure or clause.gamma:
             return []
         inferences: List[Inference] = []
-        delta = sorted(clause.delta, key=_atom_key)
+        delta = clause.sorted_delta()
         for i, first in enumerate(delta):
             if first.is_trivial:
                 continue
@@ -165,8 +159,14 @@ class SuperpositionCalculus:
 
         if right.gamma:
             # All negative literals of the premise are selected:
-            # superposition left into each of them, and nothing else.
-            for target in right.gamma:
+            # superposition left into each of them, and nothing else.  The
+            # iteration is over the clause's *canonical* (sort-key) order
+            # rather than raw frozenset order: conclusions are enqueued in
+            # emission order, so a deterministic, representation-independent
+            # sequence here is what lets every engine configuration — naive,
+            # indexed, dense-kernel — derive identical clauses in an
+            # identical order.
+            for target in right.sorted_gamma():
                 rewritten = self._rewrite_atom(target, big, small)
                 if rewritten is None:
                     continue

@@ -1,0 +1,1189 @@
+"""The dense integer clause kernel of the saturation core.
+
+The pure fragment is ground equational logic over a small, per-problem
+constant vocabulary — exactly the setting where SMT-style solvers win by
+trading symbolic objects for dense integers.  This module is that trade for
+the saturation engine: everything inside the given-clause loop becomes
+arithmetic and small-int dictionary traffic, and symbolic ``Clause`` objects
+exist only at the engine boundary.
+
+Representation
+--------------
+
+* **Constants** are interned per problem to dense ids assigned in *ascending
+  term order* (``nil`` is id 0), seeded from
+  :meth:`~repro.logic.ordering.TermOrder.known_constants`.  Because the id
+  order realises the precedence, ``TermOrder.greater(a, b)`` compiles to
+  ``id(a) > id(b)``.
+* **Atoms** are packed into one int ``(big << 16) | small`` with
+  ``big >= small`` in id order.  Orientation (``orient``) is two shifts,
+  triviality is ``big == small``, and — because the positive-literal measure
+  ``{x, y}`` compares exactly like the descending pair ``(x, y)`` — the
+  *positive literal ordering is integer comparison of atom codes*.  The same
+  holds for negative literals among themselves (their measure
+  ``{x, x, y, y}`` is pair comparison doubled), which is all the kernel ever
+  needs: maximality questions only arise inside ``delta``.
+* **Clauses** are pairs of ascending-sorted tuples of atom codes, interned
+  per engine into :class:`IntClause` records that precompute everything the
+  loop reads per visit: literal frozensets and feature bitmasks for
+  subsumption, the productive (strictly maximal, orientable) equation, the
+  leftover ``delta`` of a production, and the canonical presentation order of
+  both sides.
+
+Equivalence
+-----------
+
+The kernel path derives **byte-identical clauses in identical order** to the
+symbolic engine (``use_kernel=False``), which is itself pinned against the
+seed algorithm via ``ProverConfig.reference()``.  Three facts carry the pin:
+
+1. id order realises the term order, so all ordering-gated side conditions
+   (orientation, strict maximality, production) agree literal-for-literal;
+2. inference *emission* order is canonical on both sides — the calculus
+   iterates ``sorted_gamma()``/``sorted_delta()`` and the kernel iterates the
+   precomputed presentation-ranked tuples, which sort identically because
+   presentation ranks are order-isomorphic to the atom sort keys;
+3. the passive queue orders by ``(weight, tick)`` only, and ticks are handed
+   out in the same enqueue sequence.
+
+``tests/test_kernel.py`` pins all of this over the equivalence corpus, plus
+a hypothesis round-trip property for the encoding itself.
+
+The **unit-rewrite** layer (``use_unit_rewrite``) sits on top: a union-find
+over dense constant ids absorbs every activated unit positive equality and
+forward-simplifies (demodulates) clauses before they are processed.  This
+*changes the derivation sequence* — it is a genuine simplification, not a
+representation change — so it is gated separately and pinned only for
+verdict equivalence (differential fuzzer + enumeration oracle), never for
+derivation equivalence.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections.abc import Mapping as _MappingBase
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.logic.atoms import EqAtom
+from repro.logic.clauses import Clause
+from repro.logic.intern import intern_atom
+from repro.logic.ordering import TermOrder
+from repro.logic.terms import Const
+
+__all__ = [
+    "SHIFT",
+    "DenseEncoder",
+    "IntClause",
+    "IntClauseIndex",
+    "IntSaturationCore",
+]
+
+#: Bits reserved for the smaller side of an atom code.  2**16 constants per
+#: problem is far beyond anything the fragment produces (Table 1 tops out
+#: near two dozen); the encoder raises if a problem ever exceeds it.
+SHIFT = 16
+_MASK = (1 << SHIFT) - 1
+
+#: Width of the literal feature bitmasks (a prime keeps the ``code % width``
+#: buckets well spread for the arithmetic progressions atom codes form).
+_FEATURE_BITS = 61
+
+
+class IntClause:
+    """One interned dense clause: sorted code tuples plus precomputed features.
+
+    Instances are unique per (engine, ``gamma``, ``delta``) — the encoder's
+    intern table guarantees it — so identity comparison *is* clause equality
+    and the engine stores its per-clause state (``seen``/``in_active``/
+    ``in_passive``) as plain attributes instead of set memberships.
+    """
+
+    __slots__ = (
+        "gamma",
+        "delta",
+        "gamma_set",
+        "delta_set",
+        "gmask",
+        "dmask",
+        "weight",
+        "is_empty",
+        "is_tautology",
+        "production",
+        "rest_delta",
+        "gamma_pres",
+        "delta_pres",
+        "sort_key",
+        "ordinal",
+        "seen",
+        "in_active",
+        "in_passive",
+        "decoded",
+    )
+
+    gamma: Tuple[int, ...]
+    delta: Tuple[int, ...]
+    production: Optional[Tuple[int, int, int]]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "IntClause(gamma={}, delta={})".format(self.gamma, self.delta)
+
+
+def _trivial(code: int) -> bool:
+    return (code >> SHIFT) == (code & _MASK)
+
+
+def _pack(a: int, b: int) -> int:
+    """The canonical atom code for the unordered id pair ``{a, b}``."""
+    if a >= b:
+        return (a << SHIFT) | b
+    return (b << SHIFT) | a
+
+
+#: Shared empty literal set — a large fraction of clauses have an empty side.
+_EMPTY_SET: frozenset = frozenset()
+
+
+class DenseEncoder:
+    """Per-problem dense interning of constants, atoms and clauses.
+
+    Parameters
+    ----------
+    order:
+        The problem's term ordering; its ranked constants seed the id space.
+    on_rebuild:
+        Called with the old-id -> new-id mapping whenever a late-registered
+        constant forces a renumbering (see :meth:`register_constants`).  The
+        owning engine uses it to refresh id-keyed state (index buckets, the
+        unit-rewrite union-find).
+    """
+
+    def __init__(
+        self,
+        order: TermOrder,
+        on_rebuild: Optional[Callable[[List[int]], None]] = None,
+    ):
+        self._order = order
+        self._on_rebuild = on_rebuild
+        self.rebuilds = 0
+        self._consts: List[Const] = []
+        self._const_id: Dict[Const, int] = {}
+        #: Per-id rank of the constant's *name* in plain string order — the
+        #: presentation order ``EqAtom.sort_key`` realises.  Kept alongside
+        #: the term-order ids so canonical iteration order is integer sorting.
+        self._name_rank: List[int] = []
+        self._atom_code: Dict[EqAtom, int] = {}
+        self._atom_of: Dict[int, EqAtom] = {}
+        self._pres: Dict[int, int] = {}
+        self._clauses: Dict[Tuple[int, ...], IntClause] = {}
+        self._clause_of: Dict[Clause, IntClause] = {}
+        self._ordinal = itertools.count()
+        self._seed(order.known_constants())
+
+    # -- vocabulary ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._consts)
+
+    def constants(self) -> Tuple[Const, ...]:
+        """The vocabulary in id order (ascending term order)."""
+        return tuple(self._consts)
+
+    def const_id(self, constant: Const) -> int:
+        """The dense id of a registered constant."""
+        return self._const_id[constant]
+
+    def _seed(self, constants: Iterable[Const]) -> None:
+        self._consts = list(constants)
+        if len(self._consts) > _MASK:
+            raise ValueError(
+                "the dense kernel supports at most {} constants per problem".format(_MASK)
+            )
+        self._const_id = {c: i for i, c in enumerate(self._consts)}
+        by_name = sorted(range(len(self._consts)), key=lambda i: self._consts[i].name)
+        self._name_rank = [0] * len(self._consts)
+        for rank, index in enumerate(by_name):
+            self._name_rank[index] = rank
+
+    def register_constants(self, constants: Iterable[Const]) -> None:
+        """Make sure every given constant has a dense id.
+
+        Appending preserves both invariants (id order = term order, name-rank
+        order = name order) only when the newcomer sorts above everything
+        already registered on *both* orders; otherwise the whole id space is
+        renumbered and every interned object is re-encoded in place.  In the
+        prover's flow the vocabulary is fully known at engine construction
+        (``default_order`` ranks every constant of the entailment), so the
+        rebuild path only ever triggers for direct engine use.
+        """
+        fresh = [c for c in constants if c not in self._const_id]
+        if not fresh:
+            return
+        fresh.sort(key=self._order.key)
+        key = self._order.key
+        monotone = True
+        if self._consts:
+            last_key = key(self._consts[-1])
+            last_name = max(c.name for c in self._consts)
+            for constant in fresh:
+                if key(constant) <= last_key or constant.name <= last_name:
+                    monotone = False
+                    break
+                last_key = key(constant)
+                last_name = constant.name
+        if monotone:
+            for constant in fresh:
+                self._const_id[constant] = len(self._consts)
+                self._consts.append(constant)
+                self._name_rank.append(len(self._name_rank))
+            if len(self._consts) > _MASK:
+                raise ValueError(
+                    "the dense kernel supports at most {} constants per problem".format(
+                        _MASK
+                    )
+                )
+            return
+        self._rebuild(fresh)
+
+    def _rebuild(self, fresh: List[Const]) -> None:
+        old_consts = self._consts
+        self._seed(sorted(old_consts + fresh, key=self._order.key))
+        remap = [self._const_id[c] for c in old_consts]
+        # Atom- and clause-level caches are keyed by codes, which just
+        # changed meaning: re-encode every interned object *in place* so all
+        # references held by the engine (active list, passive heap,
+        # derivation records) stay valid.
+        self._atom_code = {}
+        self._atom_of = {}
+        self._pres = {}
+        clauses = list(self._clauses.values())
+        self._clauses = {}
+        for clause in clauses:
+            gamma = tuple(
+                sorted(
+                    _pack(remap[code >> SHIFT], remap[code & _MASK])
+                    for code in clause.gamma
+                )
+            )
+            delta = tuple(
+                sorted(
+                    _pack(remap[code >> SHIFT], remap[code & _MASK])
+                    for code in clause.delta
+                )
+            )
+            self._fill(clause, gamma, delta)
+            self._clauses[gamma + (-1,) + delta] = clause
+        self.rebuilds += 1
+        if self._on_rebuild is not None:
+            self._on_rebuild(remap)
+
+    # -- atoms ---------------------------------------------------------------
+    def atom_code(self, atom: EqAtom) -> int:
+        """The packed code of an equality atom (its constants must be registered)."""
+        code = self._atom_code.get(atom)
+        if code is None:
+            code = _pack(self._const_id[atom.left], self._const_id[atom.right])
+            self._atom_code[atom] = code
+            self._atom_of.setdefault(code, atom)
+        return code
+
+    def atom_of(self, code: int) -> EqAtom:
+        """The interned :class:`EqAtom` a code denotes."""
+        atom = self._atom_of.get(code)
+        if atom is None:
+            atom = intern_atom(self._consts[code >> SHIFT], self._consts[code & _MASK])
+            self._atom_of[code] = atom
+        return atom
+
+    def pres_key(self, code: int) -> int:
+        """The packed presentation rank of an atom code.
+
+        Sorting codes by this key is exactly sorting the decoded atoms by
+        ``EqAtom.sort_key``: the key is the name-rank pair in the atom's
+        canonical presentation order (``nil`` last, otherwise by name).
+        """
+        key = self._pres.get(code)
+        if key is None:
+            big, small = code >> SHIFT, code & _MASK
+            nb, ns = self._name_rank[big], self._name_rank[small]
+            if small == 0 and big != 0:
+                # nil (id 0) is presented last regardless of its name rank.
+                key = (nb << SHIFT) | ns
+            elif nb <= ns:
+                key = (nb << SHIFT) | ns
+            else:
+                key = (ns << SHIFT) | nb
+            self._pres[code] = key
+        return key
+
+    # -- clauses -------------------------------------------------------------
+    def intern(self, gamma: Tuple[int, ...], delta: Tuple[int, ...]) -> IntClause:
+        """The unique :class:`IntClause` for two ascending-sorted code tuples."""
+        key = gamma + (-1,) + delta
+        clause = self._clauses.get(key)
+        if clause is None:
+            clause = IntClause()
+            self._fill(clause, gamma, delta)
+            clause.ordinal = next(self._ordinal)
+            clause.seen = False
+            clause.in_active = False
+            clause.in_passive = False
+            clause.decoded = None
+            self._clauses[key] = clause
+        return clause
+
+    def _fill(self, clause: IntClause, gamma: Tuple[int, ...], delta: Tuple[int, ...]) -> None:
+        """(Re)compute every derived field from the code tuples."""
+        clause.gamma = gamma
+        clause.delta = delta
+        clause.gamma_set = frozenset(gamma) if gamma else _EMPTY_SET
+        clause.delta_set = frozenset(delta) if delta else _EMPTY_SET
+        # Feature bitmasks serve only the pre-index linear subsumption scans;
+        # fill them lazily (see ``_masks_of``) so the indexed steady state
+        # never pays for them.
+        clause.gmask = None
+        clause.dmask = None
+        clause.weight = len(gamma) + len(delta)
+        clause.is_empty = not gamma and not delta
+        tautology = False
+        for code in delta:
+            if (code >> SHIFT) == (code & _MASK):
+                tautology = True
+                break
+        if (
+            not tautology
+            and gamma
+            and delta
+            and not clause.gamma_set.isdisjoint(clause.delta_set)
+        ):
+            tautology = True
+        clause.is_tautology = tautology
+        clause.production = None
+        clause.rest_delta = ()
+        if not gamma and delta:
+            # delta is ascending in atom-code order, which *is* the positive
+            # literal ordering, so the last code is the maximal equation; it
+            # is strictly maximal because distinct atoms have distinct codes.
+            top = delta[-1]
+            big, small = top >> SHIFT, top & _MASK
+            if big != small:
+                clause.production = (big, small, top)
+                clause.rest_delta = delta[:-1]
+        # Presentation-ordered views and the clause sort key are only needed
+        # once a clause actually participates in an inference / reaches the
+        # model generator; most enqueued clauses are discarded (tautology,
+        # subsumed) before that, so they are filled lazily (see
+        # ``gamma_pres_of``/``delta_pres_of``/``sort_key_of``).
+        clause.gamma_pres = None
+        clause.delta_pres = None
+        clause.sort_key = None
+
+    def gamma_pres_of(self, clause: IntClause) -> Tuple[int, ...]:
+        """``gamma`` in canonical presentation order (lazy, memoised)."""
+        pres = clause.gamma_pres
+        if pres is None:
+            pres = tuple(sorted(clause.gamma, key=self.pres_key))
+            clause.gamma_pres = pres
+        return pres
+
+    def delta_pres_of(self, clause: IntClause) -> Tuple[int, ...]:
+        """``delta`` in canonical presentation order (lazy, memoised)."""
+        pres = clause.delta_pres
+        if pres is None:
+            pres = tuple(sorted(clause.delta, key=self.pres_key))
+            clause.delta_pres = pres
+        return pres
+
+    @staticmethod
+    def sort_key_of(clause: IntClause) -> Tuple[int, ...]:
+        """The clause's measuring multiset as a tuple of packed literal ints.
+
+        Each literal becomes ``(big << 17) | (negative << 16) | small`` —
+        exactly the literal ordering (a negative literal outranks the
+        positive literal over the same atom, everything else is decided by
+        the oriented sides) — and the clause key is the descending sort.
+        Comparing two such tuples reproduces
+        :meth:`~repro.logic.ordering.TermOrder.clause_sort_key`'s multiset
+        extension verbatim, including the injectivity the incremental model
+        generator relies on, at integer-compare cost.
+        """
+        key = clause.sort_key
+        if key is None:
+            literals = [
+                (code >> SHIFT << (SHIFT + 1)) | (1 << SHIFT) | (code & _MASK)
+                for code in clause.gamma
+            ]
+            literals.extend(
+                (code >> SHIFT << (SHIFT + 1)) | (code & _MASK)
+                for code in clause.delta
+            )
+            literals.sort(reverse=True)
+            key = tuple(literals)
+            clause.sort_key = key
+        return key
+
+    def encode_clause(self, clause: Clause) -> IntClause:
+        """The dense form of a pure clause (faithful — no simplification)."""
+        encoded = self._clause_of.get(clause)
+        if encoded is not None:
+            return encoded
+        self.register_constants(clause.constants())
+        atom_code = self.atom_code
+        gamma = tuple(sorted(atom_code(atom) for atom in clause.gamma))
+        delta = tuple(sorted(atom_code(atom) for atom in clause.delta))
+        encoded = self.intern(gamma, delta)
+        if encoded.decoded is None:
+            encoded.decoded = clause
+        self._clause_of[clause] = encoded
+        return encoded
+
+    def lookup_clause(self, clause: Clause) -> Optional[IntClause]:
+        """The dense form of ``clause`` if it is already interned, else ``None``.
+
+        Never mutates the encoder — safe for read-only mapping views.
+        """
+        hit = self._clause_of.get(clause)
+        if hit is not None:
+            return hit
+        const_id = self._const_id
+        try:
+            gamma = tuple(
+                sorted(
+                    _pack(const_id[atom.left], const_id[atom.right])
+                    for atom in clause.gamma
+                )
+            )
+            delta = tuple(
+                sorted(
+                    _pack(const_id[atom.left], const_id[atom.right])
+                    for atom in clause.delta
+                )
+            )
+        except KeyError:
+            return None
+        return self._clauses.get(gamma + (-1,) + delta)
+
+    def decode(self, clause: IntClause) -> Clause:
+        """The symbolic :class:`Clause` a dense clause denotes (memoised).
+
+        The memo lives on the :class:`IntClause` — per engine, per problem —
+        so decoded clauses die with the encoder instead of accumulating in a
+        process-global table across a long-lived batch or fuzzing run.
+        """
+        decoded = clause.decoded
+        if decoded is None:
+            atom_of = self.atom_of
+            decoded = Clause(
+                frozenset(atom_of(code) for code in clause.gamma),
+                frozenset(atom_of(code) for code in clause.delta),
+                None,
+                True,
+            )
+            clause.decoded = decoded
+        return decoded
+
+
+class IntClauseIndex:
+    """The dense mirror of :class:`~repro.superposition.index.ClauseIndex`.
+
+    Same occurrence-map design (see that module's docstring for the query
+    reasoning), but buckets are keyed by atom codes / constant ids and by the
+    clause's intern ordinal, and the production facts come precomputed off
+    the :class:`IntClause` instead of through the ordering's memo table.
+    """
+
+    def __init__(self) -> None:
+        self._tick = itertools.count()
+        self._seq: Dict[int, int] = {}
+        self._neg_occ: Dict[int, Dict[int, IntClause]] = {}
+        self._pos_occ: Dict[int, Dict[int, IntClause]] = {}
+        self._gamma_occ: Dict[int, Dict[int, IntClause]] = {}
+        self._maxeq_occ: Dict[int, Dict[int, IntClause]] = {}
+        self._productive_by_big: Dict[int, Dict[int, IntClause]] = {}
+
+    def __len__(self) -> int:
+        return len(self._seq)
+
+    def add(self, clause: IntClause) -> None:
+        key = clause.ordinal
+        if key in self._seq:
+            return
+        self._seq[key] = next(self._tick)
+        for code in clause.gamma:
+            self._neg_occ.setdefault(code, {})[key] = clause
+            self._gamma_occ.setdefault(code >> SHIFT, {})[key] = clause
+            self._gamma_occ.setdefault(code & _MASK, {})[key] = clause
+        for code in clause.delta:
+            self._pos_occ.setdefault(code, {})[key] = clause
+        production = clause.production
+        if production is not None:
+            big, small, equation = production
+            self._productive_by_big.setdefault(big, {})[key] = clause
+            self._maxeq_occ.setdefault(big, {})[key] = clause
+            if small != big:
+                self._maxeq_occ.setdefault(small, {})[key] = clause
+
+    def remove(self, clause: IntClause) -> None:
+        key = clause.ordinal
+        if self._seq.pop(key, None) is None:
+            return
+        for code in clause.gamma:
+            self._discard(self._neg_occ, code, key)
+            self._discard(self._gamma_occ, code >> SHIFT, key)
+            self._discard(self._gamma_occ, code & _MASK, key)
+        for code in clause.delta:
+            self._discard(self._pos_occ, code, key)
+        production = clause.production
+        if production is not None:
+            big, small, _ = production
+            self._discard(self._productive_by_big, big, key)
+            self._discard(self._maxeq_occ, big, key)
+            if small != big:
+                self._discard(self._maxeq_occ, small, key)
+
+    @staticmethod
+    def _discard(index: Dict[int, Dict[int, IntClause]], index_key: int, clause_key: int) -> None:
+        bucket = index.get(index_key)
+        if bucket is not None:
+            bucket.pop(clause_key, None)
+            if not bucket:
+                del index[index_key]
+
+    # -- queries -------------------------------------------------------------
+    def is_subsumed(self, clause: IntClause) -> bool:
+        # The query is existential, so buckets are scanned directly — the
+        # occasional duplicate candidate check is cheaper than materialising
+        # the union of the buckets per query.  No bitmask prefilter here:
+        # every candidate already shares a literal with the query (that is
+        # what the bucket means), so the C-level subset checks on small int
+        # frozensets beat an extra pair of mask tests (measured; the masks
+        # stay on the pre-index linear path, where candidates are arbitrary).
+        gamma_set, delta_set = clause.gamma_set, clause.delta_set
+        for codes, occ in ((clause.gamma, self._neg_occ), (clause.delta, self._pos_occ)):
+            for code in codes:
+                bucket = occ.get(code)
+                if not bucket:
+                    continue
+                for candidate in bucket.values():
+                    if candidate.gamma_set <= gamma_set and candidate.delta_set <= delta_set:
+                        return True
+        return False
+
+    def subsumed_by(self, clause: IntClause) -> List[IntClause]:
+        smallest: Optional[Dict[int, IntClause]] = None
+        for codes, occ in ((clause.gamma, self._neg_occ), (clause.delta, self._pos_occ)):
+            for code in codes:
+                bucket = occ.get(code)
+                if bucket is None:
+                    return []
+                if smallest is None or len(bucket) < len(smallest):
+                    smallest = bucket
+        if smallest is None:
+            return []
+        gamma_set, delta_set = clause.gamma_set, clause.delta_set
+        return [
+            candidate
+            for candidate in smallest.values()
+            if gamma_set <= candidate.gamma_set and delta_set <= candidate.delta_set
+        ]
+
+    def inference_partners(self, given: IntClause) -> List[IntClause]:
+        candidates: Dict[int, IntClause] = {}
+        production = given.production
+        if production is not None:
+            big = production[0]
+            bucket = self._gamma_occ.get(big)
+            if bucket:
+                candidates.update(bucket)
+            bucket = self._maxeq_occ.get(big)
+            if bucket:
+                candidates.update(bucket)
+        relevant: Iterable[int]
+        if given.gamma:
+            relevant_set: Set[int] = set()
+            for code in given.gamma:
+                relevant_set.add(code >> SHIFT)
+                relevant_set.add(code & _MASK)
+            relevant = relevant_set
+        elif production is not None:
+            equation = production[2]
+            relevant = (equation >> SHIFT, equation & _MASK)
+        else:
+            relevant = ()
+        for constant in relevant:
+            bucket = self._productive_by_big.get(constant)
+            if bucket:
+                candidates.update(bucket)
+        candidates.pop(given.ordinal, None)
+        sequence = self._seq
+        return [
+            clause
+            for _, clause in sorted(
+                (sequence[key], clause) for key, clause in candidates.items()
+            )
+        ]
+
+
+class _DerivationView(_MappingBase):
+    """Read-only ``Clause -> Inference`` view over the dense derivation record.
+
+    Decoding happens lazily, per access: the benchmark configurations never
+    touch derivations, and the proof-recording path walks the mapping exactly
+    once, so materialising symbolic :class:`Inference` objects per generated
+    clause would tax the hot path for nothing.
+    """
+
+    __slots__ = ("_core",)
+
+    def __init__(self, core: "IntSaturationCore"):
+        self._core = core
+
+    def __len__(self) -> int:
+        return len(self._core._derivations)
+
+    def __iter__(self) -> Iterator[Clause]:
+        decode = self._core._encoder.decode
+        for clause in self._core._derivations:
+            yield decode(clause)
+
+    def __getitem__(self, clause: Clause):
+        encoded = self._core._encoder.lookup_clause(clause)
+        if encoded is None or encoded not in self._core._derivations:
+            raise KeyError(clause)
+        return self._core._inference_of(encoded)
+
+    def items(self):
+        inference_of = self._core._inference_of
+        decode = self._core._encoder.decode
+        return [
+            (decode(clause), inference_of(clause)) for clause in self._core._derivations
+        ]
+
+
+class IntSaturationCore:
+    """The given-clause loop over dense clauses.
+
+    This is the kernel-side twin of
+    :class:`~repro.superposition.saturation.SaturationEngine` — same public
+    surface, same algorithm, dense representation.  The engine facade
+    delegates here when the kernel is enabled; all inputs and outputs are
+    symbolic :class:`Clause` objects, encoded/decoded at this boundary.
+    """
+
+    def __init__(
+        self,
+        order: TermOrder,
+        max_clauses: int,
+        use_index: bool,
+        use_unit_rewrite: bool,
+        index_threshold: int,
+    ):
+        self.order = order
+        self.max_clauses = max_clauses
+        self._encoder = DenseEncoder(order, on_rebuild=self._handle_rebuild)
+        self._index: Optional[IntClauseIndex] = IntClauseIndex() if use_index else None
+        self._index_live = False
+        self._index_threshold = index_threshold
+        self._active: List[IntClause] = []
+        self._passive: List[Tuple[int, int, IntClause]] = []
+        self._tick = itertools.count()
+        #: Net membership changes of the known set (active + queued passive)
+        #: since the last :meth:`drain_known_changes`: clause -> +1/-1.
+        self._known_delta: Dict[IntClause, int] = {}
+        self._derivations: Dict[IntClause, Tuple[str, Tuple[IntClause, ...]]] = {}
+        self._refuted = False
+        self._generated = 0
+        self._unit_rewrite = use_unit_rewrite
+        #: Union-find parents over dense constant ids; identity until the
+        #: first unit positive equality is absorbed (``_units_absorbed``).
+        self._uf: List[int] = []
+        self._units_absorbed = False
+        self._change_feed_consumed = False
+
+    # -- public surface (mirrors SaturationEngine) --------------------------
+    @property
+    def refuted(self) -> bool:
+        return self._refuted
+
+    @property
+    def generated_count(self) -> int:
+        return self._generated
+
+    @property
+    def derivations(self) -> Mapping[Clause, object]:
+        return _DerivationView(self)
+
+    def add_clauses(self, clauses: Iterable[Clause]) -> None:
+        for clause in clauses:
+            if not clause.is_pure:
+                raise ValueError("the saturation engine only accepts pure clauses")
+            encoded = self._simplify(self._encoder.encode_clause(clause))
+            self._enqueue(encoded, None, ())
+
+    def saturate(self, max_given: Optional[int] = None):
+        from repro.superposition.saturation import SaturationResult
+
+        processed = 0
+        pop_passive = self._pop_passive
+        infer_within = self._infer_within
+        infer_between = self._infer_between
+        is_subsumed_by_active = self._is_subsumed_by_active
+        while self._passive and not self._refuted:
+            if max_given is not None and processed >= max_given:
+                break
+            given = pop_passive()
+            if given is None:
+                break
+            processed += 1
+            if self._units_absorbed:
+                given = self._demodulate_given(given)
+                if given is None:
+                    continue
+            if given.is_empty:
+                self._register_active(given)
+                self._refuted = True
+                break
+            if given.is_tautology:
+                continue
+            if is_subsumed_by_active(given):
+                continue
+            self._remove_subsumed_active(given)
+            self._register_active(given)
+
+            # Conclusions are enqueued as they are emitted — the emission
+            # sequence is exactly the symbolic engine's collect-then-enqueue
+            # sequence, and inference generation is side-effect free, so
+            # stopping at a refutation mid-stream leaves identical state.
+            given_productive = given.production is not None
+            infer_within(given)
+            if self._refuted:
+                continue
+            if self._index is not None and self._index_live:
+                partners: Iterable[IntClause] = self._index.inference_partners(given)
+            else:
+                partners = [other for other in self._active if other is not given]
+            for other in partners:
+                if given_productive:
+                    infer_between(given, other)
+                if other.production is not None:
+                    infer_between(other, given)
+                if self._refuted:
+                    break
+            if given_productive and not self._refuted:
+                infer_between(given, given)
+
+        # Snapshot the active list now; the result's ``clauses`` then decodes
+        # lazily but observes this round's state even if the engine keeps
+        # saturating afterwards (matching the symbolic engine's eager tuple).
+        active_snapshot = list(self._active)
+        decode = self._encoder.decode
+
+        return SaturationResult.lazy(
+            lambda: tuple(decode(clause) for clause in active_snapshot),
+            refuted=self._refuted,
+            derivations=_DerivationView(self),
+            complete=not self._passive or self._refuted,
+        )
+
+    def known_pure_clauses(self) -> Tuple[Clause, ...]:
+        decode = self._encoder.decode
+        active = [decode(clause) for clause in self._active]
+        passive = [
+            decode(clause) for _, _, clause in self._passive if clause.in_passive
+        ]
+        return tuple(active) + tuple(passive)
+
+    def drain_known_changes(self) -> Tuple[List[Tuple[Clause, Tuple[int, ...]]], List[Tuple[Clause, Tuple[int, ...]]]]:
+        """The net ``(added, removed)`` known-set changes since the last drain.
+
+        Entries are ``(clause, dense_sort_key)`` pairs — the key orders
+        clauses exactly like ``TermOrder.clause_sort_key`` (see
+        :meth:`DenseEncoder.sort_key_of`), so the consumer can maintain its
+        ordered structures without ever computing symbolic keys.  The first
+        drain reports the entire current known set as additions.  Destructive
+        — the change log is cleared — so the feed supports one consumer: the
+        incremental model generator the prover pairs with this engine (see
+        ``IncrementalModelGenerator.model_for_engine``).
+        """
+        self._change_feed_consumed = True
+        decode = self._encoder.decode
+        sort_key_of = self._encoder.sort_key_of
+        added: List[Tuple[Clause, Tuple[int, ...]]] = []
+        removed: List[Tuple[Clause, Tuple[int, ...]]] = []
+        for clause, net in self._known_delta.items():
+            if net > 0:
+                added.append((decode(clause), sort_key_of(clause)))
+            elif net < 0:
+                removed.append((decode(clause), sort_key_of(clause)))
+        self._known_delta.clear()
+        return added, removed
+
+    def clauses(self) -> Tuple[Clause, ...]:
+        decode = self._encoder.decode
+        return tuple(decode(clause) for clause in self._active)
+
+    def is_known(self, clause: Clause) -> bool:
+        encoded = self._simplify(self._encoder.encode_clause(clause))
+        if self._units_absorbed:
+            encoded = self._demodulate(encoded)
+        if encoded.is_tautology:
+            return True
+        if encoded.seen:
+            return True
+        return self._is_subsumed_by_active(encoded)
+
+    # -- inference rules (dense twins of SuperpositionCalculus) --------------
+    def _infer_within(self, given: IntClause) -> None:
+        """Equality factoring (conclusions enqueued directly).
+
+        The symbolic rule iterates candidates in sort-key order and only the
+        clause's (strictly) maximal equation survives its maximality check —
+        positive keys are distinct per atom — so the dense form starts from
+        the precomputed production and walks the other equations in
+        presentation order.
+        """
+        production = given.production
+        if production is None or given.gamma:
+            return
+        big, small, top = production
+        rest = given.rest_delta
+        for second in self._encoder.delta_pres_of(given):
+            if second == top:
+                continue
+            b2, s2 = second >> SHIFT, second & _MASK
+            if b2 == s2:
+                continue
+            if b2 == big:
+                other = s2
+            elif s2 == big:
+                other = b2
+            else:
+                continue
+            code = _pack(small, other)
+            gamma: Tuple[int, ...] = () if (code >> SHIFT) == (code & _MASK) else (code,)
+            self._enqueue(
+                self._encoder.intern(gamma, rest), "equality-factoring", (given,)
+            )
+            if self._refuted:
+                return
+
+    def _infer_between(self, left: IntClause, right: IntClause) -> None:
+        """Superposition left/right with ``left`` as the rewriting premise.
+
+        Conclusions are enqueued directly, in emission order.
+        """
+        production = left.production
+        if production is None:
+            return
+        big, small, _ = production
+        left_rest = left.rest_delta
+        intern = self._encoder.intern
+        if right.gamma:
+            delta: Optional[Tuple[int, ...]] = None
+            for target in self._encoder.gamma_pres_of(right):
+                b, s = target >> SHIFT, target & _MASK
+                if b != big and s != big:
+                    continue
+                if delta is None:
+                    # The consequent is the same for every rewritten target;
+                    # build it once per premise pair.
+                    if left_rest:
+                        merged = set(left_rest)
+                        merged.update(right.delta)
+                        delta = tuple(sorted(merged))
+                    else:
+                        delta = right.delta
+                code = _pack(small if b == big else b, small if s == big else s)
+                # Activated clauses carry no trivial antecedent atoms (they
+                # passed ``_simplify`` at enqueue), so the rewritten target is
+                # the only atom equality resolution could drop here.
+                gamma_codes = set(right.gamma_set)
+                gamma_codes.discard(target)
+                if (code >> SHIFT) != (code & _MASK):
+                    gamma_codes.add(code)
+                self._enqueue(
+                    intern(tuple(sorted(gamma_codes)), delta),
+                    "superposition-left",
+                    (left, right),
+                )
+                if self._refuted:
+                    return
+            return
+        right_production = right.production
+        if right_production is None:
+            return
+        target = right_production[2]
+        b, s = target >> SHIFT, target & _MASK
+        if b != big and s != big:
+            return
+        code = _pack(small if b == big else b, small if s == big else s)
+        delta_codes = set(left_rest)
+        delta_codes.update(right.rest_delta)
+        delta_codes.add(code)
+        self._enqueue(
+            intern((), tuple(sorted(delta_codes))), "superposition-right", (left, right)
+        )
+
+    # -- engine internals ----------------------------------------------------
+    def _simplify(self, clause: IntClause) -> IntClause:
+        """Equality resolution: drop trivial antecedent atoms."""
+        for code in clause.gamma:
+            if _trivial(code):
+                break
+        else:
+            return clause
+        gamma = tuple(code for code in clause.gamma if not _trivial(code))
+        return self._encoder.intern(gamma, clause.delta)
+
+    def _enqueue(
+        self,
+        clause: IntClause,
+        rule: Optional[str],
+        premises: Tuple[IntClause, ...],
+    ) -> None:
+        if self._units_absorbed:
+            clause = self._demodulate(clause)
+        if clause.seen:
+            return
+        clause.seen = True
+        self._generated += 1
+        if self._generated > self.max_clauses:
+            from repro.superposition.saturation import SaturationLimitError
+
+            raise SaturationLimitError(
+                "saturation exceeded the budget of {} clauses".format(self.max_clauses)
+            )
+        if rule is not None:
+            self._derivations[clause] = (rule, premises)
+        if clause.is_empty:
+            self._register_active(clause)
+            self._refuted = True
+            return
+        heapq.heappush(self._passive, (clause.weight, next(self._tick), clause))
+        clause.in_passive = True
+        if not clause.is_tautology:
+            self._mark_known(clause, 1)
+
+    def _mark_known(self, clause: IntClause, delta: int) -> None:
+        # Tautologies never reach the model generator (it would discard them
+        # on arrival), so they are not worth decoding into the change feed;
+        # known_pure_clauses still reports them for the one-shot path, whose
+        # validation loop does its own filtering.
+        if clause.is_tautology:
+            return
+        net = self._known_delta.get(clause, 0) + delta
+        if net:
+            self._known_delta[clause] = net
+        else:
+            self._known_delta.pop(clause, None)
+
+    def _pop_passive(self) -> Optional[IntClause]:
+        while self._passive:
+            _, _, clause = heapq.heappop(self._passive)
+            if clause.in_passive:
+                clause.in_passive = False
+                self._mark_known(clause, -1)
+                return clause
+        return None
+
+    def _register_active(self, clause: IntClause) -> None:
+        if clause.in_active:
+            return
+        clause.in_active = True
+        self._mark_known(clause, 1)
+        self._active.append(clause)
+        if self._index is not None and not clause.is_empty:
+            if self._index_live:
+                self._index.add(clause)
+            elif len(self._active) >= self._index_threshold:
+                for active in self._active:
+                    if not active.is_empty:
+                        self._index.add(active)
+                self._index_live = True
+        if self._unit_rewrite:
+            production = clause.production
+            if production is not None and len(clause.delta) == 1:
+                self._union(production[0], production[1])
+
+    @staticmethod
+    def _masks_of(clause: IntClause) -> Tuple[int, int]:
+        """The clause's literal feature bitmasks (lazy, memoised).
+
+        One bit per literal hashed into a fixed-width word, per side; a
+        subsumer's mask must be a submask of the subsumee's.  Used to prune
+        the linear subsumption scans that run before the index goes live
+        (candidates there share no literal a priori, unlike bucket hits).
+        """
+        gmask = clause.gmask
+        if gmask is None:
+            gmask = 0
+            for code in clause.gamma:
+                gmask |= 1 << (code % _FEATURE_BITS)
+            dmask = 0
+            for code in clause.delta:
+                dmask |= 1 << (code % _FEATURE_BITS)
+            clause.gmask = gmask
+            clause.dmask = dmask
+        return gmask, clause.dmask
+
+    def _is_subsumed_by_active(self, clause: IntClause) -> bool:
+        if self._index is not None and self._index_live:
+            return self._index.is_subsumed(clause)
+        gamma_set, delta_set = clause.gamma_set, clause.delta_set
+        gmask, dmask = self._masks_of(clause)
+        masks_of = self._masks_of
+        for active in self._active:
+            agmask, admask = masks_of(active)
+            if (
+                agmask & ~gmask == 0
+                and admask & ~dmask == 0
+                and active.gamma_set <= gamma_set
+                and active.delta_set <= delta_set
+            ):
+                return True
+        return False
+
+    def _remove_subsumed_active(self, clause: IntClause) -> None:
+        if self._index is not None and self._index_live:
+            victims = self._index.subsumed_by(clause)
+            if victims:
+                for victim in victims:
+                    self._index.remove(victim)
+                    victim.in_active = False
+                    self._mark_known(victim, -1)
+                self._active = [active for active in self._active if active.in_active]
+            return
+        gamma_set, delta_set = clause.gamma_set, clause.delta_set
+        victims = [
+            active
+            for active in self._active
+            if gamma_set <= active.gamma_set and delta_set <= active.delta_set
+        ]
+        if victims:
+            for victim in victims:
+                victim.in_active = False
+                self._mark_known(victim, -1)
+            self._active = [active for active in self._active if active.in_active]
+
+    def _inference_of(self, clause: IntClause):
+        from repro.superposition.calculus import Inference
+
+        rule, premises = self._derivations[clause]
+        decode = self._encoder.decode
+        return Inference(
+            conclusion=decode(clause),
+            rule=rule,
+            premises=tuple(decode(premise) for premise in premises),
+        )
+
+    def _handle_rebuild(self, remap: List[int]) -> None:
+        """Refresh id-keyed engine state after the encoder renumbered ids."""
+        if self._change_feed_consumed:
+            # Dense sort keys already handed to a change-feed consumer would
+            # silently stop agreeing with post-renumbering keys.  The prover
+            # flow can never get here (the vocabulary is fixed at engine
+            # construction); direct engine users must add late constants
+            # before pairing a model generator.
+            raise RuntimeError(
+                "dense ids were renumbered after the known-change feed was "
+                "consumed; register all constants before the first drain"
+            )
+        if self._index is not None and self._index_live:
+            self._index = IntClauseIndex()
+            for active in self._active:
+                if not active.is_empty:
+                    self._index.add(active)
+        if self._uf:
+            old = self._uf
+            new = list(range(len(self._encoder)))
+            for previous_id, parent in enumerate(old):
+                root = parent
+                while old[root] != root:
+                    root = old[root]
+                if root != previous_id:
+                    new[remap[previous_id]] = remap[root]
+            # remap preserves the relative order of pre-rebuild ids (the
+            # rebuild sort is stable over an already-ascending list), so a
+            # class's minimal-id root stays minimal after renumbering.
+            self._uf = new
+
+    # -- unit rewriting ------------------------------------------------------
+    def _find(self, identifier: int) -> int:
+        uf = self._uf
+        root = identifier
+        while uf[root] != root:
+            root = uf[root]
+        while uf[identifier] != root:
+            uf[identifier], identifier = root, uf[identifier]
+        return root
+
+    def _union(self, a: int, b: int) -> None:
+        if not self._uf or len(self._uf) < len(self._encoder):
+            self._uf.extend(range(len(self._uf), len(self._encoder)))
+        ra, rb = self._find(a), self._find(b)
+        if ra == rb:
+            return
+        # The smaller id is the term-order-smaller constant: making it the
+        # representative means demodulation always rewrites downwards.
+        if ra < rb:
+            self._uf[rb] = ra
+        else:
+            self._uf[ra] = rb
+        self._units_absorbed = True
+
+    def _demodulate(self, clause: IntClause) -> IntClause:
+        """Rewrite every constant to its union-find representative.
+
+        Trivialised antecedent atoms are dropped on the way (equality
+        resolution), trivialised consequent atoms are kept so the tautology
+        check can discard the clause.  Returns the *same* object when nothing
+        changes, which keeps the non-rewriting fast path allocation-free.
+        """
+        if len(self._uf) < len(self._encoder):
+            self._uf.extend(range(len(self._uf), len(self._encoder)))
+        find = self._find
+        changed = False
+        gamma: List[int] = []
+        for code in clause.gamma:
+            big, small = find(code >> SHIFT), find(code & _MASK)
+            if big == small:
+                changed = True
+                continue
+            rewritten = _pack(big, small)
+            if rewritten != code:
+                changed = True
+            gamma.append(rewritten)
+        delta: List[int] = []
+        for code in clause.delta:
+            big, small = find(code >> SHIFT), find(code & _MASK)
+            rewritten = _pack(big, small)
+            if rewritten != code:
+                changed = True
+            delta.append(rewritten)
+        if not changed:
+            return clause
+        return self._encoder.intern(
+            tuple(sorted(set(gamma))), tuple(sorted(set(delta)))
+        )
+
+    def _demodulate_given(self, given: IntClause) -> Optional[IntClause]:
+        """Forward-simplify a given clause against the absorbed units.
+
+        Returns ``None`` when the demodulated form is already known (it was
+        processed, queued, or discarded before — either way it contributes
+        nothing new), mirroring the ``seen`` dedup of :meth:`_enqueue`.
+        """
+        rewritten = self._demodulate(given)
+        if rewritten is given:
+            return given
+        if rewritten.seen:
+            return None
+        rewritten.seen = True
+        self._generated += 1
+        if self._generated > self.max_clauses:
+            from repro.superposition.saturation import SaturationLimitError
+
+            raise SaturationLimitError(
+                "saturation exceeded the budget of {} clauses".format(self.max_clauses)
+            )
+        self._derivations[rewritten] = ("unit-rewrite", (given,))
+        return rewritten

@@ -161,6 +161,11 @@ def generate_model(
     return EqualityModel(relation=relation, generators=generators, order=order)
 
 
+#: Sentinel for construction-trail positions not yet evaluated (clauses
+#: inserted since the last construction).
+_UNDECIDED = object()
+
+
 class IncrementalModelGenerator:
     """``Gen(S*)`` maintained incrementally across saturation rounds.
 
@@ -176,15 +181,25 @@ class IncrementalModelGenerator:
       positions are unambiguous and removals can be found by bisection);
     * the **construction trail** — the produce/skip decision at every position
       of the ordered list.  A decision at position ``i`` depends only on the
-      clauses before ``i``, so all decisions before the first inserted or
-      removed position are replayed verbatim instead of re-deriving them with
-      satisfiability checks;
+      *rewrite relation* built from the clauses before ``i``, not on those
+      clauses themselves: as long as the edge sequence replayed so far equals
+      the previous construction's, recorded decisions stay valid and are
+      applied without satisfiability checks.  A newly inserted clause is
+      evaluated in place; if it produces **no** edge the relation is
+      unchanged and the replay continues, so only an insertion that actually
+      fires (or the removal of a clause that had fired) invalidates the
+      decisions behind it;
     * the **verification cache** — the set of clauses already checked against
       the current rewrite relation, plus the per-edge generator records whose
-      leftover literals were checked.  Satisfaction depends only on the
-      relation, so when a round leaves the edge set unchanged (the common case
-      while the prover narrows in on a stable model) only the newly added
-      clauses are verified.
+      leftover literals were checked.  Satisfaction of a clause depends only
+      on the *normal forms of its own constants*, so the cache is invalidated
+      per constant: when the edge set changes, the generator diffs the
+      normal-form snapshot against the previous round's and re-verifies only
+      the clauses that mention a constant whose normal form actually moved.
+      A round that leaves the edge set unchanged (the common case while the
+      prover narrows in on a stable model) verifies only newly added clauses;
+      a round that adds one edge re-verifies only the clauses in that edge's
+      constant neighbourhood.
 
     The result is equal to ``generate_model(clauses, order, verify)`` called
     from scratch on every round — the construction is deterministic and the
@@ -198,23 +213,112 @@ class IncrementalModelGenerator:
         self._keys: List[Tuple] = []
         self._ordered: List[Clause] = []
         #: Per-position construction decision: ``None`` (clause produced no
-        #: edge) or ``(big, small, GeneratingClause)``.
-        self._decisions: List[Optional[Tuple[Const, Const, GeneratingClause]]] = []
-        #: Decisions at positions < _valid_prefix match the current clause list.
-        self._valid_prefix = 0
+        #: edge), ``(big, small, GeneratingClause)``, or the ``_UNDECIDED``
+        #: sentinel for positions inserted since the last construction.
+        self._decisions: List[object] = []
+        #: Positions >= the barrier hold decisions made under a relation
+        #: prefix that no longer exists (an edge-producing clause before them
+        #: was removed); they must be re-evaluated.
+        self._replay_barrier = 0
         self._verified_edges: Optional[FrozenSet[Tuple[Const, Const]]] = None
-        self._verified_clauses: Set[Clause] = set()
+        #: Clauses whose satisfaction still has to be checked against the
+        #: current relation (everything else passed under normal forms that
+        #: have not moved since).
+        self._unverified: Set[Clause] = set()
         self._verified_generators: Dict[Tuple[Const, Const], GeneratingClause] = {}
+        #: constant -> clauses of the current set mentioning it (the
+        #: invalidation neighbourhoods of the per-constant verification cache).
+        self._clauses_by_const: Dict[Const, Set[Clause]] = {}
+        #: Normal form of every constant at the last verification.
+        self._verified_normal_forms: Dict[Const, Const] = {}
+        #: Which key function populated ``_keys``: ``None`` until first use,
+        #: then "symbolic" (``TermOrder.clause_sort_key``) or "dense" (the
+        #: kernel's packed literal keys).  The two orders agree but the key
+        #: values don't, so one generator must never mix them.
+        self._key_mode: Optional[str] = None
 
     def model_for(self, clauses: Iterable[Clause]) -> EqualityModel:
         """The candidate model of the given clause set (see :func:`generate_model`)."""
+        self._set_key_mode("symbolic")
         self._update_ordered(clauses)
         relation, generators = self._construct()
         if self.verify:
             self._verify(relation, generators)
         return EqualityModel(relation=relation, generators=generators, order=self.order)
 
+    def model_for_engine(self, engine) -> EqualityModel:
+        """The candidate model of an engine's current known clause set.
+
+        When the engine maintains a change feed (the dense kernel does —
+        ``drain_known_changes``), the ordered list, trail and verification
+        caches are updated from the *deltas* under the engine's precomputed
+        dense sort keys, skipping both the full-set diff and the symbolic
+        key computations of :meth:`model_for`; otherwise this falls back to
+        diffing ``known_pure_clauses()``.  The change feed supports one
+        consumer, which is exactly the pairing the prover creates.
+        """
+        changes = engine.drain_known_changes()
+        if changes is None:
+            return self.model_for(engine.known_pure_clauses())
+        self._set_key_mode("dense")
+        added, removed = changes
+        if added or removed:
+            self._apply_changes(added, removed)
+        relation, generators = self._construct()
+        if self.verify:
+            self._verify(relation, generators)
+        return EqualityModel(relation=relation, generators=generators, order=self.order)
+
     # -- internals -----------------------------------------------------------
+    def _set_key_mode(self, mode: str) -> None:
+        if self._key_mode is None:
+            self._key_mode = mode
+        elif self._key_mode != mode:
+            raise RuntimeError(
+                "an IncrementalModelGenerator cannot mix dense-keyed and "
+                "symbolically-keyed updates; pair it with one engine"
+            )
+
+    def _apply_changes(self, added, removed) -> None:
+        """Apply a keyed known-set delta to the ordered list and the caches."""
+        by_const = self._clauses_by_const
+        members = self._members
+        unverified = self._unverified
+        for clause, key in removed:
+            if clause not in members:
+                continue
+            members.discard(clause)
+            position = bisect_left(self._keys, key)
+            decision = self._decisions[position]
+            del self._keys[position]
+            del self._ordered[position]
+            del self._decisions[position]
+            if decision is not None and decision is not _UNDECIDED:
+                self._replay_barrier = min(self._replay_barrier, position)
+            elif position < self._replay_barrier:
+                self._replay_barrier -= 1
+            unverified.discard(clause)
+            for constant in clause.constants():
+                bucket = by_const.get(constant)
+                if bucket is not None:
+                    bucket.discard(clause)
+        for clause, key in added:
+            if not clause.is_pure:
+                raise ValueError("generate_model expects pure clauses only")
+            if clause.is_empty:
+                raise ValueError("cannot generate a model: the empty clause is present")
+            if clause.is_tautology or clause in members:
+                continue
+            members.add(clause)
+            position = bisect_left(self._keys, key)
+            self._keys.insert(position, key)
+            self._ordered.insert(position, clause)
+            self._decisions.insert(position, _UNDECIDED)
+            if position < self._replay_barrier:
+                self._replay_barrier += 1
+            unverified.add(clause)
+            for constant in clause.constants():
+                by_const.setdefault(constant, set()).add(clause)
     def _update_ordered(self, clauses: Iterable[Clause]) -> None:
         current: Set[Clause] = set()
         for clause in clauses:
@@ -228,42 +332,102 @@ class IncrementalModelGenerator:
         if current == self._members:
             return
         sort_key = self.order.clause_sort_key
+        by_const = self._clauses_by_const
         for clause in self._members - current:
             position = bisect_left(self._keys, sort_key(clause))
+            decision = self._decisions[position]
             del self._keys[position]
             del self._ordered[position]
             del self._decisions[position]
-            if position < self._valid_prefix:
-                self._valid_prefix = position
+            if decision is not None and decision is not _UNDECIDED:
+                # The removed clause had produced an edge: everything behind
+                # it was decided against a relation that no longer exists.
+                self._replay_barrier = min(self._replay_barrier, position)
+            elif position < self._replay_barrier:
+                self._replay_barrier -= 1
+            self._unverified.discard(clause)
+            for constant in clause.constants():
+                bucket = by_const.get(constant)
+                if bucket is not None:
+                    bucket.discard(clause)
         for clause in current - self._members:
             key = sort_key(clause)
             position = bisect_left(self._keys, key)
             self._keys.insert(position, key)
             self._ordered.insert(position, clause)
-            self._decisions.insert(position, None)
-            if position < self._valid_prefix:
-                self._valid_prefix = position
+            self._decisions.insert(position, _UNDECIDED)
+            if position < self._replay_barrier:
+                self._replay_barrier += 1
+            self._unverified.add(clause)
+            for constant in clause.constants():
+                by_const.setdefault(constant, set()).add(clause)
         self._members = current
 
     def _construct(self) -> Tuple[RewriteRelation, Dict[Tuple[Const, Const], GeneratingClause]]:
         relation = RewriteRelation()
         generators: Dict[Tuple[Const, Const], GeneratingClause] = {}
         decisions = self._decisions
-        for position in range(self._valid_prefix):
-            decision = decisions[position]
-            if decision is not None:
-                big, small, generator = decision
-                relation.add_edge(big, small)
-                generators[(big, small)] = generator
         production_of = self.order.production
-        for position in range(self._valid_prefix, len(self._ordered)):
-            clause = self._ordered[position]
-            decision = None
-            if not relation.satisfies_pure_clause(clause):
+        barrier = self._replay_barrier
+        trusted = True
+        # Normal forms of the relation built *so far*, maintained eagerly as
+        # edges are added (``_apply_edge``): evaluating a clause is then a
+        # dictionary hit per constant instead of a rewrite-chain chase
+        # against the relation's (edge-invalidated) cache.
+        normal_forms: Dict[Const, Const] = {}
+        nf_get = normal_forms.get
+        #: normal form -> every constant currently mapping to it.
+        classes: Dict[Const, List[Const]] = {}
+
+        def apply_edge(big: Const, small: Const) -> None:
+            relation.add_edge(big, small)
+            target = nf_get(small, small)
+            group = classes.pop(big, None)
+            if group is None:
+                group = [big]
+            else:
+                group.append(big)
+            for constant in group:
+                normal_forms[constant] = target
+            bucket = classes.get(target)
+            if bucket is None:
+                classes[target] = group
+            else:
+                bucket.extend(group)
+
+        for position, clause in enumerate(self._ordered):
+            if trusted:
+                if position >= barrier:
+                    trusted = False
+                else:
+                    decision = decisions[position]
+                    if decision is not _UNDECIDED:
+                        # Replay: the relation built so far equals the one
+                        # this decision was made under, so it still holds —
+                        # no satisfiability check needed.
+                        if decision is not None:
+                            big, small, generator = decision
+                            apply_edge(big, small)
+                            generators[(big, small)] = generator
+                        continue
+            satisfied = False
+            for atom in clause.gamma:
+                left, right = atom.left, atom.right
+                if nf_get(left, left) != nf_get(right, right):
+                    satisfied = True
+                    break
+            if not satisfied:
+                for atom in clause.delta:
+                    left, right = atom.left, atom.right
+                    if nf_get(left, left) == nf_get(right, right):
+                        satisfied = True
+                        break
+            fresh = None
+            if not satisfied:
                 production = production_of(clause)
-                if production is not None and relation.is_irreducible(production[0]):
+                if production is not None and production[0] not in relation:
                     big, small, equation = production
-                    relation.add_edge(big, small)
+                    apply_edge(big, small)
                     generator = GeneratingClause(
                         clause=clause,
                         equation=equation,
@@ -271,9 +435,14 @@ class IncrementalModelGenerator:
                         leftover_delta=clause.delta - {equation},
                     )
                     generators[(big, small)] = generator
-                    decision = (big, small, generator)
-            decisions[position] = decision
-        self._valid_prefix = len(self._ordered)
+                    fresh = (big, small, generator)
+            if trusted and fresh is not None:
+                # A newly inserted clause produced an edge the previous
+                # construction did not have: the recorded suffix no longer
+                # describes this relation.
+                trusted = False
+            decisions[position] = fresh
+        self._replay_barrier = len(self._ordered)
         return relation, generators
 
     def _verify(
@@ -282,19 +451,52 @@ class IncrementalModelGenerator:
         generators: Dict[Tuple[Const, Const], GeneratingClause],
     ) -> None:
         edges = relation.edge_set()
+        unverified = self._unverified
         if edges != self._verified_edges:
+            # The edge set moved: a clause's satisfaction only depends on the
+            # normal forms of its own constants, so re-verify exactly the
+            # clauses in the neighbourhood of the constants whose normal form
+            # actually changed (diff of the two snapshots) instead of
+            # everything.
+            snapshot = relation.normal_form_snapshot(self._clauses_by_const)
+            previous = self._verified_normal_forms
+            for constant, normal in snapshot.items():
+                if previous.get(constant, constant) != normal:
+                    unverified |= self._clauses_by_const[constant]
+            self._verified_normal_forms = snapshot
             self._verified_edges = edges
-            self._verified_clauses = set()
             self._verified_generators = {}
-        verified = self._verified_clauses
-        for clause in self._ordered:
-            if clause in verified:
-                continue
-            if not relation.satisfies_pure_clause(clause):
-                raise ModelGenerationError(
-                    "the candidate model does not satisfy the clause {}".format(clause)
-                )
-            verified.add(clause)
+        if unverified:
+            # Evaluate straight off the normal-form snapshot: one dictionary
+            # hit per constant instead of a satisfies_pure_clause call that
+            # re-chases (cached) rewrite paths per literal.
+            snapshot = self._verified_normal_forms
+            snapshot_get = snapshot.get
+            normal_form = relation.normal_form
+            for clause in list(unverified):
+                satisfied = False
+                for atom in clause.gamma:
+                    left, right = atom.left, atom.right
+                    if (snapshot_get(left) or normal_form(left)) != (
+                        snapshot_get(right) or normal_form(right)
+                    ):
+                        satisfied = True
+                        break
+                if not satisfied:
+                    for atom in clause.delta:
+                        left, right = atom.left, atom.right
+                        if (snapshot_get(left) or normal_form(left)) == (
+                            snapshot_get(right) or normal_form(right)
+                        ):
+                            satisfied = True
+                            break
+                if not satisfied:
+                    raise ModelGenerationError(
+                        "the candidate model does not satisfy the clause {}".format(
+                            clause
+                        )
+                    )
+                unverified.discard(clause)
         checked_generators = self._verified_generators
         for edge, generator in generators.items():
             if checked_generators.get(edge) == generator:

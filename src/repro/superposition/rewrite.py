@@ -162,6 +162,18 @@ class RewriteRelation:
             cached(right) or self.normal_form(right)
         )
 
+    def normal_form_snapshot(self, constants: Iterable[Const]) -> Dict[Const, Const]:
+        """The normal form of every given constant, as one dictionary.
+
+        Unlike :meth:`substitution` this includes the irreducible constants
+        too — the result is a total snapshot of how the relation interprets
+        the given vocabulary.  The incremental model generator diffs two such
+        snapshots to find which constants (and hence which clauses) a change
+        of the edge set actually affected.
+        """
+        normal_form = self.normal_form
+        return {constant: normal_form(constant) for constant in constants}
+
     def substitution(self, constants: Iterable[Const]) -> Dict[Const, Const]:
         """The substitution mapping each given constant to its normal form.
 

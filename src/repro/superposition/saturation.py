@@ -25,6 +25,14 @@ from repro.logic.ordering import TermOrder
 from repro.superposition.calculus import Inference, SuperpositionCalculus
 from repro.superposition.index import ClauseIndex
 
+#: Active-clause count below which maintaining index buckets costs more than
+#: the linear scans they replace.  The engine (both the symbolic and the
+#: dense-kernel path) starts with plain scans and bulk-activates the index
+#: the first time the active set reaches this size; on the Table 1 n=12 row
+#: the crossover is what turns the index from a small loss into a win (see
+#: PERFORMANCE.md, "Adaptive index activation").
+ADAPTIVE_INDEX_THRESHOLD = 24
+
 
 class SaturationLimitError(RuntimeError):
     """Raised when saturation exceeds the configured clause budget."""
@@ -37,7 +45,11 @@ class SaturationResult:
     Attributes
     ----------
     clauses:
-        The saturated set of pure clauses (without redundant clauses).
+        The saturated set of pure clauses (without redundant clauses).  The
+        kernel engine materialises this tuple lazily — the prover's inner
+        loop asks for a result every chunk and reads only ``refuted`` and
+        ``complete``, so decoding the whole active set per round was pure
+        overhead.
     refuted:
         True when the empty clause was derived, i.e. the set is unsatisfiable.
     derivations:
@@ -52,11 +64,45 @@ class SaturationResult:
     derivations: Mapping[Clause, Inference] = field(default_factory=dict)
     complete: bool = True
 
+    @staticmethod
+    def lazy(
+        clauses_factory,
+        refuted: bool,
+        derivations: Mapping[Clause, Inference],
+        complete: bool,
+    ) -> "SaturationResult":
+        """A result whose ``clauses`` tuple is built on first access.
+
+        The factory must close over an immutable snapshot of the clause set
+        at call time (the kernel engine copies its active list), so the lazy
+        result observes exactly what an eager one would have.
+        """
+        result = _LazyClausesResult((), refuted, derivations, complete)
+        result.__dict__["_clauses_factory"] = clauses_factory
+        return result
+
     def __contains__(self, clause: Clause) -> bool:
         return clause in self.clauses
 
     def __len__(self) -> int:
         return len(self.clauses)
+
+
+class _LazyClausesResult(SaturationResult):
+    """A :class:`SaturationResult` that materialises ``clauses`` on demand.
+
+    The interception lives on this subclass only, so plain results — the
+    symbolic engine's — keep C-level attribute lookups.
+    """
+
+    def __getattribute__(self, name):
+        if name == "clauses":
+            state = object.__getattribute__(self, "__dict__")
+            factory = state.get("_clauses_factory")
+            if factory is not None:
+                state["_clauses_factory"] = None
+                state["clauses"] = factory()
+        return object.__getattribute__(self, name)
 
 
 class SaturationEngine:
@@ -76,14 +122,55 @@ class SaturationEngine:
         lookups instead of linear scans.  The unindexed path is kept as the
         reference implementation (the two derive identical clauses in an
         identical order); disabling it is only useful for the equivalence
-        tests and the ablation benchmarks.
+        tests and the ablation benchmarks.  Index maintenance is *adaptive*:
+        buckets are only built once the active set reaches
+        ``index_threshold`` clauses (below that, linear scans win).
+    use_kernel:
+        Run the given-clause loop on the dense integer representation
+        (:mod:`repro.superposition.kernel`): constants interned to small ints
+        in term order, literals packed into ints, ordering checks compiled to
+        integer compares.  The kernel derives byte-identical clauses in an
+        identical order to the symbolic path; inputs and outputs stay
+        symbolic :class:`Clause` objects (encode/decode happens at this
+        class's boundary).
+    use_unit_rewrite:
+        Absorb unit positive equalities into a union-find over dense
+        constant ids and forward-simplify (demodulate) every clause before it
+        is processed.  This is a genuine simplification — it *changes* the
+        derivation sequence and the generated-clause count — so it is pinned
+        for verdict equivalence only, and requires the kernel.
+    index_threshold:
+        Override the adaptive activation point (``None`` uses
+        :data:`ADAPTIVE_INDEX_THRESHOLD`; ``0`` builds the index from the
+        first clause, the pre-adaptive behaviour).
     """
 
-    def __init__(self, order: TermOrder, max_clauses: int = 200000, use_index: bool = True):
+    def __init__(
+        self,
+        order: TermOrder,
+        max_clauses: int = 200000,
+        use_index: bool = True,
+        use_kernel: bool = True,
+        use_unit_rewrite: bool = False,
+        index_threshold: Optional[int] = None,
+    ):
         self.order = order
         self.calculus = SuperpositionCalculus(order)
         self.max_clauses = max_clauses
+        threshold = ADAPTIVE_INDEX_THRESHOLD if index_threshold is None else index_threshold
+        if use_unit_rewrite and not use_kernel:
+            raise ValueError("unit-rewrite simplification requires the integer kernel")
+        if use_kernel:
+            from repro.superposition.kernel import IntSaturationCore
+
+            self._core: Optional[IntSaturationCore] = IntSaturationCore(
+                order, max_clauses, use_index, use_unit_rewrite, threshold
+            )
+            return
+        self._core = None
         self._index: Optional[ClauseIndex] = ClauseIndex(order) if use_index else None
+        self._index_live = False
+        self._index_threshold = threshold
         self._active: List[Clause] = []
         self._active_set: Set[Clause] = set()
         # Passive clauses are processed smallest-first (by literal count), which
@@ -100,20 +187,29 @@ class SaturationEngine:
     @property
     def refuted(self) -> bool:
         """True once the empty clause has been derived."""
+        if self._core is not None:
+            return self._core.refuted
         return self._refuted
 
     @property
     def derivations(self) -> Mapping[Clause, Inference]:
         """A read-only view of the recorded derivation of every generated clause."""
+        if self._core is not None:
+            return self._core.derivations
         return MappingProxyType(self._derivations)
 
     @property
     def generated_count(self) -> int:
         """Total number of clauses generated so far (a work measure for benchmarks)."""
+        if self._core is not None:
+            return self._core.generated_count
         return self._generated_count
 
     def add_clauses(self, clauses: Iterable[Clause]) -> None:
         """Queue new input pure clauses for the next saturation round."""
+        if self._core is not None:
+            self._core.add_clauses(clauses)
+            return
         for clause in clauses:
             if not clause.is_pure:
                 raise ValueError("the saturation engine only accepts pure clauses")
@@ -131,6 +227,8 @@ class SaturationEngine:
         — use the bounded form and simply resume when model generation reports
         a problem.
         """
+        if self._core is not None:
+            return self._core.saturate(max_given)
         processed = 0
         while self._passive and not self._refuted:
             if max_given is not None and processed >= max_given:
@@ -153,7 +251,7 @@ class SaturationEngine:
 
             new_inferences: List[Inference] = []
             new_inferences.extend(self.calculus.infer_within(given))
-            if self._index is not None:
+            if self._index is not None and self._index_live:
                 # Index lookup: only the actives sharing a rewritable position
                 # with ``given``, in the same order the full scan would visit
                 # them.  ``infer_between`` returns [] for every skipped pair.
@@ -185,11 +283,27 @@ class SaturationEngine:
         a model produced from a *partially* saturated set still satisfies every
         clause the prover has derived so far.
         """
+        if self._core is not None:
+            return self._core.known_pure_clauses()
         passive = [clause for _, _, clause in self._passive if clause in self._passive_set]
         return tuple(self._active) + tuple(passive)
 
+    def drain_known_changes(self) -> Optional[Tuple[List[Clause], List[Clause]]]:
+        """Net known-set changes since the last drain, or ``None`` (unsupported).
+
+        Only the kernel path maintains the change feed; the symbolic path
+        returns ``None`` and consumers fall back to diffing
+        :meth:`known_pure_clauses` (see
+        ``IncrementalModelGenerator.model_for_engine``).
+        """
+        if self._core is not None:
+            return self._core.drain_known_changes()
+        return None
+
     def clauses(self) -> Tuple[Clause, ...]:
         """The currently active (saturated so far) clauses."""
+        if self._core is not None:
+            return self._core.clauses()
         return tuple(self._active)
 
     def is_known(self, clause: Clause) -> bool:
@@ -199,6 +313,8 @@ class SaturationEngine:
         algorithm): a clause brings no new information when it is a tautology,
         has already been generated, or is subsumed by an active clause.
         """
+        if self._core is not None:
+            return self._core.is_known(clause)
         simplified = self.calculus.simplify(clause)
         if self.calculus.is_tautology(simplified):
             return True
@@ -240,15 +356,24 @@ class SaturationEngine:
             self._active.append(clause)
             self._active_set.add(clause)
             if self._index is not None and not clause.is_empty:
-                self._index.add(clause)
+                if self._index_live:
+                    self._index.add(clause)
+                elif len(self._active) >= self._index_threshold:
+                    # Adaptive activation: the first time the active set is
+                    # large enough for bucket lookups to beat linear scans,
+                    # index everything accumulated so far and stay indexed.
+                    for active in self._active:
+                        if not active.is_empty:
+                            self._index.add(active)
+                    self._index_live = True
 
     def _is_subsumed_by_active(self, clause: Clause) -> bool:
-        if self._index is not None:
+        if self._index is not None and self._index_live:
             return self._index.is_subsumed(clause)
         return any(active.subsumes(clause) for active in self._active)
 
     def _remove_subsumed_active(self, clause: Clause) -> None:
-        if self._index is not None:
+        if self._index is not None and self._index_live:
             victims = self._index.subsumed_by(clause)
             if victims:
                 for victim in victims:

@@ -13,7 +13,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 from hypothesis import given, strategies as st
 
 from repro.benchgen.random_unsat import UnsatParameters, random_unsat_batch
@@ -66,20 +65,29 @@ def test_indexed_prover_matches_reference_on_corpus():
 
 
 def test_indexed_engine_derives_identical_clause_sets():
-    """The given-clause loop itself: same actives, in the same order, same counts."""
+    """The given-clause loop itself: same actives, in the same order, same counts.
+
+    The matrix covers the clause index and the integer kernel independently —
+    all four configurations must agree clause-for-clause (see also
+    tests/test_kernel.py for the kernel-specific pins).
+    """
     for entailment in _corpus()[:60]:
         embedding = cnf(entailment)
         engines = []
-        for use_index in (True, False):
-            order = default_order(entailment.constants())
-            engine = SaturationEngine(order, use_index=use_index)
-            engine.add_clauses(embedding.pure_clauses)
-            engine.saturate()
-            engines.append(engine)
-        indexed, naive = engines
-        assert indexed.refuted == naive.refuted
-        assert indexed.clauses() == naive.clauses()
-        assert indexed.generated_count == naive.generated_count
+        for use_kernel in (True, False):
+            for use_index in (True, False):
+                order = default_order(entailment.constants())
+                engine = SaturationEngine(
+                    order, use_index=use_index, use_kernel=use_kernel
+                )
+                engine.add_clauses(embedding.pure_clauses)
+                engine.saturate()
+                engines.append(engine)
+        naive = engines[-1]
+        for engine in engines[:-1]:
+            assert engine.refuted == naive.refuted
+            assert engine.clauses() == naive.clauses()
+            assert engine.generated_count == naive.generated_count
 
 
 class TestGeneratorRoutedProperties:
@@ -115,16 +123,20 @@ class TestGeneratorRoutedProperties:
         entailment = EntailmentGenerator(seed=seed).case(0).entailment
         embedding = cnf(entailment)
         engines = []
-        for use_index in (True, False):
-            order = default_order(entailment.constants())
-            engine = SaturationEngine(order, use_index=use_index)
-            engine.add_clauses(embedding.pure_clauses)
-            engine.saturate()
-            engines.append(engine)
-        indexed, naive = engines
-        assert indexed.refuted == naive.refuted
-        assert indexed.clauses() == naive.clauses()
-        assert indexed.generated_count == naive.generated_count
+        for use_kernel in (True, False):
+            for use_index in (True, False):
+                order = default_order(entailment.constants())
+                engine = SaturationEngine(
+                    order, use_index=use_index, use_kernel=use_kernel
+                )
+                engine.add_clauses(embedding.pure_clauses)
+                engine.saturate()
+                engines.append(engine)
+        naive = engines[-1]
+        for engine in engines[:-1]:
+            assert engine.refuted == naive.refuted
+            assert engine.clauses() == naive.clauses()
+            assert engine.generated_count == naive.generated_count
 
 
 class TestClauseIndex:

@@ -1,0 +1,432 @@
+"""The dense integer clause kernel: encoding round-trips, byte-identical
+derivations, dense ordering keys, adaptive indexing and the unit-rewrite
+simplification layer.
+
+The kernel (``repro/superposition/kernel.py``) re-implements the given-clause
+loop over packed integers; everything here pins the two contracts it ships
+under:
+
+* **representation transparency** — encode/decode is lossless and the kernel
+  engine derives *byte-identical clauses in identical order* to the symbolic
+  engine, for every combination of the index flag (the symbolic path is
+  itself pinned against ``ProverConfig.reference()`` by
+  ``test_index_equivalence.py``);
+* **verdict equivalence only** for unit-rewrite mode — demodulation changes
+  the derivation sequence by design, so it is checked against the reference
+  configuration and (in the differential campaigns) the enumeration oracle.
+"""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.benchgen.random_unsat import UnsatParameters, random_unsat_batch
+from repro.core.config import ProverConfig
+from repro.core.prover import Prover
+from repro.fuzz.generator import EntailmentGenerator, GeneratorProfile, STRATEGIES
+from repro.logic.clauses import Clause
+from repro.logic.cnf import cnf
+from repro.logic.intern import intern_atom
+from repro.logic.ordering import default_order
+from repro.logic.terms import NIL, make_const, variable_pool
+from repro.superposition.kernel import DenseEncoder, IntSaturationCore
+from repro.superposition.saturation import SaturationEngine
+
+CORPUS_SEED = 20260727
+
+
+def _mixed_theory_corpus(count):
+    """Generator instances across every family — includes both spatial theories."""
+    return EntailmentGenerator(seed=CORPUS_SEED).entailments(count)
+
+
+# ---------------------------------------------------------------------------
+# Encoding round-trip
+# ---------------------------------------------------------------------------
+
+
+@st.composite
+def pure_clauses(draw):
+    """Random pure clauses over a small constant pool (plus nil)."""
+    pool = list(variable_pool(draw(st.integers(min_value=1, max_value=7)))) + [NIL]
+    atoms = st.builds(
+        intern_atom, st.sampled_from(pool), st.sampled_from(pool)
+    )
+    gamma = draw(st.frozensets(atoms, max_size=4))
+    delta = draw(st.frozensets(atoms, max_size=4))
+    return Clause(gamma, delta, None, True)
+
+
+class TestEncodingRoundTrip:
+    @given(clause=pure_clauses())
+    def test_decode_encode_is_identity(self, clause):
+        order = default_order(clause.constants())
+        encoder = DenseEncoder(order)
+        encoded = encoder.encode_clause(clause)
+        # Defeat the decode memo (encode_clause pins the original object) so
+        # the real decode path — codes back to interned atoms — is exercised.
+        encoded.decoded = None
+        assert encoder.decode(encoded) == clause
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 30),
+        strategy=st.sampled_from(sorted(STRATEGIES)),
+    )
+    def test_round_trip_across_both_theories(self, seed, strategy):
+        """Every pure clause of any generated entailment's embedding round-trips.
+
+        The strategies include the doubly-linked family, so the encoding is
+        exercised over both spatial theories' vocabularies.
+        """
+        entailment = (
+            EntailmentGenerator(seed=seed, profile=GeneratorProfile.only(strategy))
+            .case(0)
+            .entailment
+        )
+        order = default_order(entailment.constants())
+        encoder = DenseEncoder(order)
+        for clause in cnf(entailment).pure_clauses:
+            encoded = encoder.encode_clause(clause)
+            encoded.decoded = None
+            assert encoder.decode(encoded) == clause
+
+    def test_encoding_is_faithful_not_simplifying(self):
+        """Trivial atoms and tautologies survive the round trip untouched."""
+        a, b = make_const("a"), make_const("b")
+        clause = Clause(
+            frozenset({intern_atom(a, a), intern_atom(a, b)}),
+            frozenset({intern_atom(b, b)}),
+            None,
+            True,
+        )
+        encoder = DenseEncoder(default_order([a, b]))
+        encoded = encoder.encode_clause(clause)
+        assert len(encoded.gamma) == 2 and len(encoded.delta) == 1
+        assert encoded.is_tautology
+        encoded.decoded = None
+        assert encoder.decode(encoded) == clause
+
+
+# ---------------------------------------------------------------------------
+# Dense ordering keys
+# ---------------------------------------------------------------------------
+
+
+class TestDenseSortKey:
+    @given(first=pure_clauses(), second=pure_clauses())
+    def test_dense_key_orders_like_clause_sort_key(self, first, second):
+        """The packed-int clause key is order- and equality-isomorphic to
+        ``TermOrder.clause_sort_key`` (the incremental model generator sorts
+        by whichever of the two it is fed)."""
+        order = default_order(first.constants() | second.constants())
+        encoder = DenseEncoder(order)
+        dense_first = encoder.sort_key_of(encoder.encode_clause(first))
+        dense_second = encoder.sort_key_of(encoder.encode_clause(second))
+        symbolic_first = order.clause_sort_key(first)
+        symbolic_second = order.clause_sort_key(second)
+        assert (dense_first < dense_second) == (symbolic_first < symbolic_second)
+        assert (dense_first == dense_second) == (symbolic_first == symbolic_second)
+
+
+# ---------------------------------------------------------------------------
+# Byte-identical derivations: the {kernel} x {index} matrix
+# ---------------------------------------------------------------------------
+
+
+def _saturate(entailment, use_kernel, use_index, **engine_kwargs):
+    order = default_order(entailment.constants())
+    engine = SaturationEngine(
+        order, use_index=use_index, use_kernel=use_kernel, **engine_kwargs
+    )
+    engine.add_clauses(cnf(entailment).pure_clauses)
+    engine.saturate()
+    return engine
+
+
+class TestKernelDerivationIdentity:
+    def test_kernel_matrix_derives_identical_clauses_on_corpus(self):
+        """All four engine configurations: same actives, same order, same
+        counts, same derivation records, over the equivalence corpus."""
+        for entailment in _mixed_theory_corpus(60):
+            engines = [
+                _saturate(entailment, use_kernel, use_index)
+                for use_kernel, use_index in itertools.product(
+                    (True, False), (True, False)
+                )
+            ]
+            base = engines[-1]  # symbolic, unindexed: the reference behaviour
+            base_derivations = {
+                clause: (inference.rule, inference.premises)
+                for clause, inference in base.derivations.items()
+            }
+            for engine in engines[:-1]:
+                assert engine.refuted == base.refuted
+                assert engine.clauses() == base.clauses()
+                assert engine.generated_count == base.generated_count
+                assert engine.known_pure_clauses() == base.known_pure_clauses()
+                derivations = {
+                    clause: (inference.rule, inference.premises)
+                    for clause, inference in engine.derivations.items()
+                }
+                assert derivations == base_derivations
+
+    @given(seed=st.integers(min_value=0, max_value=2 ** 30))
+    @settings(deadline=None)
+    def test_kernel_engine_matches_symbolic_on_any_generated_instance(self, seed):
+        entailment = EntailmentGenerator(seed=seed).case(0).entailment
+        kernel = _saturate(entailment, use_kernel=True, use_index=True)
+        symbolic = _saturate(entailment, use_kernel=False, use_index=False)
+        assert kernel.refuted == symbolic.refuted
+        assert kernel.clauses() == symbolic.clauses()
+        assert kernel.generated_count == symbolic.generated_count
+
+    def test_lazy_result_clauses_snapshot_the_round(self):
+        """A kernel result's ``clauses`` reflects the round it was returned
+        from, even when the engine keeps saturating afterwards (the symbolic
+        engine snapshots eagerly; the lazy path must observe the same)."""
+        for entailment in _mixed_theory_corpus(10):
+            order = default_order(entailment.constants())
+            kernel_engine = SaturationEngine(order, use_kernel=True)
+            symbolic_engine = SaturationEngine(order, use_kernel=False)
+            pure = cnf(entailment).pure_clauses
+            kernel_engine.add_clauses(pure)
+            symbolic_engine.add_clauses(pure)
+            first_kernel = kernel_engine.saturate(max_given=3)
+            first_symbolic = symbolic_engine.saturate(max_given=3)
+            # Keep saturating *before* reading the first result's clauses.
+            kernel_engine.saturate()
+            symbolic_engine.saturate()
+            assert first_kernel.clauses == first_symbolic.clauses
+            assert len(first_kernel) == len(first_symbolic)
+
+    def test_adaptive_threshold_is_invisible(self):
+        """Index activation point must never change what is derived."""
+        for entailment in _mixed_theory_corpus(25):
+            variants = [
+                _saturate(entailment, True, True, index_threshold=threshold)
+                for threshold in (0, 4, 10 ** 9)
+            ]
+            immediate = variants[0]
+            for engine in variants[1:]:
+                assert engine.clauses() == immediate.clauses()
+                assert engine.generated_count == immediate.generated_count
+
+    def test_prover_verdicts_and_counters_match_reference(self):
+        fast = Prover(ProverConfig().for_benchmarking())
+        reference = Prover(ProverConfig().for_benchmarking().reference())
+        corpus = _mixed_theory_corpus(80)
+        corpus.extend(random_unsat_batch(UnsatParameters.paper(11), 8, seed=11))
+        for entailment in corpus:
+            ours = fast.prove(entailment)
+            theirs = reference.prove(entailment)
+            assert ours.is_valid == theirs.is_valid, entailment
+            assert (
+                ours.statistics.generated_clauses
+                == theirs.statistics.generated_clauses
+            ), entailment
+
+
+# ---------------------------------------------------------------------------
+# Late constant registration (the encoder rebuild path)
+# ---------------------------------------------------------------------------
+
+
+class TestEncoderRebuild:
+    def test_late_constants_renumber_and_stay_equivalent(self):
+        """Adding clauses over constants unknown to the order forces a dense
+        renumbering; engine state must survive it unchanged."""
+        a, b = make_const("a"), make_const("b")
+        order = default_order([a, b])
+        matrix = []
+        for use_kernel in (True, False):
+            engine = SaturationEngine(order, use_kernel=use_kernel)
+            engine.add_clauses(
+                [Clause.pure(delta=[intern_atom(a, b)])]
+            )
+            engine.saturate()
+            # "A" sorts below every registered name, so appending it cannot
+            # keep the id spaces monotone: the kernel must rebuild.
+            late = make_const("A")
+            engine.add_clauses(
+                [
+                    Clause.pure(gamma=[intern_atom(late, a)], delta=[intern_atom(late, b)]),
+                    Clause.pure(delta=[intern_atom(late, NIL)]),
+                ]
+            )
+            engine.saturate()
+            matrix.append(engine)
+        kernel, symbolic = matrix
+        assert kernel.refuted == symbolic.refuted
+        assert kernel.clauses() == symbolic.clauses()
+        assert kernel.generated_count == symbolic.generated_count
+
+
+# ---------------------------------------------------------------------------
+# Unit-rewrite simplification
+# ---------------------------------------------------------------------------
+
+
+class TestUnitRewrite:
+    def test_requires_the_kernel(self):
+        order = default_order([make_const("a")])
+        with pytest.raises(ValueError):
+            SaturationEngine(order, use_kernel=False, use_unit_rewrite=True)
+
+    def test_absorbed_units_demodulate_downwards(self):
+        """A unit equality rewrites later clauses to the smaller constant."""
+        a, b, c = make_const("a"), make_const("b"), make_const("c")
+        order = default_order([a, b, c])
+        engine = SaturationEngine(order, use_unit_rewrite=True)
+        engine.add_clauses([Clause.pure(delta=[intern_atom(b, c)])])
+        engine.saturate()
+        engine.add_clauses(
+            [Clause.pure(gamma=[intern_atom(a, c)], delta=[intern_atom(c, NIL)])]
+        )
+        result = engine.saturate()
+        # c (larger) collapses into b (smaller): the demodulated form of the
+        # new clause mentions b where c stood.
+        demodulated = Clause.pure(
+            gamma=[intern_atom(a, b)], delta=[intern_atom(b, NIL)]
+        )
+        assert demodulated in result.clauses
+        assert not result.refuted
+
+    def test_unit_contradiction_refutes(self):
+        a, b = make_const("a"), make_const("b")
+        order = default_order([a, b])
+        engine = SaturationEngine(order, use_unit_rewrite=True)
+        engine.add_clauses(
+            [
+                Clause.pure(delta=[intern_atom(a, b)]),
+                Clause.pure(gamma=[intern_atom(a, b)]),
+            ]
+        )
+        assert engine.saturate().refuted
+
+    def test_verdicts_match_reference_on_corpus(self):
+        """The headline pin: demodulation never flips a verdict.
+
+        Counterexample verification stays on, so a model corrupted by a bad
+        rewrite would also surface as a verification error here.
+        """
+        unit = Prover(ProverConfig(record_proof=False).with_unit_rewrite())
+        reference = Prover(ProverConfig(record_proof=False).reference())
+        corpus = _mixed_theory_corpus(80)
+        corpus.extend(random_unsat_batch(UnsatParameters.paper(11), 8, seed=11))
+        for entailment in corpus:
+            ours = unit.prove(entailment)
+            theirs = reference.prove(entailment)
+            assert ours.is_valid == theirs.is_valid, entailment
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 30),
+        strategy=st.sampled_from(sorted(STRATEGIES)),
+    )
+    @settings(deadline=None)
+    def test_verdicts_match_on_any_generated_instance(self, seed, strategy):
+        entailment = (
+            EntailmentGenerator(seed=seed, profile=GeneratorProfile.only(strategy))
+            .case(0)
+            .entailment
+        )
+        unit = Prover(ProverConfig(record_proof=False).with_unit_rewrite())
+        reference = Prover(ProverConfig(record_proof=False).reference())
+        assert unit.prove(entailment).is_valid == reference.prove(entailment).is_valid
+
+    def test_demodulation_actually_reduces_search(self):
+        """On the Table 1 distribution the flag changes (reduces) the
+        generated-clause count somewhere — i.e. the layer really fires."""
+        batch = random_unsat_batch(UnsatParameters.paper(14), 12, seed=1014)
+        unit = Prover(ProverConfig().for_benchmarking().with_unit_rewrite())
+        plain = Prover(ProverConfig().for_benchmarking())
+        unit_generated = []
+        plain_generated = []
+        for entailment in batch:
+            ours = unit.prove(entailment)
+            theirs = plain.prove(entailment)
+            assert ours.is_valid == theirs.is_valid
+            unit_generated.append(ours.statistics.generated_clauses)
+            plain_generated.append(theirs.statistics.generated_clauses)
+        assert unit_generated != plain_generated
+        assert sum(unit_generated) <= sum(plain_generated)
+
+
+# ---------------------------------------------------------------------------
+# Statistics plumbing
+# ---------------------------------------------------------------------------
+
+
+class TestGeneratedClausesSync:
+    def test_statistics_match_engine_counter_after_prove(self, monkeypatch):
+        """``ProverStatistics.generated_clauses`` equals the engine's final
+        counter — including the derived clause queued by the outer loop's
+        last ``add_clauses`` call."""
+        import repro.core.prover as prover_module
+
+        captured = []
+
+        class CapturingEngine(SaturationEngine):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                captured.append(self)
+
+        monkeypatch.setattr(prover_module, "SaturationEngine", CapturingEngine)
+        prover = Prover(ProverConfig(record_proof=False))
+        for entailment in _mixed_theory_corpus(30):
+            captured.clear()
+            result = prover.prove(entailment)
+            assert len(captured) == 1
+            assert result.statistics.generated_clauses == captured[0].generated_count
+
+
+# ---------------------------------------------------------------------------
+# The engine-to-model change feed
+# ---------------------------------------------------------------------------
+
+
+class TestKnownChangeFeed:
+    def test_feed_tracks_known_set(self):
+        """Accumulated drains reproduce exactly the engine's non-tautological
+        known clause set at every saturation pause."""
+        for entailment in _mixed_theory_corpus(15):
+            order = default_order(entailment.constants())
+            core = IntSaturationCore(
+                order, max_clauses=200000, use_index=True,
+                use_unit_rewrite=False, index_threshold=24,
+            )
+            core.add_clauses(cnf(entailment).pure_clauses)
+            mirrored = set()
+            while True:
+                result = core.saturate(max_given=7)
+                added, removed = core.drain_known_changes()
+                for clause, _key in removed:
+                    mirrored.discard(clause)
+                for clause, _key in added:
+                    mirrored.add(clause)
+                expected = {
+                    clause
+                    for clause in core.known_pure_clauses()
+                    if not clause.is_tautology
+                }
+                assert mirrored == expected
+                if result.complete:
+                    break
+
+    def test_dense_keys_in_feed_are_sorted_consistently(self):
+        entailment = _mixed_theory_corpus(1)[0]
+        order = default_order(entailment.constants())
+        core = IntSaturationCore(
+            order, max_clauses=200000, use_index=True,
+            use_unit_rewrite=False, index_threshold=24,
+        )
+        core.add_clauses(cnf(entailment).pure_clauses)
+        core.saturate()
+        added, _removed = core.drain_known_changes()
+        by_dense = sorted(added, key=lambda pair: pair[1])
+        by_symbolic = sorted(added, key=lambda pair: order.clause_sort_key(pair[0]))
+        assert [clause for clause, _ in by_dense] == [
+            clause for clause, _ in by_symbolic
+        ]
