@@ -24,8 +24,10 @@ Run it with::
     python examples/program_verification.py
 """
 
+from repro.core.result import ProofResult
 from repro.frontend import Assertion, Assign, Lookup, Procedure, While, prove_procedure
 from repro.frontend.examples_suite import all_programs
+from repro.frontend.verify import outcome_label
 from repro.logic.formula import eq, lseg, neq
 
 
@@ -34,9 +36,13 @@ def verify(procedure: Procedure) -> bool:
     print("verifying {:<24} ({})".format(procedure.name, procedure.description))
     report = prove_procedure(procedure)
     for condition, result in report.results:
-        status = "ok " if result is not None and result.is_valid else "FAIL"
+        decided = isinstance(result, ProofResult)
+        status = "ok " if decided and result.is_valid else "FAIL"
         print("  [{}] {}".format(status, condition.description))
-        if result is not None and result.is_invalid:
+        if not decided:
+            # Timeout, OOM or a quarantined crash: undecided, never "ok".
+            print("        {} :".format(outcome_label(result)), condition.entailment)
+        if decided and result.is_invalid:
             print("        entailment     :", condition.entailment)
             print("        counterexample :", result.counterexample)
     reused = report.cache_hits + report.deduplicated

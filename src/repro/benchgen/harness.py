@@ -24,6 +24,7 @@ from repro.core.batch import BatchProver
 from repro.core.cache import ProofCache
 from repro.core.config import ProverConfig
 from repro.core.prover import Prover, ProverTimeout
+from repro.core.result import ProofResult
 from repro.logic.formula import Entailment
 
 
@@ -169,7 +170,9 @@ def run_slp_batch(
     with BatchProver(prover_config, jobs=jobs, cache=cache) as batch:
         for _, result in batch.iter_results(entailments):
             run.attempted += 1
-            if result is not None:
+            # Structured failures (timeout/oom/quarantined crash) count as
+            # unsolved, exactly like the baselines' ``None`` answers.
+            if isinstance(result, ProofResult):
                 run.solved += 1
                 if result.is_valid:
                     run.valid += 1

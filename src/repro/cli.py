@@ -19,12 +19,20 @@ the baselines only speak the singly-linked fragment and report ``invalid``
 as "cannot prove" on anything else.
 
 Batches go through the batch engine (:mod:`repro.core.batch`): ``--jobs N``
-checks the file on ``N`` worker processes, and alpha-equivalent entailments
-(same problem up to variable renaming and conjunct order) are proved once and
-answered from the proof cache afterwards — disable that with ``--no-cache``.
-``--timeout SECONDS`` bounds each instance; instances that exceed it report
-``timeout``.  Output lines always appear in input order, whatever the
+checks the file on ``N`` supervised worker processes, and alpha-equivalent
+entailments (same problem up to variable renaming and conjunct order) are
+proved once and answered from the proof cache afterwards — disable that with
+``--no-cache``.  Budgets: ``--timeout SECONDS`` bounds each instance
+(exceeded instances report ``timeout``; ``--grace`` scales the hard watchdog
+that reclaims a worker ignoring its budget) and ``--max-memory MB`` caps each
+worker's address space (exceeded instances report ``oom``).  A worker crash
+is retried up to ``--retries`` times; a task that keeps failing reports
+``crashed``.  Output lines always appear in input order, whatever the
 completion order of the workers.
+
+Exit status: 0 for a clean run (timeouts included — undecided is an honest
+answer), 2 for parse errors, 3 when any instance crashed, was quarantined or
+ran out of memory.
 
 Options also allow printing proofs and counterexamples and selecting one of
 the baseline provers for comparison (the baselines are sequential and ignore
@@ -44,7 +52,7 @@ import time
 from dataclasses import replace
 from typing import Iterable, List, Optional
 
-from repro.core.batch import BatchProver
+from repro.core.batch import BatchProver, FailureInfo
 from repro.core.config import ProverConfig
 from repro.logic.parser import ParseError, parse_entailment
 
@@ -113,6 +121,30 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         help="per-entailment time budget; exceeded instances report 'timeout' (slp only)",
     )
     parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="re-dispatch a crashed instance up to N times before quarantining it"
+        " (slp only; default 2)",
+    )
+    parser.add_argument(
+        "--grace",
+        type=float,
+        default=2.0,
+        metavar="FACTOR",
+        help="hard watchdog factor: kill a worker holding one instance longer than"
+        " timeout*FACTOR (slp only; default 2.0)",
+    )
+    parser.add_argument(
+        "--max-memory",
+        type=int,
+        default=None,
+        metavar="MB",
+        help="address-space budget per worker process; exceeded instances report"
+        " 'oom' (slp only)",
+    )
+    parser.add_argument(
         "--proof",
         action="store_true",
         help="print the SI proof for valid entailments (slp prover only)",
@@ -131,10 +163,22 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
 
     if arguments.jobs < 1:
         parser.error("--jobs must be at least 1")
+    if arguments.retries < 0:
+        parser.error("--retries must be >= 0")
+    if arguments.grace < 1.0:
+        parser.error("--grace must be >= 1.0")
     if arguments.prover != "slp" and (
-        arguments.jobs != 1 or arguments.no_cache or arguments.timeout is not None
+        arguments.jobs != 1
+        or arguments.no_cache
+        or arguments.timeout is not None
+        or arguments.max_memory is not None
+        or arguments.retries != 2
+        or arguments.grace != 2.0
     ):
-        parser.error("--jobs/--no-cache/--timeout are only supported by the slp prover")
+        parser.error(
+            "--jobs/--no-cache/--timeout/--retries/--grace/--max-memory"
+            " are only supported by the slp prover"
+        )
 
     lines = [line.strip() for line in _read_lines(arguments.input)]
     lines = [line for line in lines if line and not line.startswith("#")]
@@ -153,12 +197,18 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         # Only record proofs when they will be printed: with --jobs the full
         # proof trace of every valid entailment would otherwise be pickled
         # back from the workers just to be discarded.
-        config = replace(
-            ProverConfig(), record_proof=arguments.proof
-        ).with_timeout(arguments.timeout)
+        config = (
+            replace(ProverConfig(), record_proof=arguments.proof)
+            .with_timeout(arguments.timeout)
+            .with_memory_limit(arguments.max_memory)
+        )
         entailments = [entailment for _, entailment in parsed if entailment is not None]
         with BatchProver(
-            config, jobs=arguments.jobs, cache=not arguments.no_cache
+            config,
+            jobs=arguments.jobs,
+            cache=not arguments.no_cache,
+            retries=arguments.retries,
+            grace_factor=arguments.grace,
         ) as batch:
             results = batch.iter_ordered(entailments)
             for line, entailment in parsed:
@@ -166,8 +216,9 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
                     print("error    {}".format(line))
                     continue
                 _, result = next(results)
-                if result is None:
-                    print("timeout  {}".format(line))
+                if isinstance(result, FailureInfo):
+                    label = result.kind if result.kind in ("timeout", "oom") else "crashed"
+                    print("{:<8} {}".format(label, line))
                     continue
                 verdict = "valid" if result.is_valid else "invalid"
                 print("{:<8} {}".format(verdict, line))
@@ -175,6 +226,26 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
                     print(result.proof.format())
                 if arguments.counterexample and result.counterexample is not None:
                     print("    counterexample: {}".format(result.counterexample))
+            stats = batch.statistics
+        if stats.failed:
+            summary = []
+            if stats.timed_out:
+                summary.append("{} timed out".format(stats.timed_out))
+            if stats.oom:
+                summary.append("{} out of memory".format(stats.oom))
+            if stats.quarantined:
+                summary.append("{} crashed/quarantined".format(stats.quarantined))
+            if stats.retried or stats.respawned_workers:
+                summary.append(
+                    "{} retries, {} workers respawned".format(
+                        stats.retried, stats.respawned_workers
+                    )
+                )
+            print("failures: {}".format("; ".join(summary)), file=sys.stderr)
+        # Timeouts are an honest "undecided within budget" and keep exit 0;
+        # crashes and memory blow-ups mean the run did not do what was asked.
+        if exit_code == 0 and (stats.quarantined or stats.oom):
+            exit_code = 3
     else:
         check = _baseline_checker(arguments.prover)
         for line, entailment in parsed:

@@ -1,59 +1,101 @@
-"""Batch proving: parallel entailment checking with alpha-equivalence caching.
+"""Batch proving: supervised parallel entailment checking with caching.
 
 Every workload this prover serves — the paper's Tables 1-3 batches, the
 verification-condition stream of the symbolic-execution front end, CLI files —
 is a *batch* of independent entailments.  :class:`BatchProver` turns the fast
-single-query prover into a batch engine with two orthogonal levers:
+single-query prover into a batch engine with three orthogonal levers:
 
-* **parallelism** — a persistent :mod:`multiprocessing` pool; each worker
-  process holds one warm :class:`~repro.core.prover.Prover` (and its interning
-  tables, ordering caches and so on) for its whole lifetime, and tasks are
-  dispatched in chunks to amortise the IPC.  Results stream back as they
+* **parallelism** — a :class:`~repro.core.supervisor.SupervisedPool` of
+  worker processes; each worker holds one warm
+  :class:`~repro.core.prover.Prover` (and its interning tables, ordering
+  caches and so on) for its whole lifetime, and tasks are dispatched
+  per-task with explicit liveness tracking.  Results stream back as they
   complete (:meth:`BatchProver.iter_results`) or in input order
   (:meth:`BatchProver.iter_ordered` / :meth:`BatchProver.prove_all`);
+* **supervision** — a crashed, hung or OOM-killed worker is detected and
+  respawned, its in-flight task retried with capped exponential backoff, and
+  a task that keeps killing workers is quarantined.  Every task therefore
+  produces exactly one structured outcome: a
+  :class:`~repro.core.result.ProofResult`, or a
+  :class:`~repro.core.supervisor.FailureInfo` saying *why* there is no
+  verdict (``timeout``/``oom``/``crash``/``retries_exhausted``).  ``None``
+  never appears;
 * **memoisation** — a :class:`~repro.core.cache.ProofCache` in the
   coordinating process answers alpha-equivalent queries without proving, and
   additionally *deduplicates within the batch*: structurally identical
   entailments are proved once and the verdict is renamed back for every copy.
 
-The two compose: cache lookups and deduplication happen before dispatch, so
-the pool only ever sees one representative per equivalence class.
+The levers compose: cache lookups and deduplication happen before dispatch,
+so the pool only ever sees one representative per equivalence class.  A
+representative that *fails* (rather than times out on its own merits) does
+not poison its copies — they are re-dispatched independently.
 
-The engine degrades gracefully: with ``jobs=1``, or on platforms where a
-worker pool cannot be created (no ``fork``/``spawn`` support, sandboxed
-environments), everything runs in-process through the same code path, with a
-single warm prover — behaviour and verdicts are identical either way.
+Budgets are enforced for real.  ``ProverConfig.max_seconds`` is threaded
+into the saturation inner loop (cooperative, fires within one inference
+step); the coordinator additionally arms a **hard watchdog** that kills any
+worker holding a task past ``max_seconds * grace_factor``, which is what
+catches a worker that stopped executing Python (native hang, pathological
+GC).  ``ProverConfig.max_memory_mb`` applies ``RLIMIT_AS`` in each worker,
+converting memory blow-ups into structured ``oom`` failures instead of
+kernel OOM kills.
 
-Workers are stateless with respect to the batch: a task is ``(index,
-entailment)`` and the reply is ``(index, result)``, so scheduling order never
-affects verdicts.  When the configuration carries a per-instance budget
-(``ProverConfig.max_seconds``), a worker converts
-:class:`~repro.core.prover.ProverTimeout` into a ``None`` result; ``None``
-therefore means "undecided within budget" everywhere in this module.
+The engine degrades gracefully: with ``jobs=1``, or on platforms where
+worker processes cannot be created, everything runs in-process through the
+same outcome contract — including injected faults and retry/quarantine
+semantics, minus the hard watchdog (there is no second process to do the
+killing).  A deterministic :class:`~repro.core.faults.FaultPlan` (passed in,
+or exported via ``SLP_FAULT_PLAN``) disturbs chosen task indices for chaos
+testing; failures it causes are marked ``injected``.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
+import threading
 import time
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.core.cache import ProofCache
 from repro.core.config import ProverConfig
+from repro.core.faults import FaultPlan, InjectedCrash, apply_fault_before_task, make_unpicklable
 from repro.core.prover import Prover, ProverTimeout
 from repro.core.result import ProofResult, ProverStatistics
+from repro.core.supervisor import FailureInfo, SupervisedPool
 from repro.logic.canonical import CanonicalForm
 from repro.logic.formula import Entailment, lseg, pts
 from repro.logic.terms import make_const
 
-__all__ = ["BatchProver", "BatchStatistics", "default_jobs"]
+__all__ = [
+    "BatchOutcome",
+    "BatchProver",
+    "BatchStatistics",
+    "FailureInfo",
+    "default_jobs",
+]
+
+#: What one batch entry resolves to: a verdict, or a structured failure.
+BatchOutcome = Union[ProofResult, FailureInfo]
+
+#: Errors that mean "no worker pool on this platform" (sandboxes, exotic
+#: interpreters); the engine degrades to in-process execution, once, quietly.
+_POOL_UNAVAILABLE_ERRORS = (OSError, ValueError, ImportError, PermissionError)
 
 
 def default_jobs() -> int:
-    """A sensible worker count for this machine (capped to keep startup cheap)."""
-    return max(1, min(os.cpu_count() or 1, 8))
+    """A sensible worker count for this machine (capped to keep startup cheap).
+
+    Counts the CPUs this process may actually *use* — the scheduling affinity
+    mask, which cgroup cpusets and ``taskset`` shrink — not the machine's
+    nominal core count.  In a 2-CPU container on a 64-core host,
+    ``os.cpu_count()`` says 64; spawning 8 provers to share 2 CPUs thrashes.
+    """
+    try:
+        available = len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux platforms
+        available = os.cpu_count() or 1
+    return max(1, min(available, 8))
 
 
 # ---------------------------------------------------------------------------
@@ -63,6 +105,10 @@ def default_jobs() -> int:
 # ---------------------------------------------------------------------------
 
 _WORKER_PROVER: Optional[Prover] = None
+
+_WARMUP = dict(
+    lhs=[pts("wk_a", "wk_b"), pts("wk_b", "nil")], rhs=[lseg("wk_a", "nil")]
+)
 
 
 def _reintern(entailment: Entailment) -> Entailment:
@@ -75,18 +121,73 @@ def _reintern(entailment: Entailment) -> Entailment:
     return entailment.rename({c: make_const(c.name) for c in entailment.constants()})
 
 
-def _initialize_worker(config: ProverConfig) -> None:
-    global _WORKER_PROVER
-    _WORKER_PROVER = Prover(config)
-    # Prime the imports, ordering caches and intern tables with a tiny proof
-    # so the first real task does not pay the warm-up.
-    warmup = Entailment.build(
-        lhs=[pts("wk_a", "wk_b"), pts("wk_b", "nil")], rhs=[lseg("wk_a", "nil")]
-    )
+def _apply_memory_limit(max_memory_mb: Optional[int]) -> None:
+    """Cap this process's address space (``RLIMIT_AS``) — worker processes only.
+
+    Platforms without the :mod:`resource` module (or without this limit) are
+    left uncapped: the budget is an operational safety net, not a semantic
+    requirement, and failing the whole pool over it would be worse.
+    """
+    if max_memory_mb is None:
+        return
     try:
-        _WORKER_PROVER.prove(warmup)
+        import resource
+
+        limit = int(max_memory_mb) * 1024 * 1024
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        if hard != resource.RLIM_INFINITY:
+            limit = min(limit, hard)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (ImportError, AttributeError, ValueError, OSError):  # pragma: no cover
+        pass
+
+
+def _warm_prover(config: ProverConfig) -> Prover:
+    """A fresh prover with imports, ordering caches and intern tables primed."""
+    prover = Prover(config)
+    try:
+        prover.prove(Entailment.build(**_WARMUP))
     except ProverTimeout:  # pragma: no cover - only with absurdly small budgets
         pass
+    return prover
+
+
+def _supervised_worker_init(config: ProverConfig, fault_plan: Optional[FaultPlan]):
+    """Per-worker initialiser for the supervised pool; returns the task function.
+
+    Order matters: the memory limit is applied *before* the warm-up, so the
+    budget covers everything the worker will ever allocate.  A budget too
+    tight for even the warm-up surfaces as MemoryError here, which the
+    supervisor reports as an initialisation failure (and, if persistent,
+    declares the pool broken) instead of respawning forever.
+    """
+    _apply_memory_limit(config.max_memory_mb)
+    plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
+    prover = _warm_prover(config)
+
+    def prove_task(payload: Tuple[int, Entailment], _position: int, attempt: int):
+        # The payload carries the *batch* index (fault plans target batch
+        # indices); the pool's positional index is ignored.
+        index, entailment = payload
+        spec = plan.should_fire(index, attempt) if plan is not None else None
+        if spec is not None:
+            apply_fault_before_task(spec)
+        try:
+            result = prover.prove(_reintern(entailment))
+        except ProverTimeout as timeout:
+            return "timeout", timeout.statistics
+        if spec is not None and spec.kind == "unpicklable":
+            return "ok", make_unpicklable(result)
+        return "ok", result
+
+    return prove_task
+
+
+def _initialize_worker(config: ProverConfig) -> None:
+    """Legacy chunked-pool initialiser (kept for the supervision ablation)."""
+    global _WORKER_PROVER
+    _apply_memory_limit(config.max_memory_mb)
+    _WORKER_PROVER = _warm_prover(config)
 
 
 def _prove_in_worker(task: Tuple[int, Entailment]) -> Tuple[int, Optional[ProofResult]]:
@@ -103,13 +204,20 @@ def _prove_in_worker(task: Tuple[int, Entailment]) -> Tuple[int, Optional[ProofR
 # ---------------------------------------------------------------------------
 
 
+def _fold_statistics(target: ProverStatistics, source: ProverStatistics) -> None:
+    for item in fields(ProverStatistics):
+        setattr(target, item.name, getattr(target, item.name) + getattr(source, item.name))
+
+
 @dataclass
 class BatchStatistics:
     """Aggregated accounting for everything a :class:`BatchProver` has run.
 
     ``prover`` sums the per-result work counters of genuinely proved
-    instances; cache hits and deduplicated copies contribute no prover work
-    (that is the point) and are counted separately.
+    instances; ``timeout_work`` sums the *partial* counters of timed-out
+    attempts (work done, then discarded), which used to be invisible.  Cache
+    hits and deduplicated copies contribute no prover work (that is the
+    point) and are counted separately.
     """
 
     total: int = 0
@@ -117,28 +225,45 @@ class BatchStatistics:
     cache_hits: int = 0
     deduplicated: int = 0
     timed_out: int = 0
+    oom: int = 0
+    quarantined: int = 0
+    retried: int = 0
+    respawned_workers: int = 0
+    injected_faults: int = 0
     valid: int = 0
     invalid: int = 0
     jobs: int = 1
     parallel: bool = False
     elapsed_seconds: float = 0.0
     prover: ProverStatistics = field(default_factory=ProverStatistics)
+    timeout_work: ProverStatistics = field(default_factory=ProverStatistics)
+
+    @property
+    def failed(self) -> int:
+        """Batch entries that resolved to no verdict, of any kind."""
+        return self.timed_out + self.oom + self.quarantined
 
     def absorb_proved(self, result: ProofResult) -> None:
         """Fold one freshly proved result into the aggregate counters."""
         self.proved += 1
-        for item in fields(ProverStatistics):
-            setattr(
-                self.prover,
-                item.name,
-                getattr(self.prover, item.name) + getattr(result.statistics, item.name),
-            )
+        _fold_statistics(self.prover, result.statistics)
 
-    def count_verdict(self, result: Optional[ProofResult]) -> None:
+    def absorb_failure(self, info: FailureInfo) -> None:
+        """Fold one fresh (non-echoed) structured failure's bookkeeping."""
+        if isinstance(info.statistics, ProverStatistics):
+            _fold_statistics(self.timeout_work, info.statistics)
+
+    def count_verdict(self, outcome: Optional[BatchOutcome]) -> None:
         self.total += 1
-        if result is None:
-            self.timed_out += 1
-        elif result.is_valid:
+        if outcome is None or isinstance(outcome, FailureInfo):
+            kind = "timeout" if outcome is None else outcome.kind
+            if kind == "timeout":
+                self.timed_out += 1
+            elif kind == "oom":
+                self.oom += 1
+            else:
+                self.quarantined += 1
+        elif outcome.is_valid:
             self.valid += 1
         else:
             self.invalid += 1
@@ -152,7 +277,8 @@ class BatchProver:
     config:
         Prover configuration used by every worker (and the in-process
         fallback).  Give it a ``max_seconds`` budget for per-instance
-        timeouts; timed-out instances come back as ``None``.
+        timeouts and a ``max_memory_mb`` budget for per-worker memory;
+        exceeded budgets come back as :class:`FailureInfo` outcomes.
     jobs:
         Worker processes.  ``1`` (the default) runs in-process — no pool, no
         pickling, verdicts bit-identical to a bare :class:`Prover` loop.
@@ -160,15 +286,39 @@ class BatchProver:
         ``True`` (default) for a fresh :class:`ProofCache`, ``False``/``None``
         to disable caching *and* in-batch deduplication, or an existing
         :class:`ProofCache` to share across batch provers.
+    retries:
+        How many times a crashed task is re-dispatched before quarantine
+        (``0`` quarantines on the first crash).  Applies to worker deaths and
+        in-task exceptions, not to timeouts or OOMs, which are deterministic
+        properties of the instance under its budget.
+    grace_factor:
+        The hard watchdog kills a worker holding one task longer than
+        ``max_seconds * grace_factor`` — the headroom the cooperative
+        deadline gets before the coordinator stops trusting the worker to
+        enforce its own budget.  No ``max_seconds`` means no watchdog.
+    backoff_base / backoff_cap:
+        Crash-retry backoff: re-dispatch *n* waits
+        ``min(cap, base * 2**(n-1))`` seconds.
+    fault_plan:
+        A :class:`~repro.core.faults.FaultPlan` to disturb this batch with
+        (chaos testing).  ``None`` reads ``SLP_FAULT_PLAN`` from the
+        environment; normal operation has neither.
+    supervised:
+        ``False`` selects the legacy chunked ``multiprocessing.Pool`` path —
+        no supervision, no retries, crash-fragile.  Kept for the
+        ``supervision_overhead`` ablation benchmark only.
     chunk_size:
-        Tasks per pool dispatch; defaults to a heuristic that keeps every
-        worker busy while bounding IPC round trips.
+        Tasks per dispatch of the *legacy* pool (ignored when supervised).
     mp_context:
-        A :mod:`multiprocessing` context to use instead of the default
-        (fork where available).  Mainly for tests.
+        A :mod:`multiprocessing` context (or start-method name) to use
+        instead of the default (fork where available).  Mainly for tests.
+    drain_seconds:
+        Budget :meth:`close` gives workers to exit gracefully before
+        escalating to ``terminate``/``kill``.
 
     The instance is reusable across many batches; the pool stays warm.  Use
-    it as a context manager (or call :meth:`close`) to release the workers.
+    it as a context manager (or call :meth:`close`) to release the workers;
+    a leaked instance reclaims them from ``__del__`` as a safety net.
     """
 
     def __init__(
@@ -178,9 +328,20 @@ class BatchProver:
         cache: Union[bool, ProofCache, None] = True,
         chunk_size: Optional[int] = None,
         mp_context=None,
+        retries: int = 2,
+        grace_factor: float = 2.0,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 1.0,
+        fault_plan: Optional[FaultPlan] = None,
+        supervised: bool = True,
+        drain_seconds: float = 5.0,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
+        if retries < 0:
+            raise ValueError("retries must be >= 0")
+        if grace_factor < 1.0:
+            raise ValueError("grace_factor must be >= 1.0 (the watchdog must not fire first)")
         self.config = config if config is not None else ProverConfig()
         self.jobs = jobs
         if cache is True:
@@ -190,19 +351,46 @@ class BatchProver:
         else:
             self.cache = cache
         self.chunk_size = chunk_size
+        self.retries = retries
+        self.grace_factor = grace_factor
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self.supervised = supervised
+        self.drain_seconds = drain_seconds
         self.statistics = BatchStatistics(jobs=jobs)
+        self._fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._mp_context = mp_context
-        self._pool = None
+        self._pool: Optional[SupervisedPool] = None
+        self._legacy_pool = None
         self._pool_unavailable = False
         self._local_prover: Optional[Prover] = None
+        self._closed = False
+
+    @property
+    def _task_timeout(self) -> Optional[float]:
+        if self.config.max_seconds is None:
+            return None
+        return self.config.max_seconds * self.grace_factor
 
     # -- lifecycle ---------------------------------------------------------
     def close(self) -> None:
-        """Release the worker processes.  A later batch starts a fresh pool."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
+        """Release the worker processes: graceful drain, then escalation.
+
+        Idempotent; a later batch on the same instance starts a fresh pool.
+        """
+        pool, self._pool = self._pool, None
+        legacy, self._legacy_pool = self._legacy_pool, None
+        self._closed = True
+        if pool is not None:
+            pool.close(self.drain_seconds)
+        if legacy is not None:
+            legacy.close()  # no more tasks; lets workers finish and exit
+            joiner = threading.Thread(target=legacy.join, daemon=True)
+            joiner.start()
+            joiner.join(self.drain_seconds)
+            if joiner.is_alive():
+                legacy.terminate()
+                joiner.join(1.0)
 
     def __enter__(self) -> "BatchProver":
         return self
@@ -210,66 +398,212 @@ class BatchProver:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _ensure_pool(self):
-        """The persistent pool, or ``None`` when parallelism is unavailable."""
+    def __del__(self) -> None:
+        # Safety net for leaked instances: never let an abandoned BatchProver
+        # orphan its worker processes.  Interpreter-shutdown failures are
+        # swallowed — there is nothing useful to do with them in __del__.
+        try:
+            if not self._closed and (self._pool is not None or self._legacy_pool is not None):
+                self.close()
+        except Exception:
+            pass
+
+    def _ensure_pool(self) -> Optional[SupervisedPool]:
+        """The persistent supervised pool, or ``None`` when unavailable."""
+        self._closed = False
         if self._pool is not None:
             return self._pool
         if self._pool_unavailable:
             return None
         try:
+            pool = SupervisedPool(
+                jobs=self.jobs,
+                initializer=_supervised_worker_init,
+                init_args=(self.config, self._fault_plan),
+                task_timeout=self._task_timeout,
+                retries=self.retries,
+                backoff_base=self.backoff_base,
+                backoff_cap=self.backoff_cap,
+                mp_context=self._mp_context,
+                drain_seconds=self.drain_seconds,
+            )
+            pool.start()
+        except _POOL_UNAVAILABLE_ERRORS:
+            self._pool_unavailable = True
+            return None
+        self._pool = pool
+        return pool
+
+    def _ensure_legacy_pool(self):
+        """The unsupervised chunked pool (ablation benchmark only)."""
+        self._closed = False
+        if self._legacy_pool is not None:
+            return self._legacy_pool
+        if self._pool_unavailable:
+            return None
+        try:
             context = self._mp_context
+            if isinstance(context, str):
+                context = multiprocessing.get_context(context)
             if context is None:
                 methods = multiprocessing.get_all_start_methods()
                 context = multiprocessing.get_context(
                     "fork" if "fork" in methods else None
                 )
-            self._pool = context.Pool(
+            self._legacy_pool = context.Pool(
                 processes=self.jobs,
                 initializer=_initialize_worker,
                 initargs=(self.config,),
             )
-        except (OSError, ValueError, ImportError, PermissionError):
-            # No usable multiprocessing on this platform (or in this
-            # sandbox): degrade to in-process execution, once, quietly.
+        except _POOL_UNAVAILABLE_ERRORS:
             self._pool_unavailable = True
             return None
-        return self._pool
+        return self._legacy_pool
 
-    def _prove_local(self, entailment: Entailment) -> Optional[ProofResult]:
+    # -- in-process execution ---------------------------------------------
+    def _prove_local(self, index: int, entailment: Entailment) -> BatchOutcome:
+        """One task through the in-process engine: same contract as the pool.
+
+        Injected faults degrade sensibly without a process boundary: process
+        death and undeliverable results become retryable crashes, a hang
+        longer than the watchdog budget becomes the ``timeout`` the watchdog
+        would have produced (there is no second process to do the killing).
+        """
         if self._local_prover is None:
             self._local_prover = Prover(self.config)
-        try:
-            return self._local_prover.prove(entailment)
-        except ProverTimeout:
-            return None
+        plan = self._fault_plan
+        attempt = 1
+        started = time.monotonic()
+        while True:
+            spec = plan.should_fire(index, attempt) if plan is not None else None
+            try:
+                if spec is not None and spec.kind == "hang":
+                    budget = self._task_timeout
+                    if budget is not None and spec.seconds > budget:
+                        time.sleep(budget)
+                        return FailureInfo(
+                            kind="timeout",
+                            attempts=attempt,
+                            elapsed=time.monotonic() - started,
+                            detail="hang exhausted the watchdog budget",
+                        )
+                if spec is not None:
+                    apply_fault_before_task(spec, in_process=True)
+                return self._local_prover.prove(entailment)
+            except ProverTimeout as timeout:
+                return FailureInfo(
+                    kind="timeout",
+                    attempts=attempt,
+                    elapsed=time.monotonic() - started,
+                    detail="cooperative deadline",
+                    statistics=timeout.statistics,
+                )
+            except MemoryError:
+                return FailureInfo(
+                    kind="oom",
+                    attempts=attempt,
+                    elapsed=time.monotonic() - started,
+                    detail="MemoryError while proving",
+                )
+            except InjectedCrash as crash:
+                if attempt <= self.retries:
+                    self.statistics.retried += 1
+                    backoff = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
+                    if backoff > 0.0:
+                        time.sleep(backoff)
+                    attempt += 1
+                    continue
+                kind = "crash" if self.retries == 0 else "retries_exhausted"
+                return FailureInfo(
+                    kind=kind,
+                    attempts=attempt,
+                    elapsed=time.monotonic() - started,
+                    detail=str(crash),
+                )
 
     # -- execution ---------------------------------------------------------
+    def _mark_injected(self, index: int, outcome: BatchOutcome) -> BatchOutcome:
+        """Flag failures at indices the fault plan targets.
+
+        The decision function is pure, so the coordinator can label a
+        failure whose worker never reported back (it was killed before it
+        could say anything).
+        """
+        if (
+            isinstance(outcome, FailureInfo)
+            and not outcome.injected
+            and self._fault_plan is not None
+            and self._fault_plan.fault_at(index) is not None
+        ):
+            return replace(outcome, injected=True)
+        return outcome
+
     def _execute(
         self, tasks: Sequence[Tuple[int, Entailment]]
-    ) -> Iterator[Tuple[int, Optional[ProofResult]]]:
-        """Run the deduplicated tasks, yielding ``(index, result)`` as completed."""
+    ) -> Iterator[Tuple[int, BatchOutcome]]:
+        """Run the deduplicated tasks, yielding ``(index, outcome)`` as completed."""
         if not tasks:
             return
-        pool = self._ensure_pool() if self.jobs > 1 else None
-        if pool is None:
-            for index, entailment in tasks:
-                yield index, self._prove_local(entailment)
-            return
+        if self._fault_plan is not None:
+            # Count faults as *fired*, not as "failed in the end": a transient
+            # fault the retry loop recovered from still disturbed the run.
+            # The decision function is pure, so the coordinator knows without
+            # hearing from the (possibly killed) worker.
+            self.statistics.injected_faults += sum(
+                1 for index, _ in tasks if self._fault_plan.fault_at(index) is not None
+            )
+        if self.jobs > 1:
+            if self.supervised:
+                pool = self._ensure_pool()
+                if pool is not None:
+                    yield from self._execute_supervised(pool, tasks)
+                    return
+            else:
+                legacy = self._ensure_legacy_pool()
+                if legacy is not None:
+                    yield from self._execute_legacy(legacy, tasks)
+                    return
+        for index, entailment in tasks:
+            yield index, self._mark_injected(index, self._prove_local(index, entailment))
+
+    def _execute_supervised(
+        self, pool: SupervisedPool, tasks: Sequence[Tuple[int, Entailment]]
+    ) -> Iterator[Tuple[int, BatchOutcome]]:
+        self.statistics.parallel = True
+        # The pool indexes payloads by position; faults are planned against
+        # batch indices.  Dispatch (index, entailment) pairs and let the
+        # worker unpack, so ``should_fire`` sees the batch index.
+        retried_before = pool.retried
+        respawned_before = pool.respawned_workers
+        try:
+            for position, outcome in pool.run(list(tasks)):
+                index = tasks[position][0]
+                yield index, self._mark_injected(index, outcome)
+        finally:
+            self.statistics.retried += pool.retried - retried_before
+            self.statistics.respawned_workers += pool.respawned_workers - respawned_before
+
+    def _execute_legacy(
+        self, pool, tasks: Sequence[Tuple[int, Entailment]]
+    ) -> Iterator[Tuple[int, BatchOutcome]]:
         self.statistics.parallel = True
         chunk = self.chunk_size
         if chunk is None:
             chunk = max(1, len(tasks) // (self.jobs * 4))
         for index, result in pool.imap_unordered(_prove_in_worker, tasks, chunksize=chunk):
+            if result is None:
+                result = FailureInfo(kind="timeout", detail="cooperative deadline")
             yield index, result
 
     def iter_results(
         self, entailments: Iterable[Entailment]
-    ) -> Iterator[Tuple[int, Optional[ProofResult]]]:
-        """Yield ``(index, result)`` pairs as they complete (not in order).
+    ) -> Iterator[Tuple[int, BatchOutcome]]:
+        """Yield ``(index, outcome)`` pairs as they complete (not in order).
 
         Cache hits surface immediately; the remaining work streams back from
-        the pool.  A ``None`` result means the instance exceeded the
-        configured per-instance budget.
+        the pool.  Every outcome is a :class:`ProofResult` or a
+        :class:`FailureInfo` — never ``None`` — and every input index is
+        yielded exactly once.
         """
         batch = list(entailments)
         start = time.perf_counter()
@@ -299,51 +633,72 @@ class BatchProver:
                 else:
                     followers.setdefault(leader, []).append(index)
 
-            for index, result in self._execute(leaders):
-                if result is not None:
-                    self.statistics.absorb_proved(result)
+            orphans: List[Tuple[int, Entailment]] = []
+            for index, outcome in self._execute(leaders):
+                if isinstance(outcome, ProofResult):
+                    self.statistics.absorb_proved(outcome)
                     if self.cache is not None and index in canonicals:
-                        self.cache.store(batch[index], result, canonicals[index])
-                self.statistics.count_verdict(result)
-                yield index, result
+                        self.cache.store(batch[index], outcome, canonicals[index])
+                else:
+                    self.statistics.absorb_failure(outcome)
+                self.statistics.count_verdict(outcome)
+                yield index, outcome
                 for duplicate in followers.get(index, ()):
-                    if result is None:
-                        # The representative timed out; its copies would too.
-                        self.statistics.count_verdict(None)
-                        yield duplicate, None
-                        continue
-                    assert self.cache is not None
-                    echoed = self.cache.lookup(batch[duplicate], canonicals[duplicate])
-                    assert echoed is not None, "stored leader result must be retrievable"
-                    self.statistics.deduplicated += 1
-                    self.statistics.count_verdict(echoed)
-                    yield duplicate, echoed
+                    if isinstance(outcome, ProofResult):
+                        assert self.cache is not None
+                        echoed = self.cache.lookup(batch[duplicate], canonicals[duplicate])
+                        assert echoed is not None, "stored leader result must be retrievable"
+                        self.statistics.deduplicated += 1
+                        self.statistics.count_verdict(echoed)
+                        yield duplicate, echoed
+                    elif outcome.kind in ("timeout", "oom") and not outcome.injected:
+                        # A genuine budget exhaustion is a property of the
+                        # instance; its alpha-equivalent copies would exhaust
+                        # the same budget.  Echo the failure (frozen, shareable).
+                        self.statistics.count_verdict(outcome)
+                        yield duplicate, outcome
+                    else:
+                        # The representative crashed (or its failure was
+                        # injected): that says nothing about the instance.
+                        # Re-dispatch the copies on their own merits.
+                        orphans.append((duplicate, batch[duplicate]))
+
+            for index, outcome in self._execute(orphans):
+                if isinstance(outcome, ProofResult):
+                    self.statistics.absorb_proved(outcome)
+                    if self.cache is not None and index in canonicals:
+                        self.cache.store(batch[index], outcome, canonicals[index])
+                else:
+                    self.statistics.absorb_failure(outcome)
+                self.statistics.count_verdict(outcome)
+                yield index, outcome
         finally:
             self.statistics.elapsed_seconds += time.perf_counter() - start
 
     def iter_ordered(
         self, entailments: Iterable[Entailment]
-    ) -> Iterator[Tuple[int, Optional[ProofResult]]]:
-        """Yield ``(index, result)`` in input order, streaming as soon as possible."""
-        buffered: Dict[int, Optional[ProofResult]] = {}
+    ) -> Iterator[Tuple[int, BatchOutcome]]:
+        """Yield ``(index, outcome)`` in input order, streaming as soon as possible."""
+        buffered: Dict[int, BatchOutcome] = {}
         next_index = 0
-        for index, result in self.iter_results(entailments):
-            buffered[index] = result
+        for index, outcome in self.iter_results(entailments):
+            buffered[index] = outcome
             while next_index in buffered:
                 yield next_index, buffered.pop(next_index)
                 next_index += 1
 
-    def prove_all(self, entailments: Iterable[Entailment]) -> List[Optional[ProofResult]]:
-        """Check the whole batch and return results in input order.
+    def prove_all(self, entailments: Iterable[Entailment]) -> List[BatchOutcome]:
+        """Check the whole batch and return outcomes in input order.
 
-        Entries are ``None`` only for instances that exceeded the configured
-        per-instance budget (``config.max_seconds``).
+        Entries are :class:`ProofResult` for decided instances and
+        :class:`FailureInfo` for the rest (timeout, OOM, quarantined crash);
+        no entry is ever ``None`` and no entry is silently dropped.
         """
         batch = list(entailments)
-        results: List[Optional[ProofResult]] = [None] * len(batch)
+        results: List[Optional[BatchOutcome]] = [None] * len(batch)
         delivered = [False] * len(batch)
-        for index, result in self.iter_results(batch):
-            results[index] = result
+        for index, outcome in self.iter_results(batch):
+            results[index] = outcome
             delivered[index] = True
-        assert all(delivered), "every batch entry must produce exactly one result"
-        return results
+        assert all(delivered), "every batch entry must produce exactly one outcome"
+        return results  # type: ignore[return-value]

@@ -1,0 +1,297 @@
+"""Deterministic fault injection for the batch execution stack.
+
+The supervised worker pool (:mod:`repro.core.supervisor`) exists to keep the
+batch prover's verdict contract under partial failure: crashed workers, hung
+workers, OOM kills, results that cannot cross the process boundary.  None of
+those happen on a healthy development machine, so this module manufactures
+them *on demand and deterministically* — the chaos counterpart of the
+differential fuzzer.
+
+A :class:`FaultPlan` decides, per batch task index, whether a fault fires and
+which kind.  Plans are either explicit (``{index: FaultSpec}``) or seeded
+(every index is hashed independently against a rate, so the same plan works
+for any batch size and the targeted index set is reproducible from
+``(seed, rate, kinds)`` alone).  Because the decision is a pure function of
+the plan and the index, both sides of the process boundary can evaluate it:
+the *worker* applies the fault, and the *coordinator* — which never hears
+from a killed worker — can still mark the resulting failure as injected.
+
+Plans cross the process boundary two ways: passed directly to
+:class:`~repro.core.batch.BatchProver` (which forwards them through the
+worker initializer), or via the ``SLP_FAULT_PLAN`` environment variable
+(JSON), which worker processes inherit.  The env route is what lets an
+external harness — the chaos CI job, a ``slp fuzz`` campaign — inject faults
+into a stack it does not construct.
+
+Fault kinds
+-----------
+
+``exit``
+    The worker process dies (``os._exit``) before proving — a stand-in for a
+    segfault in a native kernel, an OOM kill, a stray SIGTERM.
+``hang``
+    The worker stops responding (sleeps) — only the coordinator's hard
+    watchdog can reclaim it.
+``slow``
+    The task takes ``seconds`` longer than it should, but completes; the
+    supervisor must *not* kill it (tests the watchdog's false-positive edge).
+``alloc``
+    The worker allocates ``alloc_bytes`` before proving — a memory spike;
+    with ``ProverConfig.max_memory_mb`` set this trips ``RLIMIT_AS``.
+``error``
+    The task raises an unexpected exception inside the worker.
+``unpicklable``
+    The worker proves the task but its reply cannot be pickled back.  In the
+    in-process (``jobs=1``) engine no pickling happens; the fault degrades to
+    a crash there, preserving "the result could not be delivered".
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "FAULT_KINDS",
+    "FAULT_PLAN_ENV",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedCrash",
+    "apply_fault_before_task",
+    "make_unpicklable",
+]
+
+#: Environment variable a JSON-encoded plan is read from (worker processes
+#: inherit the coordinator's environment, so exporting it injects faults into
+#: every batch in the process tree without touching any call site).
+FAULT_PLAN_ENV = "SLP_FAULT_PLAN"
+
+FAULT_KINDS = ("exit", "hang", "slow", "alloc", "error", "unpicklable")
+
+#: Exit code used by injected worker deaths (visible in supervisor details).
+INJECTED_EXIT_CODE = 73
+
+
+class InjectedCrash(RuntimeError):
+    """Raised by ``error`` faults (and crash-degraded faults in-process)."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault to inject when its task index comes up.
+
+    ``times`` bounds how many *attempts* of the task the fault fires on:
+    ``None`` means every attempt (a persistent fault — retries cannot save
+    the task), ``1`` means only the first (a transient fault — the retry
+    succeeds and the verdict must come out unharmed).
+    """
+
+    kind: str
+    times: Optional[int] = None
+    seconds: float = 30.0
+    alloc_bytes: int = 1 << 62
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                "unknown fault kind {!r}; known: {}".format(self.kind, ", ".join(FAULT_KINDS))
+            )
+
+    def fires_on(self, attempt: int) -> bool:
+        """Does this fault fire on the given 1-based attempt?"""
+        return self.times is None or attempt <= self.times
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "times": self.times,
+            "seconds": self.seconds,
+            "alloc_bytes": self.alloc_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "FaultSpec":
+        return cls(
+            kind=str(payload["kind"]),
+            times=None if payload.get("times") is None else int(payload["times"]),  # type: ignore[arg-type]
+            seconds=float(payload.get("seconds", 30.0)),  # type: ignore[arg-type]
+            alloc_bytes=int(payload.get("alloc_bytes", 1 << 62)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Which tasks of a batch are disturbed, and how.
+
+    Two composable sources: ``faults`` pins explicit ``index -> FaultSpec``
+    entries (tests), and the seeded triple ``(seed, rate, kinds)`` targets
+    each index with probability ``rate`` by hashing ``(seed, index)`` — no
+    shared RNG stream, so the decision for index *i* is independent of the
+    batch size and of every other index, and any process holding the plan
+    reaches the same answer.
+    """
+
+    faults: Mapping[int, FaultSpec] = field(default_factory=dict)
+    seed: Optional[int] = None
+    rate: float = 0.0
+    kinds: Tuple[str, ...] = ()
+    times: Optional[int] = None
+    seconds: float = 30.0
+    alloc_bytes: int = 1 << 62
+
+    def __post_init__(self) -> None:
+        for kind in self.kinds:
+            if kind not in FAULT_KINDS:
+                raise ValueError("unknown fault kind {!r}".format(kind))
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("fault rate must be in [0, 1], got {}".format(self.rate))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        rate: float,
+        kinds: Tuple[str, ...] = ("exit",),
+        times: Optional[int] = None,
+        seconds: float = 30.0,
+        alloc_bytes: int = 1 << 62,
+    ) -> "FaultPlan":
+        """A purely seeded plan hitting ~``rate`` of all task indices."""
+        return cls(
+            seed=seed, rate=rate, kinds=tuple(kinds), times=times,
+            seconds=seconds, alloc_bytes=alloc_bytes,
+        )
+
+    # -- the decision function ---------------------------------------------
+    def fault_at(self, index: int) -> Optional[FaultSpec]:
+        """The fault targeting task ``index``, or ``None`` (pure function)."""
+        explicit = self.faults.get(index)
+        if explicit is not None:
+            return explicit
+        if self.seed is None or not self.kinds or self.rate <= 0.0:
+            return None
+        rng = random.Random("slp-fault:{}:{}".format(self.seed, index))
+        if rng.random() >= self.rate:
+            return None
+        return FaultSpec(
+            kind=rng.choice(self.kinds),
+            times=self.times,
+            seconds=self.seconds,
+            alloc_bytes=self.alloc_bytes,
+        )
+
+    def should_fire(self, index: int, attempt: int) -> Optional[FaultSpec]:
+        """The fault to apply on this (1-based) attempt of task ``index``."""
+        spec = self.fault_at(index)
+        if spec is not None and spec.fires_on(attempt):
+            return spec
+        return None
+
+    def injected_indices(self, count: int) -> List[int]:
+        """Every targeted index in ``range(count)`` (for marking and tests)."""
+        return [index for index in range(count) if self.fault_at(index) is not None]
+
+    # -- crossing the process boundary -------------------------------------
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "faults": {str(index): spec.to_json() for index, spec in self.faults.items()},
+            "seed": self.seed,
+            "rate": self.rate,
+            "kinds": list(self.kinds),
+            "times": self.times,
+            "seconds": self.seconds,
+            "alloc_bytes": self.alloc_bytes,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "FaultPlan":
+        return cls(
+            faults={
+                int(index): FaultSpec.from_json(spec)
+                for index, spec in dict(payload.get("faults", {})).items()  # type: ignore[arg-type]
+            },
+            seed=None if payload.get("seed") is None else int(payload["seed"]),  # type: ignore[arg-type]
+            rate=float(payload.get("rate", 0.0)),  # type: ignore[arg-type]
+            kinds=tuple(payload.get("kinds", ())),  # type: ignore[arg-type]
+            times=None if payload.get("times") is None else int(payload["times"]),  # type: ignore[arg-type]
+            seconds=float(payload.get("seconds", 30.0)),  # type: ignore[arg-type]
+            alloc_bytes=int(payload.get("alloc_bytes", 1 << 62)),  # type: ignore[arg-type]
+        )
+
+    def to_env(self) -> str:
+        """The ``SLP_FAULT_PLAN`` value equivalent to this plan."""
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def from_env(cls, environ: Optional[Mapping[str, str]] = None) -> Optional["FaultPlan"]:
+        """The plan exported in the environment, or ``None``.
+
+        A malformed value raises: silently proving an undisturbed batch when
+        the operator asked for chaos would defeat the harness.
+        """
+        raw = (environ if environ is not None else os.environ).get(FAULT_PLAN_ENV)
+        if not raw:
+            return None
+        return cls.from_json(json.loads(raw))
+
+    def with_fault(self, index: int, spec: FaultSpec) -> "FaultPlan":
+        """A copy with one more explicit fault pinned."""
+        faults = dict(self.faults)
+        faults[index] = spec
+        return replace(self, faults=faults)
+
+
+# ---------------------------------------------------------------------------
+# Applying a fault.  Worker-side for the pool; the in-process engine calls the
+# same function with ``in_process=True`` (where process death and pickling
+# have no analogue and degrade to a crash exception the retry loop handles).
+# ---------------------------------------------------------------------------
+
+
+def apply_fault_before_task(spec: FaultSpec, in_process: bool = False) -> None:
+    """Apply the pre-proving effect of ``spec``.  May not return (``exit``).
+
+    ``hang`` and ``slow`` sleep here and then let the task proceed — a hang
+    is only fatal because the coordinator's watchdog reclaims the worker
+    first; should no watchdog be armed, the task eventually completes, which
+    is exactly what a stalled-then-recovered worker looks like.
+    ``unpicklable`` has no pre-task effect in a worker (it poisons the
+    reply); in-process it degrades to a crash.
+    """
+    if spec.kind == "exit":
+        if in_process:
+            raise InjectedCrash("injected worker exit")
+        os._exit(INJECTED_EXIT_CODE)
+    if spec.kind == "error":
+        raise InjectedCrash("injected task error")
+    if spec.kind in ("hang", "slow"):
+        time.sleep(spec.seconds)
+        return
+    if spec.kind == "alloc":
+        # Touching nothing: the allocation itself is the fault.  With
+        # RLIMIT_AS armed (ProverConfig.max_memory_mb) or an absurd size this
+        # raises MemoryError, which the worker reports as a structured OOM.
+        _hold = bytearray(spec.alloc_bytes)  # noqa: F841 - allocation is the point
+        del _hold
+        return
+    if spec.kind == "unpicklable" and in_process:
+        raise InjectedCrash("injected undeliverable result")
+
+
+class _Unpicklable:
+    """A reply wrapper whose pickling always fails (the ``unpicklable`` fault)."""
+
+    def __init__(self, value: object):
+        self.value = value
+
+    def __reduce__(self):
+        raise TypeError("injected unpicklable result")
+
+
+def make_unpicklable(value: object) -> object:
+    """Wrap a worker reply so that sending it across the pipe fails."""
+    return _Unpicklable(value)

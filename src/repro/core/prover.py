@@ -40,7 +40,7 @@ from repro.superposition.model import (
     ModelGenerationError,
     generate_model,
 )
-from repro.superposition.saturation import SaturationEngine
+from repro.superposition.saturation import DeadlineExceeded, SaturationEngine
 
 
 class ProverInternalError(RuntimeError):
@@ -50,16 +50,28 @@ class ProverInternalError(RuntimeError):
 class ProverTimeout(RuntimeError):
     """Raised when a ``prove()`` call exceeds ``ProverConfig.max_seconds``.
 
-    The deadline is checked between saturation rounds and between outer-loop
-    iterations, so the overrun is bounded by a single round of work.
+    The deadline is threaded into the saturation engine's given-clause loop
+    (checked before every given clause), so the overrun is bounded by one
+    inference step, not a whole saturation round.
+
+    ``statistics`` carries the partial :class:`ProverStatistics` at the
+    moment of interruption — iterations run, clauses generated, wall-clock
+    consumed — so timed-out instances are visible in batch accounting
+    instead of vanishing into an unqualified exception.
     """
 
-    def __init__(self, entailment: Entailment, budget_seconds: float):
+    def __init__(
+        self,
+        entailment: Entailment,
+        budget_seconds: float,
+        statistics: Optional[ProverStatistics] = None,
+    ):
         super().__init__(
             "proving {} exceeded the {:.3f}s budget".format(entailment, budget_seconds)
         )
         self.entailment = entailment
         self.budget_seconds = budget_seconds
+        self.statistics = statistics
 
 
 class Prover:
@@ -101,6 +113,10 @@ class Prover:
             else None
         )
         trace = ProofTrace() if self.config.record_proof else None
+        # Arm the cooperative in-loop deadline: the engine checks the clock
+        # before every given clause, so a budget fires within a chunk rather
+        # than after an unbounded round of work.
+        engine.set_deadline(deadline)
 
         if trace is not None:
             for clause in embedding.all_clauses():
@@ -136,7 +152,7 @@ class Prover:
         for _ in range(self.config.max_iterations):
             statistics.iterations += 1
             if deadline is not None and time.perf_counter() > deadline:
-                raise ProverTimeout(entailment, self.config.max_seconds)
+                self._timeout(entailment, statistics, engine, start)
 
             # ---------------- inner loop: saturate + normalise + well-formedness
             model: Optional[EqualityModel] = None
@@ -144,7 +160,7 @@ class Prover:
             refuted = False
             while True:
                 model = self._saturate_and_generate_model(
-                    engine, order, statistics, model_generator, deadline, entailment
+                    engine, order, statistics, model_generator, deadline, entailment, start
                 )
                 if model is None:
                     refuted = True
@@ -251,6 +267,18 @@ class Prover:
         )
 
     # ------------------------------------------------------------------
+    def _timeout(
+        self,
+        entailment: Entailment,
+        statistics: ProverStatistics,
+        engine: SaturationEngine,
+        start: float,
+    ) -> None:
+        """Raise :class:`ProverTimeout` carrying the partial statistics."""
+        statistics.generated_clauses = engine.generated_count
+        statistics.elapsed_seconds = time.perf_counter() - start
+        raise ProverTimeout(entailment, self.config.max_seconds, statistics)
+
     def _saturate_and_generate_model(
         self,
         engine: SaturationEngine,
@@ -259,6 +287,7 @@ class Prover:
         model_generator: Optional[IncrementalModelGenerator] = None,
         deadline: Optional[float] = None,
         entailment: Optional[Entailment] = None,
+        start: float = 0.0,
     ) -> Optional[EqualityModel]:
         """Saturate (lazily) until a verified equality model exists, or refute.
 
@@ -271,9 +300,12 @@ class Prover:
         lazy = self.config.verify_model
         while True:
             if deadline is not None and time.perf_counter() > deadline:
-                raise ProverTimeout(entailment, self.config.max_seconds)
+                self._timeout(entailment, statistics, engine, start)
             chunk = self.config.saturation_chunk if lazy else None
-            saturation = engine.saturate(max_given=chunk)
+            try:
+                saturation = engine.saturate(max_given=chunk)
+            except DeadlineExceeded:
+                self._timeout(entailment, statistics, engine, start)
             statistics.saturation_rounds += 1
             statistics.generated_clauses = engine.generated_count
             if saturation.refuted:

@@ -7,6 +7,11 @@ earns its keep: loop bodies re-emit the same invariant-preservation
 obligation for every path with fresh cursor/old-value names, and the
 memory-safety side conditions repeat almost verbatim across commands — all
 alpha-equivalent, so only one representative of each class is ever proved.
+
+Soundness under partial failure: a VC whose prover run produced no verdict —
+timed out, ran out of memory, crashed and was quarantined — reports
+``unknown``, and an ``unknown`` VC makes the whole procedure unverified.
+"Crashed" is never "valid".
 """
 
 from __future__ import annotations
@@ -14,48 +19,75 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional, Tuple, Union
 
-from repro.core.batch import BatchProver
+from repro.core.batch import BatchOutcome, BatchProver, FailureInfo
 from repro.core.cache import ProofCache
 from repro.core.config import ProverConfig
 from repro.core.result import ProofResult
 from repro.frontend.programs import Procedure
 from repro.frontend.symexec import VerificationCondition, generate_vcs
 
-__all__ = ["ProcedureReport", "prove_procedure"]
+__all__ = ["ProcedureReport", "outcome_label", "prove_procedure"]
+
+
+def outcome_label(outcome: Optional[BatchOutcome]) -> str:
+    """A one-word-ish status for a VC outcome, failure-safe by construction."""
+    if isinstance(outcome, ProofResult):
+        return "valid" if outcome.is_valid else "invalid"
+    if isinstance(outcome, FailureInfo):
+        if outcome.kind == "timeout":
+            return "unknown: timeout"
+        if outcome.kind == "oom":
+            return "unknown: out of memory"
+        return "unknown: crashed"
+    return "unknown: no outcome"
 
 
 @dataclass
 class ProcedureReport:
     """The outcome of checking every verification condition of a procedure.
 
-    ``results`` pairs each VC with its proof result in generation order; a
-    ``None`` result marks a VC that exceeded the per-instance budget (only
-    possible when the configuration sets one).
+    ``results`` pairs each VC with its outcome in generation order: a
+    :class:`~repro.core.result.ProofResult` when the prover answered, or a
+    :class:`~repro.core.supervisor.FailureInfo` when it could not (budget
+    exhausted, worker crashed and the task was quarantined, ...).
     """
 
     procedure: str
-    results: List[Tuple[VerificationCondition, Optional[ProofResult]]]
+    results: List[Tuple[VerificationCondition, BatchOutcome]]
     cache_hits: int = 0
     deduplicated: int = 0
 
     @property
     def verified(self) -> bool:
-        """True when every verification condition was proved valid."""
-        return all(result is not None and result.is_valid for _, result in self.results)
+        """True only when every VC produced an actual *valid* verdict.
 
-    def failures(self) -> List[Tuple[VerificationCondition, Optional[ProofResult]]]:
+        The check is deliberately positive (``isinstance`` + ``is_valid``)
+        rather than negative ("not invalid"): an undecided or crashed VC must
+        never verify a procedure.
+        """
+        return all(
+            isinstance(result, ProofResult) and result.is_valid
+            for _, result in self.results
+        )
+
+    def failures(self) -> List[Tuple[VerificationCondition, Optional[BatchOutcome]]]:
         """The VCs that are invalid (with counterexamples) or undecided."""
         return [
             (vc, result)
             for vc, result in self.results
-            if result is None or result.is_invalid
+            if not isinstance(result, ProofResult) or result.is_invalid
         ]
 
     def __str__(self) -> str:
         status = "verified" if self.verified else "FAILED"
-        return "{}: {} ({} VCs, {} from cache)".format(
+        text = "{}: {} ({} VCs, {} from cache)".format(
             self.procedure, status, len(self.results), self.cache_hits + self.deduplicated
         )
+        undecided = [label for label in (outcome_label(r) for _, r in self.failures())
+                     if label.startswith("unknown")]
+        if undecided:
+            text += " [{}]".format(", ".join(sorted(set(undecided))))
+        return text
 
 
 def prove_procedure(

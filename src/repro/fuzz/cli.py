@@ -20,6 +20,7 @@ import json
 import sys
 from typing import Iterable, Optional
 
+from repro.core.faults import FAULT_KINDS, FaultPlan
 from repro.fuzz.differential import run_campaign
 from repro.fuzz.generator import DEFAULT_WEIGHTS, GeneratorProfile
 
@@ -63,6 +64,26 @@ def _build_parser() -> argparse.ArgumentParser:
         help="per-instance prover budget (default: none)",
     )
     parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="re-dispatch a crashed batch instance up to N times before "
+        "quarantining it (default 2)",
+    )
+    parser.add_argument(
+        "--fault-rate", type=float, default=0.0, metavar="P",
+        help="chaos mode: inject a deterministic worker fault into fraction P "
+        "of the primary batch instances (default 0: no injection); the "
+        "campaign must still terminate with every uninjected verdict intact",
+    )
+    parser.add_argument(
+        "--fault-seed", type=int, default=None, metavar="SEED",
+        help="seed for the fault plan (default: the campaign --seed)",
+    )
+    parser.add_argument(
+        "--fault-kind", action="append", default=[], metavar="KIND",
+        help="restrict injected faults to KIND (repeatable; kinds: {}; "
+        "default: all)".format(", ".join(FAULT_KINDS)),
+    )
+    parser.add_argument(
         "--min-vars", type=int, default=3, help="minimum variables per instance (default 3)"
     )
     parser.add_argument(
@@ -102,6 +123,23 @@ def fuzz_main(argv: Optional[Iterable[str]] = None) -> int:
         parser.error("--jobs must be at least 1")
     if not 0.0 <= arguments.p_transform <= 1.0:
         parser.error("--p-transform must be in [0, 1]")
+    if arguments.retries < 0:
+        parser.error("--retries must be >= 0")
+    if not 0.0 <= arguments.fault_rate <= 1.0:
+        parser.error("--fault-rate must be in [0, 1]")
+    for kind in arguments.fault_kind:
+        if kind not in FAULT_KINDS:
+            parser.error(
+                "unknown fault kind {!r}; known: {}".format(kind, ", ".join(FAULT_KINDS))
+            )
+    fault_plan = None
+    if arguments.fault_rate > 0.0:
+        fault_plan = FaultPlan.seeded(
+            seed=arguments.fault_seed if arguments.fault_seed is not None else arguments.seed,
+            rate=arguments.fault_rate,
+            kinds=tuple(arguments.fault_kind) or ("exit",),
+            times=1,  # transient by default: retries must be able to recover
+        )
 
     if arguments.family is not None:
         if arguments.weight:
@@ -158,6 +196,8 @@ def fuzz_main(argv: Optional[Iterable[str]] = None) -> int:
         shrink_findings=not arguments.no_shrink,
         corpus_dir=arguments.corpus,
         config=config,
+        fault_plan=fault_plan,
+        retries=arguments.retries,
     )
 
     for line in report.summary_lines():

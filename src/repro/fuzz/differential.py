@@ -36,6 +36,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.core.batch import BatchProver
 from repro.core.config import ProverConfig
+from repro.core.faults import FaultPlan
+from repro.core.result import ProofResult
 from repro.fuzz.corpus import save_reproducer
 from repro.fuzz.generator import EntailmentGenerator, FuzzCase, GeneratorProfile
 from repro.fuzz.metamorphic import Transform, applicable_transforms
@@ -111,6 +113,10 @@ class FuzzReport:
     cache_hits: int = 0
     deduplicated: int = 0
     jobs: int = 1
+    retried: int = 0
+    respawned_workers: int = 0
+    injected_faults: int = 0
+    quarantined: int = 0
     disagreements: List[Disagreement] = field(default_factory=list)
     elapsed_seconds: float = 0.0
 
@@ -144,6 +150,12 @@ class FuzzReport:
         if include_timing:
             payload["jobs"] = self.jobs
             payload["elapsed_seconds"] = round(self.elapsed_seconds, 3)
+            payload["supervision"] = {
+                "retried": self.retried,
+                "respawned_workers": self.respawned_workers,
+                "injected_faults": self.injected_faults,
+                "quarantined": self.quarantined,
+            }
         return payload
 
     def summary_lines(self) -> List[str]:
@@ -171,6 +183,17 @@ class FuzzReport:
             ),
             "elapsed: {:.2f}s".format(self.elapsed_seconds),
         ]
+        if self.injected_faults or self.retried or self.respawned_workers:
+            lines.insert(
+                -1,
+                "supervision: {} faults injected, {} retries, {} workers respawned,"
+                " {} quarantined".format(
+                    self.injected_faults,
+                    self.retried,
+                    self.respawned_workers,
+                    self.quarantined,
+                ),
+            )
         if self.clean:
             lines.append("no disagreements found")
         else:
@@ -256,44 +279,80 @@ def _prove_batch(
     jobs: int,
     report: FuzzReport,
     primary_oracle: Optional[Oracle] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retries: int = 2,
 ) -> List[Optional[bool]]:
-    """Primary verdicts through the batch engine, degrading to a guarded loop.
+    """Primary verdicts through the batch engine, one structured outcome per task.
 
-    A worker exception (a prover invariant violation, a failed counterexample
-    verification) aborts the pool, so on any unexpected error the batch is
-    re-run sequentially with per-instance capture: the crashing instances
-    become ``crash`` findings instead of taking the campaign down.  Tests may
-    inject a ``primary_oracle`` (e.g. a deliberately broken prover for
-    mutation-testing the detectors), which always takes the guarded path.
+    The supervised pool turns worker failures into per-task
+    :class:`~repro.core.supervisor.FailureInfo` outcomes — a crashing
+    instance is retried, then quarantined, and reported as a ``crash``
+    finding without taking the campaign (or the other instances of its
+    chunk, as the old whole-batch rerun did) down with it.  Budget
+    exhaustion (``timeout``/``oom``) counts as undecided, not a finding;
+    failures the campaign injected itself (chaos mode) are bookkept but
+    never reported as prover bugs.  Tests may inject a ``primary_oracle``
+    (e.g. a deliberately broken prover for mutation-testing the detectors),
+    which takes a guarded sequential path instead.
     """
-    entailments = [item.entailment for item in items]
-    if primary_oracle is None:
-        try:
-            with BatchProver(config, jobs=jobs, cache=True) as batch:
-                results = batch.prove_all(entailments)
-                report.cache_hits = batch.statistics.cache_hits
-                report.deduplicated = batch.statistics.deduplicated
-            return [None if result is None else result.is_valid for result in results]
-        except Exception:  # noqa: BLE001 - deliberate: crashes become findings below
-            pass
-
-    verdicts: List[Optional[bool]] = []
-    prover: Oracle = primary_oracle if primary_oracle is not None else ProverOracle(config)
-    for item in items:
-        try:
-            verdicts.append(prover.check(item.entailment))
-        except Exception as error:  # noqa: BLE001
-            verdicts.append(None)
-            report.disagreements.append(
-                Disagreement(
-                    kind="crash",
-                    index=item.case.index,
-                    strategy=item.case.strategy,
-                    entailment=item.entailment,
-                    transform=item.transform.name if item.transform else None,
-                    detail="prover raised {}: {}".format(type(error).__name__, error),
+    if primary_oracle is not None:
+        verdicts: List[Optional[bool]] = []
+        for item in items:
+            try:
+                verdicts.append(primary_oracle.check(item.entailment))
+            except Exception as error:  # noqa: BLE001
+                verdicts.append(None)
+                report.disagreements.append(
+                    Disagreement(
+                        kind="crash",
+                        index=item.case.index,
+                        strategy=item.case.strategy,
+                        entailment=item.entailment,
+                        transform=item.transform.name if item.transform else None,
+                        detail="prover raised {}: {}".format(type(error).__name__, error),
+                    )
                 )
+        return verdicts
+
+    entailments = [item.entailment for item in items]
+    # Injection disturbs per-index execution; the cache would short-circuit
+    # targeted indices (hiding the fault) and echo leaders into followers,
+    # so chaos campaigns run uncached.
+    with BatchProver(
+        config,
+        jobs=jobs,
+        cache=fault_plan is None,
+        fault_plan=fault_plan,
+        retries=retries,
+    ) as batch:
+        results = batch.prove_all(entailments)
+        statistics = batch.statistics
+    report.cache_hits = statistics.cache_hits
+    report.deduplicated = statistics.deduplicated
+    report.retried = statistics.retried
+    report.respawned_workers = statistics.respawned_workers
+    report.injected_faults = statistics.injected_faults
+    report.quarantined = statistics.quarantined
+    verdicts = []
+    for item, outcome in zip(items, results):
+        if isinstance(outcome, ProofResult):
+            verdicts.append(outcome.is_valid)
+            continue
+        verdicts.append(None)
+        if outcome.injected:
+            continue  # the campaign disturbed this index itself
+        if outcome.kind in ("timeout", "oom"):
+            continue  # undecided within budget — honest, not a bug
+        report.disagreements.append(
+            Disagreement(
+                kind="crash",
+                index=item.case.index,
+                strategy=item.case.strategy,
+                entailment=item.entailment,
+                transform=item.transform.name if item.transform else None,
+                detail="prover task failed: {}".format(outcome.summary()),
             )
+        )
     return verdicts
 
 
@@ -336,6 +395,8 @@ def run_campaign(
     corpus_dir: Optional[str] = None,
     config: Optional[ProverConfig] = None,
     primary_oracle: Optional[Oracle] = None,
+    fault_plan: Optional[FaultPlan] = None,
+    retries: int = 2,
 ) -> FuzzReport:
     """Run one differential fuzzing campaign and return its report.
 
@@ -344,6 +405,12 @@ def run_campaign(
     replaces the batch-engine primary entirely (mutation-testing the
     metamorphic detector needs a lying primary); when ``corpus_dir`` is
     given, every shrunk finding is written there as a ``.ent`` reproducer.
+
+    Chaos mode: ``fault_plan`` injects deterministic worker faults into the
+    primary batch (kills, hangs, allocation bombs — see
+    :mod:`repro.core.faults`).  The campaign itself must survive: injected
+    failures count as undecided, never as findings, and ``retries`` controls
+    how often a crashed instance is re-dispatched before quarantine.
     """
     start = time.perf_counter()
     prover_config = (
@@ -361,7 +428,15 @@ def run_campaign(
 
     report = FuzzReport(seed=seed, iterations=iterations, jobs=jobs)
     items = _plan(seed, iterations, profile, p_transform)
-    primary = _prove_batch(items, prover_config, jobs, report, primary_oracle)
+    primary = _prove_batch(
+        items,
+        prover_config,
+        jobs,
+        report,
+        primary_oracle,
+        fault_plan=fault_plan,
+        retries=retries,
+    )
 
     # ------------------------------------------------------------------
     # Differential pass: every instance against every oracle.

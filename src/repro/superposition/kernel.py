@@ -62,6 +62,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from collections.abc import Mapping as _MappingBase
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
@@ -692,6 +693,10 @@ class IntSaturationCore:
         self._derivations: Dict[IntClause, Tuple[str, Tuple[IntClause, ...]]] = {}
         self._refuted = False
         self._generated = 0
+        #: Absolute ``time.perf_counter()`` instant after which :meth:`saturate`
+        #: raises ``DeadlineExceeded`` (checked before every given clause).
+        #: Armed by ``SaturationEngine.set_deadline``; ``None`` disables.
+        self.deadline: Optional[float] = None
         self._unit_rewrite = use_unit_rewrite
         #: Union-find parents over dense constant ids; identity until the
         #: first unit positive equality is absorbed (``_units_absorbed``).
@@ -720,16 +725,20 @@ class IntSaturationCore:
             self._enqueue(encoded, None, ())
 
     def saturate(self, max_given: Optional[int] = None):
-        from repro.superposition.saturation import SaturationResult
+        from repro.superposition.saturation import DeadlineExceeded, SaturationResult
 
         processed = 0
         pop_passive = self._pop_passive
         infer_within = self._infer_within
         infer_between = self._infer_between
         is_subsumed_by_active = self._is_subsumed_by_active
+        deadline = self.deadline
+        clock = time.perf_counter
         while self._passive and not self._refuted:
             if max_given is not None and processed >= max_given:
                 break
+            if deadline is not None and clock() > deadline:
+                raise DeadlineExceeded("saturation ran past its wall-clock deadline")
             given = pop_passive()
             if given is None:
                 break

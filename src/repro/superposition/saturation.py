@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import heapq
 import itertools
+import time
 from dataclasses import dataclass, field
 from types import MappingProxyType
 from typing import Dict, Iterable, List, Mapping, Optional, Set, Tuple
@@ -36,6 +37,18 @@ ADAPTIVE_INDEX_THRESHOLD = 24
 
 class SaturationLimitError(RuntimeError):
     """Raised when saturation exceeds the configured clause budget."""
+
+
+class DeadlineExceeded(RuntimeError):
+    """Raised from inside the given-clause loop when the wall clock runs out.
+
+    The prover arms the engine with :meth:`SaturationEngine.set_deadline`;
+    the loop checks the clock before every given clause, so a cooperative
+    timeout overruns by at most one inference step — not a whole
+    ``saturation_chunk`` round, which on a pathological instance is an
+    unbounded amount of work.  The prover converts this into a
+    :class:`~repro.core.prover.ProverTimeout` carrying partial statistics.
+    """
 
 
 @dataclass
@@ -168,6 +181,7 @@ class SaturationEngine:
             )
             return
         self._core = None
+        self._deadline: Optional[float] = None
         self._index: Optional[ClauseIndex] = ClauseIndex(order) if use_index else None
         self._index_live = False
         self._index_threshold = threshold
@@ -205,6 +219,18 @@ class SaturationEngine:
             return self._core.generated_count
         return self._generated_count
 
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Arm (or clear) the in-loop wall-clock deadline.
+
+        ``deadline`` is an absolute ``time.perf_counter()`` instant.  Once
+        armed, :meth:`saturate` raises :class:`DeadlineExceeded` before
+        processing any given clause past the instant.
+        """
+        if self._core is not None:
+            self._core.deadline = deadline
+        else:
+            self._deadline = deadline
+
     def add_clauses(self, clauses: Iterable[Clause]) -> None:
         """Queue new input pure clauses for the next saturation round."""
         if self._core is not None:
@@ -230,9 +256,12 @@ class SaturationEngine:
         if self._core is not None:
             return self._core.saturate(max_given)
         processed = 0
+        deadline = self._deadline
         while self._passive and not self._refuted:
             if max_given is not None and processed >= max_given:
                 break
+            if deadline is not None and time.perf_counter() > deadline:
+                raise DeadlineExceeded("saturation ran past its wall-clock deadline")
             given = self._pop_passive()
             if given is None:
                 break

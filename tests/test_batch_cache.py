@@ -13,7 +13,7 @@ import random
 
 import pytest
 
-from repro.core.batch import BatchProver, default_jobs
+from repro.core.batch import BatchProver, FailureInfo, default_jobs
 from repro.core.cache import CachingProver, ProofCache
 from repro.core.config import ProverConfig
 from repro.core.prover import Prover, ProverTimeout
@@ -173,7 +173,7 @@ class TestBatchProver:
             second.prove_all([_alpha(e, "again") for e in corpus])
             assert second.statistics.cache_hits == len(corpus)
 
-    def test_per_instance_timeout_yields_none(self):
+    def test_per_instance_timeout_yields_structured_failure(self):
         config = ProverConfig().for_benchmarking().with_timeout(1e-9)
         hard = Entailment.build(
             lhs=[lseg("x", "y"), lseg("y", "z"), lseg("z", "x"), neq("x", "z")],
@@ -181,8 +181,13 @@ class TestBatchProver:
         )
         with BatchProver(config, jobs=1, cache=True) as batch:
             results = batch.prove_all([hard, _alpha(hard, "t")])
-        assert results == [None, None]
+        for outcome in results:
+            assert isinstance(outcome, FailureInfo)
+            assert outcome.kind == "timeout"
+            assert not outcome  # falsy, so "if result:" never mistakes it for a verdict
+            assert not outcome.is_valid and not outcome.is_invalid
         assert batch.statistics.timed_out == 2
+        assert batch.statistics.failed == 2
 
     def test_rejects_bad_jobs(self):
         with pytest.raises(ValueError):
