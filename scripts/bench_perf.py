@@ -39,14 +39,17 @@ import argparse
 import json
 import os
 import platform
+import shutil
 import sys
+import tempfile
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
 
 from repro.benchgen.random_unsat import UnsatParameters, random_unsat_batch  # noqa: E402
+from repro.core.atomicio import atomic_write_json  # noqa: E402
 from repro.core.batch import BatchProver  # noqa: E402
-from repro.core.cache import ProofCache  # noqa: E402
+from repro.core.cache import PersistentProofCache, ProofCache  # noqa: E402
 from repro.core.config import ProverConfig  # noqa: E402
 from repro.core.prover import Prover  # noqa: E402
 from repro.logic.terms import make_const  # noqa: E402
@@ -250,6 +253,12 @@ def run_batch_section(quick: bool, jobs: int):
     * ``cache``   — a 100-instance corpus proved cold, then an alpha-renamed
       copy of the whole corpus proved against the warm cache; the second run
       must answer every instance from the cache with identical verdicts.
+    * ``cache_restart`` — the cross-process warm restart: the corpus is
+      proved cold through a :class:`PersistentProofCache` over a temporary
+      store file, that cache is closed (the "coordinator" exits), and a brand
+      new cache over the same file proves the alpha-renamed copy — every
+      answer must come from the on-disk store (``disk_hits``), with verdicts
+      identical to the cold run.
     """
     config = ProverConfig().for_benchmarking()
 
@@ -322,7 +331,55 @@ def run_batch_section(quick: bool, jobs: int):
             cold_seconds, warm_seconds, cache_row["speedup"], cache_row["warm_hit_rate"]
         )
     )
-    return {"parallel": parallel, "cache": cache_row}
+
+    # Cross-process warm restart: the same corpus proved by two "coordinator"
+    # lifetimes sharing one on-disk proof store.  The second lifetime starts
+    # with an empty in-memory LRU, so every alpha-renamed answer must be
+    # promoted from disk.
+    store_dir = tempfile.mkdtemp(prefix="slp-bench-store-")
+    store_path = os.path.join(store_dir, "proofs.slp")
+    try:
+        first = PersistentProofCache(store_path)
+        try:
+            with BatchProver(config, jobs=1, cache=first) as engine:
+                start = time.perf_counter()
+                first_results = engine.prove_all(corpus)
+                first_seconds = time.perf_counter() - start
+        finally:
+            first.close()
+        second = PersistentProofCache(store_path)  # simulated coordinator restart
+        try:
+            with BatchProver(config, jobs=1, cache=second) as engine:
+                start = time.perf_counter()
+                second_results = engine.prove_all(renamed)
+                restart_seconds = time.perf_counter() - start
+            disk_hits = second.disk_hits
+            keys_on_disk = len(second.disk)
+        finally:
+            second.close()
+    finally:
+        shutil.rmtree(store_dir, ignore_errors=True)
+    if [r.is_valid for r in first_results] != [r.is_valid for r in second_results]:
+        raise SystemExit("bench_perf: warm-restart verdicts diverge from the cold run")
+    if disk_hits == 0:
+        raise SystemExit("bench_perf: warm restart answered nothing from the proof store")
+    restart_row = {
+        "variables": 12,
+        "instances": cache_instances,
+        "cold_seconds": round(first_seconds, 4),
+        "restart_seconds": round(restart_seconds, 4),
+        "speedup": round(first_seconds / restart_seconds, 2),
+        "disk_hits": disk_hits,
+        "disk_hit_rate": round(disk_hits / cache_instances, 4),
+        "keys_on_disk": keys_on_disk,
+    }
+    print(
+        "[bench_perf] batch/cache_restart  n=12 cold {:.3f}s  restarted coordinator "
+        "{:.3f}s  ({}x, {} disk hits)".format(
+            first_seconds, restart_seconds, restart_row["speedup"], disk_hits
+        )
+    )
+    return {"parallel": parallel, "cache": cache_row, "cache_restart": restart_row}
 
 
 def run_theory_section(quick: bool):
@@ -491,7 +548,10 @@ def main(argv=None) -> int:
             "1-core host shows the IPC overhead, not a speedup); "
             "batch.cache is host-independent: it reports the throughput of "
             "answering an alpha-renamed copy of the corpus from the warm "
-            "proof cache."
+            "proof cache.  batch.cache_restart repeats that through a "
+            "PersistentProofCache across two coordinator lifetimes sharing "
+            "one store file: the restarted coordinator's disk_hits count how "
+            "many answers were promoted from the on-disk proof store."
         ),
     }
     if merged and all("speedup_vs_seed" in row for row in merged):
@@ -522,9 +582,9 @@ def main(argv=None) -> int:
                     payload["fuzz"] = previous["fuzz"]
             except (ValueError, OSError):
                 pass
-        with open(out, "w") as handle:
-            json.dump(payload, handle, indent=2)
-            handle.write("\n")
+        # Atomic: a benchmark run killed mid-write must not leave a truncated
+        # BENCH_saturation.json for the trajectory tooling to choke on.
+        atomic_write_json(out, payload)
         print("[bench_perf] wrote {}".format(out))
     return 0
 

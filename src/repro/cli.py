@@ -30,6 +30,15 @@ is retried up to ``--retries`` times; a task that keeps failing reports
 ``crashed``.  Output lines always appear in input order, whatever the
 completion order of the workers.
 
+Persistence: ``--store PATH`` backs the proof cache with a crash-safe
+on-disk store (:mod:`repro.core.store`) shared across runs and across
+concurrent ``slp`` processes — a second invocation of the same workload is
+answered from disk.  ``--run-dir DIR`` additionally *checkpoints* the run:
+every completed instance is journaled, and after a crash or SIGKILL
+``slp FILE --run-dir DIR --resume`` skips the finished work and prints a
+report bit-identical to an uninterrupted run.  A cache summary line goes to
+standard error at the end of every cached run.
+
 Exit status: 0 for a clean run (timeouts included — undecided is an honest
 answer), 2 for parse errors, 3 when any instance crashed, was quarantined or
 ran out of memory.
@@ -47,13 +56,17 @@ checking a file (see :mod:`repro.fuzz.cli`)::
 from __future__ import annotations
 
 import argparse
+import hashlib
+import os
 import sys
 import time
 from dataclasses import replace
-from typing import Iterable, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.core.batch import BatchProver, FailureInfo
+from repro.core.cache import PersistentProofCache
 from repro.core.config import ProverConfig
+from repro.core.store import JournalMismatch, RunJournal
 from repro.logic.parser import ParseError, parse_entailment
 
 
@@ -77,6 +90,131 @@ def _baseline_checker(name: str):
         baseline = JStarProver()
         return lambda entailment: baseline.prove(entailment).is_valid
     raise SystemExit("unknown prover {!r}; choose slp, smallfoot or jstar".format(name))
+
+
+def _outcome_label(outcome) -> str:
+    """The one-word report label for a batch outcome (matches stdout format)."""
+    if isinstance(outcome, FailureInfo):
+        return outcome.kind if outcome.kind in ("timeout", "oom") else "crashed"
+    return "valid" if outcome.is_valid else "invalid"
+
+
+def _print_cache_summary(stats) -> None:
+    print(
+        "cache: {} hits ({} from disk), {} misses, {} deduplicated".format(
+            stats.cache_hits, stats.disk_hits, stats.cache_misses, stats.deduplicated
+        ),
+        file=sys.stderr,
+    )
+
+
+def _print_failure_summary(timed_out: int, oom: int, crashed: int) -> None:
+    summary = []
+    if timed_out:
+        summary.append("{} timed out".format(timed_out))
+    if oom:
+        summary.append("{} out of memory".format(oom))
+    if crashed:
+        summary.append("{} crashed/quarantined".format(crashed))
+    if summary:
+        print("failures: {}".format("; ".join(summary)), file=sys.stderr)
+
+
+def _run_checkpointed(arguments, parsed, config, workload_digest: str) -> int:
+    """The ``--run-dir`` execution path: journaled, resumable, order-stable.
+
+    Completed instances are journaled *as they complete* (out of order — a
+    SIGKILL loses only in-flight work, not finished-but-unprinted results)
+    and the report is printed at the end from the journal, so a resumed run's
+    standard output is bit-identical to an uninterrupted one.
+    """
+    os.makedirs(arguments.run_dir, exist_ok=True)
+    journal_path = os.path.join(arguments.run_dir, "journal.slp")
+    meta = {
+        "kind": "slp-batch",
+        "workload": workload_digest,
+        "timeout": arguments.timeout,
+        "max_memory": arguments.max_memory,
+        "no_cache": bool(arguments.no_cache),
+    }
+    try:
+        journal, completed = RunJournal.open_run(
+            journal_path, meta, resume=arguments.resume
+        )
+    except JournalMismatch as error:
+        raise SystemExit("slp: {}".format(error))
+
+    tasks = []  # (task index, source line, entailment) for parseable lines
+    for line, entailment in parsed:
+        if entailment is not None:
+            tasks.append((len(tasks), line, entailment))
+    digests = {
+        index: hashlib.sha256(line.encode("utf-8")).hexdigest()[:12]
+        for index, line, _ in tasks
+    }
+    labels: Dict[int, str] = {}
+    for record in completed:
+        index, label = record.get("i"), record.get("label")
+        if record.get("t") != "task" or not isinstance(index, int):
+            continue
+        if index not in digests or not isinstance(label, str):
+            continue
+        if record.get("d") != digests[index]:
+            journal.close()
+            raise SystemExit(
+                "slp: {}: journaled instance {} does not match this workload;"
+                " use a fresh run directory".format(journal_path, index)
+            )
+        labels[index] = label
+
+    pending = [(index, entailment) for index, _, entailment in tasks if index not in labels]
+    cache = (
+        False
+        if arguments.no_cache
+        else PersistentProofCache(os.path.join(arguments.run_dir, "proofs.slp"))
+    )
+    try:
+        with BatchProver(
+            config,
+            jobs=arguments.jobs,
+            cache=cache,
+            retries=arguments.retries,
+            grace_factor=arguments.grace,
+        ) as batch:
+            indices = [index for index, _ in pending]
+            for position, outcome in batch.iter_results(
+                [entailment for _, entailment in pending]
+            ):
+                index = indices[position]
+                labels[index] = _outcome_label(outcome)
+                try:
+                    journal.append(
+                        {"t": "task", "i": index, "label": labels[index], "d": digests[index]}
+                    )
+                except OSError:
+                    pass  # the journal is resilience, not a reason to fail the run
+            stats = batch.statistics
+    finally:
+        journal.close()
+        if cache is not False:
+            cache.close()
+
+    task_labels = iter(tasks)
+    for line, entailment in parsed:
+        if entailment is None:
+            print("error    {}".format(line))
+            continue
+        index, _, _ = next(task_labels)
+        print("{:<8} {}".format(labels[index], line))
+
+    counted = list(labels.values())
+    timed_out = counted.count("timeout")
+    oom = counted.count("oom")
+    crashed = counted.count("crashed")
+    _print_failure_summary(timed_out, oom, crashed)
+    if cache is not False:
+        _print_cache_summary(stats)
+    return 3 if (oom or crashed) else 0
 
 
 def main(argv: Optional[Iterable[str]] = None) -> int:
@@ -145,6 +283,25 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         " 'oom' (slp only)",
     )
     parser.add_argument(
+        "--store",
+        default=None,
+        metavar="PATH",
+        help="back the proof cache with a persistent on-disk store at PATH,"
+        " shared across runs and concurrent slp processes (slp only)",
+    )
+    parser.add_argument(
+        "--run-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint the run in DIR (journal + proof store); a killed run"
+        " restarts with --resume and skips finished instances (slp only)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume the checkpointed run in --run-dir, skipping journaled work",
+    )
+    parser.add_argument(
         "--proof",
         action="store_true",
         help="print the SI proof for valid entailments (slp prover only)",
@@ -174,10 +331,23 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         or arguments.max_memory is not None
         or arguments.retries != 2
         or arguments.grace != 2.0
+        or arguments.store is not None
+        or arguments.run_dir is not None
     ):
         parser.error(
-            "--jobs/--no-cache/--timeout/--retries/--grace/--max-memory"
+            "--jobs/--no-cache/--timeout/--retries/--grace/--max-memory/--store/--run-dir"
             " are only supported by the slp prover"
+        )
+    if arguments.resume and arguments.run_dir is None:
+        parser.error("--resume requires --run-dir")
+    if arguments.run_dir is not None and arguments.store is not None:
+        parser.error("--run-dir manages its own store; drop --store")
+    if arguments.store is not None and arguments.no_cache:
+        parser.error("--store needs the cache; drop --no-cache")
+    if arguments.run_dir is not None and (arguments.proof or arguments.counterexample):
+        parser.error(
+            "--proof/--counterexample are not journaled; they cannot be combined"
+            " with --run-dir"
         )
 
     lines = [line.strip() for line in _read_lines(arguments.input)]
@@ -202,11 +372,27 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             .with_timeout(arguments.timeout)
             .with_memory_limit(arguments.max_memory)
         )
+        if arguments.run_dir is not None:
+            workload_digest = hashlib.sha256(
+                "\n".join(line for line, _ in parsed).encode("utf-8")
+            ).hexdigest()
+            run_code = _run_checkpointed(arguments, parsed, config, workload_digest)
+            if exit_code == 0:
+                exit_code = run_code
+            if arguments.time:
+                print("total time: {:.3f}s".format(time.perf_counter() - start))
+            return exit_code
+
         entailments = [entailment for _, entailment in parsed if entailment is not None]
+        cache = (
+            PersistentProofCache(arguments.store)
+            if arguments.store is not None
+            else not arguments.no_cache
+        )
         with BatchProver(
             config,
             jobs=arguments.jobs,
-            cache=not arguments.no_cache,
+            cache=cache,
             retries=arguments.retries,
             grace_factor=arguments.grace,
         ) as batch:
@@ -226,7 +412,11 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
                     print(result.proof.format())
                 if arguments.counterexample and result.counterexample is not None:
                     print("    counterexample: {}".format(result.counterexample))
+            for _ in results:  # run the generator to completion: it settles
+                pass  # the batch statistics (counter deltas) in its finally
             stats = batch.statistics
+        if arguments.store is not None:
+            cache.close()
         if stats.failed:
             summary = []
             if stats.timed_out:
@@ -242,6 +432,8 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
                     )
                 )
             print("failures: {}".format("; ".join(summary)), file=sys.stderr)
+        if not arguments.no_cache:
+            _print_cache_summary(stats)
         # Timeouts are an honest "undecided within budget" and keep exit 0;
         # crashes and memory blow-ups mean the run did not do what was asked.
         if exit_code == 0 and (stats.quarantined or stats.oom):

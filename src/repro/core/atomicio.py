@@ -1,0 +1,74 @@
+"""Atomic file writes: tempfile + fsync + rename, so readers never see a tear.
+
+Every artifact this repository emits — ``BENCH_saturation.json``, fuzz
+campaign summaries, corpus reproducers, checkpoint metadata — is consumed by
+something downstream: CI gates parse the bench file, ``--resume`` replays
+journals, the tier-1 suite replays the corpus.  A plain ``open(path, "w")``
+crashed halfway through leaves a truncated file that the consumer then
+misparses (or, worse, half-parses).  The classic fix is used throughout:
+
+1. write the full content to a temporary file *in the same directory* (so the
+   final rename cannot cross a filesystem boundary),
+2. flush and ``fsync`` the temporary file (the data is durable before it can
+   become visible),
+3. ``os.replace`` it over the destination (atomic on POSIX: readers see the
+   old complete file or the new complete file, never a mixture),
+4. best-effort ``fsync`` the directory (the *rename itself* is durable).
+
+Failures during step 1-2 leave the destination untouched; the temporary file
+is removed on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any
+
+__all__ = ["atomic_write_text", "atomic_write_json", "fsync_directory"]
+
+
+def fsync_directory(directory: str) -> None:
+    """Flush a directory's metadata (new names, renames) to stable storage.
+
+    Best-effort: platforms that cannot ``open`` a directory (Windows) or do
+    not support fsyncing one simply skip it — the write itself is still
+    atomic, only its durability across a whole-machine crash is weaker.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - platform-dependent
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_text(path: str, content: str, encoding: str = "utf-8") -> None:
+    """Write ``content`` to ``path`` atomically (tempfile + fsync + rename)."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, temp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "w", encoding=encoding) as handle:
+            handle.write(content)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_path, path)
+    except BaseException:
+        try:
+            os.unlink(temp_path)
+        except OSError:
+            pass
+        raise
+    fsync_directory(directory)
+
+
+def atomic_write_json(path: str, payload: Any, indent: int = 2, sort_keys: bool = False) -> None:
+    """Serialise ``payload`` as JSON and write it atomically (trailing newline)."""
+    atomic_write_text(path, json.dumps(payload, indent=indent, sort_keys=sort_keys) + "\n")

@@ -218,11 +218,20 @@ class BatchStatistics:
     attempts (work done, then discarded), which used to be invisible.  Cache
     hits and deduplicated copies contribute no prover work (that is the
     point) and are counted separately.
+
+    ``cache_misses`` counts cache lookups the memoisation could not answer
+    (in-batch duplicates miss once before their leader resolves them);
+    ``disk_hits`` is the subset of ``cache_hits`` answered by the persistent
+    second tier (:class:`~repro.core.cache.PersistentProofCache`) rather than
+    the in-memory LRU — nonzero only after a coordinator restart or when
+    another process shares the store.
     """
 
     total: int = 0
     proved: int = 0
     cache_hits: int = 0
+    cache_misses: int = 0
+    disk_hits: int = 0
     deduplicated: int = 0
     timed_out: int = 0
     oom: int = 0
@@ -607,6 +616,10 @@ class BatchProver:
         """
         batch = list(entailments)
         start = time.perf_counter()
+        # The cache may be shared across provers; counters are attributed to
+        # this batch by delta, not by absolute value.
+        misses_before = self.cache.misses if self.cache is not None else 0
+        disk_hits_before = self.cache.disk_hits if self.cache is not None else 0
         try:
             leaders: List[Tuple[int, Entailment]] = []
             canonicals: Dict[int, CanonicalForm] = {}
@@ -674,6 +687,9 @@ class BatchProver:
                 yield index, outcome
         finally:
             self.statistics.elapsed_seconds += time.perf_counter() - start
+            if self.cache is not None:
+                self.statistics.cache_misses += self.cache.misses - misses_before
+                self.statistics.disk_hits += self.cache.disk_hits - disk_hits_before
 
     def iter_ordered(
         self, entailments: Iterable[Entailment]

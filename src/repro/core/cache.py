@@ -20,6 +20,15 @@ the much smaller elapsed time).
 cache for sequential use; the parallel batch engine
 (:mod:`repro.core.batch`) drives the cache directly so that it can also
 deduplicate in-flight work.
+
+:class:`PersistentProofCache` adds a write-through on-disk second tier
+(:mod:`repro.core.store`): every stored entry is also appended to a
+crash-safe :class:`~repro.core.store.ProofStore`, and a memory miss falls
+through to disk before giving up.  Disk hits are promoted into the LRU and
+counted separately (:attr:`~ProofCache.disk_hits`), which is what makes the
+warm-restart bench row measurable.  Disk failures never propagate out of the
+cache: a failed persist is counted and skipped (the memory tier keeps
+working), a damaged record is a miss.
 """
 
 from __future__ import annotations
@@ -30,16 +39,24 @@ from dataclasses import dataclass, replace
 from typing import Dict, Mapping, Optional
 
 from repro.core.config import ProverConfig
+from repro.core.faults import DiskFaultPlan
 from repro.core.proof import Proof, ProofStep
 from repro.core.prover import Prover
 from repro.core.result import ProofResult, Verdict
+from repro.core.store import ProofStore
 from repro.logic.canonical import CanonicalForm, TooSymmetricError, canonicalize
 from repro.logic.formula import Entailment
 from repro.logic.terms import Const
 from repro.semantics.counterexample import Counterexample
 from repro.semantics.heap import Heap, NIL_LOC, Stack
 
-__all__ = ["ProofCache", "CachingProver", "rename_proof", "rename_counterexample"]
+__all__ = [
+    "ProofCache",
+    "PersistentProofCache",
+    "CachingProver",
+    "rename_proof",
+    "rename_counterexample",
+]
 
 
 def rename_proof(proof: Proof, mapping: Mapping[Const, Const]) -> Proof:
@@ -134,6 +151,7 @@ class ProofCache:
         self.hits = 0
         self.misses = 0
         self.uncacheable = 0
+        self.disk_hits = 0  # subset of ``hits`` answered by the second tier
 
     # -- introspection -----------------------------------------------------
     def __len__(self) -> int:
@@ -151,6 +169,15 @@ class ProofCache:
         self.hits = 0
         self.misses = 0
         self.uncacheable = 0
+        self.disk_hits = 0
+
+    # -- second-tier hooks -------------------------------------------------
+    def _fetch_second_tier(self, key: tuple) -> Optional[_CacheEntry]:
+        """A memory miss falls through here; ``None`` means a full miss."""
+        return None
+
+    def _persist(self, key: tuple, entry: _CacheEntry) -> None:
+        """Write-through hook called after every in-memory store."""
 
     # -- canonicalisation --------------------------------------------------
     def canonical_form(self, entailment: Entailment) -> Optional[CanonicalForm]:
@@ -179,8 +206,14 @@ class ProofCache:
             return None
         entry = self._entries.get(canonical.key)
         if entry is None:
-            self.misses += 1
-            return None
+            entry = self._fetch_second_tier(canonical.key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self.disk_hits += 1
+            self._entries[canonical.key] = entry  # promote into the LRU
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
         self._entries.move_to_end(canonical.key)
         self.hits += 1
         inverse = dict(canonical.inverse)
@@ -223,16 +256,87 @@ class ProofCache:
             if result.counterexample is not None
             else None
         )
-        self._entries[canonical.key] = _CacheEntry(
+        entry = _CacheEntry(
             verdict=result.verdict,
             proof=proof,
             counterexample=counterexample,
             statistics=result.statistics,
         )
+        self._entries[canonical.key] = entry
         self._entries.move_to_end(canonical.key)
         while len(self._entries) > self.max_entries:
             self._entries.popitem(last=False)
+        self._persist(canonical.key, entry)
         return True
+
+
+class PersistentProofCache(ProofCache):
+    """A :class:`ProofCache` backed by an on-disk :class:`ProofStore`.
+
+    Write-through: every memoised entry is also appended to the store, so a
+    new coordinator process (or a concurrent one sharing the file) starts
+    warm.  Entries evicted from the LRU remain on disk; a later lookup for
+    them is a :attr:`disk_hits` hit and re-promotes them.
+
+    The disk tier must never make the prover less reliable than a memory-only
+    cache, so every store failure is absorbed: persist errors (ENOSPC, torn
+    writes, a retired handle) are counted in :attr:`persist_errors` and the
+    entry simply stays memory-only; damaged records read back as misses.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        max_entries: int = 4096,
+        fsync: bool = True,
+        fault_plan: Optional[DiskFaultPlan] = None,
+        store: Optional[ProofStore] = None,
+    ):
+        super().__init__(max_entries=max_entries)
+        self.disk = (
+            store
+            if store is not None
+            else ProofStore(path, fsync=fsync, fault_plan=fault_plan)
+        )
+        self.persist_errors = 0
+
+    def _fetch_second_tier(self, key: tuple) -> Optional[_CacheEntry]:
+        found = self.disk.get(key)
+        if found is None:
+            return None
+        verdict_value, proof, counterexample, statistics = found
+        try:
+            verdict = Verdict(verdict_value)
+        except ValueError:
+            return None
+        return _CacheEntry(
+            verdict=verdict,
+            proof=proof,
+            counterexample=counterexample,
+            statistics=statistics,
+        )
+
+    def _persist(self, key: tuple, entry: _CacheEntry) -> None:
+        try:
+            self.disk.put(
+                key,
+                entry.verdict.value,
+                entry.proof,
+                entry.counterexample,
+                entry.statistics,
+            )
+        except OSError:
+            self.persist_errors += 1
+
+    def close(self) -> None:
+        """Release the store's file handle and lock."""
+        self.disk.close()
+
+    def __enter__(self) -> "PersistentProofCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 class CachingProver:

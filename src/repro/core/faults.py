@@ -44,6 +44,33 @@ Fault kinds
     The worker proves the task but its reply cannot be pickled back.  In the
     in-process (``jobs=1``) engine no pickling happens; the fault degrades to
     a crash there, preserving "the result could not be delivered".
+
+Disk-fault kinds
+----------------
+
+The persistence layer (:mod:`repro.core.store`) has its own failure domain —
+the filesystem — and its own deterministic chaos plan.  A
+:class:`DiskFaultPlan` decides per *write operation* (the store numbers its
+appends) whether a disk fault fires:
+
+``torn``
+    The append writes only a prefix of the framed record and then the store
+    behaves as if the process died mid-write (raises
+    :class:`InjectedDiskFault` without repairing the tail).  The next
+    ``open()`` of the file must recover by truncating to the last valid
+    record.
+``bitflip``
+    One deterministic bit of the framed record is flipped before it is
+    written — silent media corruption.  The CRC must catch it on the next
+    read or open (quarantine/truncate, never a wrong answer).
+``enospc``
+    The append fails up front with ``OSError(ENOSPC)`` — a full disk.  The
+    write never starts, so the file stays consistent; the caller must degrade
+    (memory-only caching) instead of crashing.
+
+Like task faults, disk plans cross process boundaries via an environment
+variable (``SLP_DISK_FAULT_PLAN``), so a chaos harness can disturb the store
+of a CLI run it does not construct.
 """
 
 from __future__ import annotations
@@ -56,11 +83,16 @@ from dataclasses import dataclass, field, replace
 from typing import Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
+    "DISK_FAULT_KINDS",
+    "DISK_FAULT_PLAN_ENV",
+    "DiskFaultPlan",
+    "DiskFaultSpec",
     "FAULT_KINDS",
     "FAULT_PLAN_ENV",
     "FaultPlan",
     "FaultSpec",
     "InjectedCrash",
+    "InjectedDiskFault",
     "apply_fault_before_task",
     "make_unpicklable",
 ]
@@ -70,7 +102,13 @@ __all__ = [
 #: every batch in the process tree without touching any call site).
 FAULT_PLAN_ENV = "SLP_FAULT_PLAN"
 
+#: Environment variable carrying a JSON-encoded :class:`DiskFaultPlan` for
+#: the persistence layer (same rationale as :data:`FAULT_PLAN_ENV`).
+DISK_FAULT_PLAN_ENV = "SLP_DISK_FAULT_PLAN"
+
 FAULT_KINDS = ("exit", "hang", "slow", "alloc", "error", "unpicklable")
+
+DISK_FAULT_KINDS = ("torn", "bitflip", "enospc")
 
 #: Exit code used by injected worker deaths (visible in supervisor details).
 INJECTED_EXIT_CODE = 73
@@ -78,6 +116,16 @@ INJECTED_EXIT_CODE = 73
 
 class InjectedCrash(RuntimeError):
     """Raised by ``error`` faults (and crash-degraded faults in-process)."""
+
+
+class InjectedDiskFault(OSError):
+    """Raised by injected ``torn``/``enospc`` disk faults.
+
+    An :class:`OSError` subclass on purpose: the persistence layer's callers
+    must survive *real* filesystem failures, so the injected ones travel the
+    exact same ``except OSError`` paths — chaos tests exercise production
+    handling, not a parallel test-only route.
+    """
 
 
 @dataclass(frozen=True)
@@ -295,3 +343,132 @@ class _Unpicklable:
 def make_unpicklable(value: object) -> object:
     """Wrap a worker reply so that sending it across the pipe fails."""
     return _Unpicklable(value)
+
+
+# ---------------------------------------------------------------------------
+# Disk faults.  The plan shape mirrors FaultPlan, but the decision is indexed
+# by the store's append-operation counter, not a batch task index, and the
+# faults are applied *by the store itself* (repro.core.store) because only it
+# knows the bytes in flight.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class DiskFaultSpec:
+    """One disk fault to inject when its write-operation index comes up.
+
+    ``fraction`` parameterises ``torn`` faults: the share of the framed
+    record that reaches the disk before the "crash" (clamped to at least one
+    byte and at most all-but-one, so a tear is always a genuine tear).
+    """
+
+    kind: str
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.kind not in DISK_FAULT_KINDS:
+            raise ValueError(
+                "unknown disk fault kind {!r}; known: {}".format(
+                    self.kind, ", ".join(DISK_FAULT_KINDS)
+                )
+            )
+        if not 0.0 <= self.fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1], got {}".format(self.fraction))
+
+    def to_json(self) -> Dict[str, object]:
+        return {"kind": self.kind, "fraction": self.fraction}
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "DiskFaultSpec":
+        return cls(
+            kind=str(payload["kind"]),
+            fraction=float(payload.get("fraction", 0.5)),  # type: ignore[arg-type]
+        )
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """Which write operations of a store are disturbed, and how.
+
+    The decision is a pure function of ``(seed, operation_index)`` — exactly
+    like :class:`FaultPlan` — so a chaos test can predict which appends were
+    disturbed without instrumenting the store, and two stores opened on the
+    same plan agree.  ``faults`` pins explicit ``operation_index ->
+    DiskFaultSpec`` entries for unit tests.
+    """
+
+    faults: Mapping[int, DiskFaultSpec] = field(default_factory=dict)
+    seed: Optional[int] = None
+    rate: float = 0.0
+    kinds: Tuple[str, ...] = ()
+    fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        for kind in self.kinds:
+            if kind not in DISK_FAULT_KINDS:
+                raise ValueError("unknown disk fault kind {!r}".format(kind))
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError("disk fault rate must be in [0, 1], got {}".format(self.rate))
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        rate: float,
+        kinds: Tuple[str, ...] = DISK_FAULT_KINDS,
+        fraction: float = 0.5,
+    ) -> "DiskFaultPlan":
+        """A purely seeded plan hitting ~``rate`` of all write operations."""
+        return cls(seed=seed, rate=rate, kinds=tuple(kinds), fraction=fraction)
+
+    def fault_at(self, operation: int) -> Optional[DiskFaultSpec]:
+        """The fault targeting write operation ``operation``, or ``None``."""
+        explicit = self.faults.get(operation)
+        if explicit is not None:
+            return explicit
+        if self.seed is None or not self.kinds or self.rate <= 0.0:
+            return None
+        rng = random.Random("slp-disk-fault:{}:{}".format(self.seed, operation))
+        if rng.random() >= self.rate:
+            return None
+        return DiskFaultSpec(kind=rng.choice(self.kinds), fraction=self.fraction)
+
+    def corruption_rng(self, operation: int) -> random.Random:
+        """The deterministic RNG a ``bitflip``/``torn`` fault draws from."""
+        return random.Random("slp-disk-bytes:{}:{}".format(self.seed, operation))
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "faults": {str(index): spec.to_json() for index, spec in self.faults.items()},
+            "seed": self.seed,
+            "rate": self.rate,
+            "kinds": list(self.kinds),
+            "fraction": self.fraction,
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping[str, object]) -> "DiskFaultPlan":
+        return cls(
+            faults={
+                int(index): DiskFaultSpec.from_json(spec)
+                for index, spec in dict(payload.get("faults", {})).items()  # type: ignore[arg-type]
+            },
+            seed=None if payload.get("seed") is None else int(payload["seed"]),  # type: ignore[arg-type]
+            rate=float(payload.get("rate", 0.0)),  # type: ignore[arg-type]
+            kinds=tuple(payload.get("kinds", ())),  # type: ignore[arg-type]
+            fraction=float(payload.get("fraction", 0.5)),  # type: ignore[arg-type]
+        )
+
+    def to_env(self) -> str:
+        """The ``SLP_DISK_FAULT_PLAN`` value equivalent to this plan."""
+        return json.dumps(self.to_json(), sort_keys=True)
+
+    @classmethod
+    def from_env(
+        cls, environ: Optional[Mapping[str, str]] = None
+    ) -> Optional["DiskFaultPlan"]:
+        """The plan exported in the environment, or ``None`` (loud when malformed)."""
+        raw = (environ if environ is not None else os.environ).get(DISK_FAULT_PLAN_ENV)
+        if not raw:
+            return None
+        return cls.from_json(json.loads(raw))

@@ -16,11 +16,12 @@ scheduled CI job uploads as an artifact).
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Iterable, Optional
 
+from repro.core.atomicio import atomic_write_json
 from repro.core.faults import FAULT_KINDS, FaultPlan
+from repro.core.store import JournalMismatch
 from repro.fuzz.differential import run_campaign
 from repro.fuzz.generator import DEFAULT_WEIGHTS, GeneratorProfile
 
@@ -110,6 +111,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "--summary", default=None, metavar="PATH",
         help="write the JSON campaign report to PATH",
     )
+    parser.add_argument(
+        "--run-dir", default=None, metavar="DIR",
+        help="checkpoint the campaign in DIR (journal + persistent proof "
+        "store); a killed campaign restarts with --resume and skips the "
+        "journaled work, with a report bit-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--resume", action="store_true",
+        help="resume the checkpointed campaign in --run-dir",
+    )
     return parser
 
 
@@ -132,6 +143,13 @@ def fuzz_main(argv: Optional[Iterable[str]] = None) -> int:
             parser.error(
                 "unknown fault kind {!r}; known: {}".format(kind, ", ".join(FAULT_KINDS))
             )
+    if arguments.resume and arguments.run_dir is None:
+        parser.error("--resume requires --run-dir")
+    if arguments.run_dir is not None and arguments.fault_rate > 0.0:
+        parser.error(
+            "--run-dir does not compose with chaos mode (--fault-rate):"
+            " a replayed journal must not preserve injected faults"
+        )
     fault_plan = None
     if arguments.fault_rate > 0.0:
         fault_plan = FaultPlan.seeded(
@@ -184,28 +202,31 @@ def fuzz_main(argv: Optional[Iterable[str]] = None) -> int:
 
         config = ProverConfig(record_proof=False).with_unit_rewrite()
 
-    report = run_campaign(
-        seed=arguments.seed,
-        iterations=arguments.iterations,
-        jobs=arguments.jobs,
-        profile=profile,
-        include_baselines=arguments.baselines,
-        max_enum_variables=arguments.max_enum_vars,
-        p_transform=arguments.p_transform,
-        timeout=arguments.timeout,
-        shrink_findings=not arguments.no_shrink,
-        corpus_dir=arguments.corpus,
-        config=config,
-        fault_plan=fault_plan,
-        retries=arguments.retries,
-    )
+    try:
+        report = run_campaign(
+            seed=arguments.seed,
+            iterations=arguments.iterations,
+            jobs=arguments.jobs,
+            profile=profile,
+            include_baselines=arguments.baselines,
+            max_enum_variables=arguments.max_enum_vars,
+            p_transform=arguments.p_transform,
+            timeout=arguments.timeout,
+            shrink_findings=not arguments.no_shrink,
+            corpus_dir=arguments.corpus,
+            config=config,
+            fault_plan=fault_plan,
+            retries=arguments.retries,
+            run_dir=arguments.run_dir,
+            resume=arguments.resume,
+        )
+    except JournalMismatch as error:
+        raise SystemExit("slp fuzz: {}".format(error))
 
     for line in report.summary_lines():
         print(line)
     if arguments.summary:
-        with open(arguments.summary, "w", encoding="utf-8") as handle:
-            json.dump(report.to_json(), handle, indent=2, sort_keys=True)
-            handle.write("\n")
+        atomic_write_json(arguments.summary, report.to_json(), sort_keys=True)
         print("summary written to {}".format(arguments.summary))
     return 0 if report.clean else 1
 

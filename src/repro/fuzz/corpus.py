@@ -27,6 +27,7 @@ import re
 from dataclasses import dataclass
 from typing import List, Optional
 
+from repro.core.atomicio import atomic_write_text
 from repro.logic.formula import Entailment
 from repro.logic.parser import parse_entailment
 
@@ -126,6 +127,7 @@ def save_reproducer(
             break
         number += 1
     path = os.path.join(directory, file_name)
-    with open(path, "w", encoding="utf-8") as handle:
-        handle.write(format_entry(entailment, expected_valid, note))
+    # Atomic: a campaign killed mid-write must not leave a truncated .ent
+    # file for the tier-1 corpus replay to choke on.
+    atomic_write_text(path, format_entry(entailment, expected_valid, note))
     return path

@@ -29,15 +29,19 @@ indices.
 
 from __future__ import annotations
 
+import hashlib
+import os
 import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.core.batch import BatchProver
+from repro.core.cache import PersistentProofCache
 from repro.core.config import ProverConfig
 from repro.core.faults import FaultPlan
 from repro.core.result import ProofResult
+from repro.core.store import RunJournal
 from repro.fuzz.corpus import save_reproducer
 from repro.fuzz.generator import EntailmentGenerator, FuzzCase, GeneratorProfile
 from repro.fuzz.metamorphic import Transform, applicable_transforms
@@ -48,6 +52,7 @@ from repro.fuzz.oracles import (
     default_oracles,
 )
 from repro.fuzz.shrinker import ShrinkResult, shrink
+from repro.logic.canonical import TooSymmetricError, canonicalize
 from repro.logic.formula import Entailment
 
 __all__ = ["Disagreement", "FuzzReport", "run_campaign"]
@@ -356,6 +361,136 @@ def _prove_batch(
     return verdicts
 
 
+def _profile_digest(profile: Optional[GeneratorProfile]) -> Optional[str]:
+    """A stable fingerprint of the generator profile for journal metadata."""
+    if profile is None:
+        return None
+    knobs = (
+        profile.min_variables,
+        profile.max_variables,
+        profile.max_spatial,
+        profile.max_pure,
+        profile.p_next,
+        tuple(sorted(profile.weights.items())),
+    )
+    return hashlib.sha256(repr(knobs).encode("utf-8")).hexdigest()[:16]
+
+
+def _config_digest(config: ProverConfig) -> str:
+    """A stable fingerprint of the prover configuration (frozen dataclass)."""
+    return hashlib.sha256(repr(config).encode("utf-8")).hexdigest()[:16]
+
+
+def _reconstruct_batch_counters(
+    items: Sequence[_WorkItem],
+    verdicts: Sequence[Optional[bool]],
+    report: FuzzReport,
+) -> None:
+    """Deterministic ``cache_hits``/``deduplicated`` for checkpointed runs.
+
+    A resumed campaign proves only the pending tail, so the live batch
+    engine's counters describe the *remainder*, not the campaign — and the
+    resumed run's persistent store serves disk hits a fresh run would not
+    see.  The deterministic report projection must be bit-identical either
+    way, so both are reconstructed structurally:
+
+    * every campaign starts with an empty cache and looks all slots up
+      before executing any, so an uninterrupted run's ``cache_hits`` is 0;
+    * ``deduplicated`` counts alpha-equivalent followers of a leader that
+      reached a verdict (followers of a timed-out leader are echoed
+      failures, not deduplications; followers of a crashed leader are
+      re-dispatched on their own merits).
+    """
+    report.cache_hits = 0
+    leader_verdict: Dict[tuple, Optional[bool]] = {}
+    deduplicated = 0
+    for slot, item in enumerate(items):
+        try:
+            key = canonicalize(item.entailment).key
+        except TooSymmetricError:
+            continue
+        if key in leader_verdict:
+            if leader_verdict[key] is not None:
+                deduplicated += 1
+        else:
+            leader_verdict[key] = verdicts[slot]
+    report.deduplicated = deduplicated
+
+
+def _prove_batch_journaled(
+    items: Sequence[_WorkItem],
+    config: ProverConfig,
+    jobs: int,
+    report: FuzzReport,
+    retries: int,
+    run_dir: str,
+    journal: RunJournal,
+    restored: Dict[int, Dict[str, object]],
+) -> List[Optional[bool]]:
+    """The checkpointed twin of :func:`_prove_batch`.
+
+    Restored slots keep their journaled verdicts; pending slots stream
+    through the batch engine (backed by the run directory's persistent proof
+    store) and are journaled *as they complete* — a SIGKILL loses only
+    in-flight instances.  Crash findings are re-created from the journal for
+    restored slots and emitted in slot order either way, matching the
+    uninterrupted driver.
+    """
+    verdicts: List[Optional[bool]] = [None] * len(items)
+    crash_details: Dict[int, str] = {}
+    for slot, record in restored.items():
+        if not 0 <= slot < len(items):
+            continue
+        value = record.get("v")
+        verdicts[slot] = value if isinstance(value, bool) else None
+        detail = record.get("crash")
+        if isinstance(detail, str):
+            crash_details[slot] = detail
+    pending = [slot for slot in range(len(items)) if slot not in restored]
+    cache = PersistentProofCache(os.path.join(run_dir, "proofs.slp"))
+    try:
+        with BatchProver(config, jobs=jobs, cache=cache, retries=retries) as batch:
+            for position, outcome in batch.iter_results(
+                [items[slot].entailment for slot in pending]
+            ):
+                slot = pending[position]
+                record: Dict[str, object] = {"t": "primary", "s": slot}
+                if isinstance(outcome, ProofResult):
+                    verdicts[slot] = outcome.is_valid
+                    record["v"] = outcome.is_valid
+                else:
+                    record["v"] = None
+                    if not outcome.injected and outcome.kind not in ("timeout", "oom"):
+                        detail = "prover task failed: {}".format(outcome.summary())
+                        crash_details[slot] = detail
+                        record["crash"] = detail
+                try:
+                    journal.append(record)
+                except OSError:
+                    pass  # checkpointing is resilience, not a reason to fail
+            statistics = batch.statistics
+    finally:
+        cache.close()
+    report.retried = statistics.retried
+    report.respawned_workers = statistics.respawned_workers
+    report.injected_faults = statistics.injected_faults
+    report.quarantined = statistics.quarantined
+    for slot in sorted(crash_details):
+        item = items[slot]
+        report.disagreements.append(
+            Disagreement(
+                kind="crash",
+                index=item.case.index,
+                strategy=item.case.strategy,
+                entailment=item.entailment,
+                transform=item.transform.name if item.transform else None,
+                detail=crash_details[slot],
+            )
+        )
+    _reconstruct_batch_counters(items, verdicts, report)
+    return verdicts
+
+
 def _ground_truth(
     oracles: Sequence[Oracle], verdicts: Dict[str, Optional[bool]]
 ) -> Optional[bool]:
@@ -397,6 +532,8 @@ def run_campaign(
     primary_oracle: Optional[Oracle] = None,
     fault_plan: Optional[FaultPlan] = None,
     retries: int = 2,
+    run_dir: Optional[str] = None,
+    resume: bool = False,
 ) -> FuzzReport:
     """Run one differential fuzzing campaign and return its report.
 
@@ -411,6 +548,17 @@ def run_campaign(
     :mod:`repro.core.faults`).  The campaign itself must survive: injected
     failures count as undecided, never as findings, and ``retries`` controls
     how often a crashed instance is re-dispatched before quarantine.
+
+    Checkpointing: with ``run_dir``, the campaign journals every completed
+    unit of work (primary verdicts as the batch streams them, oracle answers
+    per slot) and backs the proof cache with a persistent store in that
+    directory.  After a crash or SIGKILL, the same invocation with
+    ``resume=True`` skips the journaled work and produces a report whose
+    deterministic projection (:meth:`FuzzReport.to_json` without timing) is
+    bit-identical to an uninterrupted run.  Checkpointing composes with
+    neither chaos mode nor an injected ``primary_oracle`` (both exist to
+    disturb execution, which is exactly what a replayed journal must not
+    preserve).
     """
     start = time.perf_counter()
     prover_config = (
@@ -426,207 +574,305 @@ def run_campaign(
         )
     )
 
-    report = FuzzReport(seed=seed, iterations=iterations, jobs=jobs)
-    items = _plan(seed, iterations, profile, p_transform)
-    primary = _prove_batch(
-        items,
-        prover_config,
-        jobs,
-        report,
-        primary_oracle,
-        fault_plan=fault_plan,
-        retries=retries,
-    )
-
-    # ------------------------------------------------------------------
-    # Differential pass: every instance against every oracle.
-    # ------------------------------------------------------------------
-    oracle_verdicts: List[Dict[str, Optional[bool]]] = []
-    for slot, item in enumerate(items):
-        report.instances_checked += 1
-        report.per_strategy[item.case.strategy] = (
-            report.per_strategy.get(item.case.strategy, 0) + 1
-        )
-        if item.is_mutant:
-            report.mutants += 1
-            assert item.transform is not None
-            report.per_transform[item.transform.name] = (
-                report.per_transform.get(item.transform.name, 0) + 1
+    journal: Optional[RunJournal] = None
+    restored_primary: Dict[int, Dict[str, object]] = {}
+    restored_oracles: Dict[int, Dict[str, object]] = {}
+    if run_dir is not None:
+        if fault_plan is not None or primary_oracle is not None:
+            raise ValueError(
+                "checkpointing (run_dir) does not compose with fault injection"
+                " or an injected primary oracle"
             )
-        verdict = primary[slot]
-        if verdict is None:
-            report.undecided += 1
-        elif verdict:
-            report.valid += 1
+        os.makedirs(run_dir, exist_ok=True)
+        meta = {
+            "kind": "slp-fuzz",
+            "seed": seed,
+            "iterations": iterations,
+            "profile": _profile_digest(profile),
+            "p_transform": p_transform,
+            "timeout": timeout,
+            "include_baselines": include_baselines,
+            "max_enum_variables": max_enum_variables,
+            "oracles": sorted(oracle.name for oracle in battery),
+            "config": _config_digest(prover_config),
+        }
+        journal, completed = RunJournal.open_run(
+            os.path.join(run_dir, "journal.slp"), meta, resume=resume
+        )
+        for record in completed:
+            slot = record.get("s")
+            if not isinstance(slot, int):
+                continue
+            if record.get("t") == "primary":
+                restored_primary[slot] = record
+            elif record.get("t") == "oracles":
+                restored_oracles[slot] = record
+    elif resume:
+        raise ValueError("resume needs a run_dir to resume from")
+
+    try:
+        report = FuzzReport(seed=seed, iterations=iterations, jobs=jobs)
+        items = _plan(seed, iterations, profile, p_transform)
+        if journal is not None:
+            primary = _prove_batch_journaled(
+                items,
+                prover_config,
+                jobs,
+                report,
+                retries,
+                run_dir,
+                journal,
+                restored_primary,
+            )
         else:
-            report.invalid += 1
-
-        answers: Dict[str, Optional[bool]] = {"slp": verdict}
-        for oracle in battery:
-            report.oracle_checks[oracle.name] = report.oracle_checks.get(oracle.name, 0) + 1
-            try:
-                answer = oracle.check(item.entailment)
-            except Exception as error:  # noqa: BLE001 - oracle crash is a finding
-                answers[oracle.name] = None
-                report.disagreements.append(
-                    Disagreement(
-                        kind="crash",
-                        index=item.case.index,
-                        strategy=item.case.strategy,
-                        entailment=item.entailment,
-                        transform=item.transform.name if item.transform else None,
-                        detail="oracle {} raised {}: {}".format(
-                            oracle.name, type(error).__name__, error
-                        ),
-                    )
-                )
-                continue
-            answers[oracle.name] = answer
-            if answer is not None:
-                report.oracle_decided[oracle.name] = (
-                    report.oracle_decided.get(oracle.name, 0) + 1
-                )
-            if answer is not None and verdict is not None and answer != verdict:
-                report.disagreements.append(
-                    Disagreement(
-                        kind="differential",
-                        index=item.case.index,
-                        strategy=item.case.strategy,
-                        entailment=item.entailment,
-                        transform=item.transform.name if item.transform else None,
-                        verdicts={"slp": _verdict_str(verdict), oracle.name: _verdict_str(answer)},
-                        detail="slp and {} split on the same instance".format(oracle.name),
-                    )
-                )
-        oracle_verdicts.append(answers)
-
-    # ------------------------------------------------------------------
-    # Metamorphic pass: verdict pairs against the transform relations.
-    # ------------------------------------------------------------------
-    for slot, item in enumerate(items):
-        if not item.is_mutant:
-            continue
-        assert item.transform is not None and item.original_slot is not None
-        original_verdict = primary[item.original_slot]
-        mutant_verdict = primary[slot]
-        if original_verdict is None or mutant_verdict is None:
-            continue
-        report.metamorphic_pairs_checked += 1
-        expected = item.transform.relation.expected(original_verdict)
-        if expected is None or mutant_verdict == expected:
-            continue
-        report.disagreements.append(
-            Disagreement(
-                kind="metamorphic",
-                index=item.case.index,
-                strategy=item.case.strategy,
-                entailment=item.entailment,
-                transform=item.transform.name,
-                verdicts={
-                    "original": _verdict_str(original_verdict),
-                    "mutant": _verdict_str(mutant_verdict),
-                },
-                detail=(
-                    "transform {} [{}] expected the mutant to be {}; original: {}".format(
-                        item.transform.name,
-                        item.transform.relation,
-                        _verdict_str(expected),
-                        items[item.original_slot].entailment,
-                    )
-                ),
+            primary = _prove_batch(
+                items,
+                prover_config,
+                jobs,
+                report,
+                primary_oracle,
+                fault_plan=fault_plan,
+                retries=retries,
             )
-        )
 
-    # ------------------------------------------------------------------
-    # Shrink the findings and (optionally) bank reproducers.
-    # ------------------------------------------------------------------
-    if shrink_findings and report.disagreements:
-        shrink_prover: Oracle = (
-            primary_oracle if primary_oracle is not None else ProverOracle(prover_config)
-        )
-        by_name = {oracle.name: oracle for oracle in battery}
-        # A systematic bug yields the same instance disagreeing with several
-        # oracles (and many instances disagreeing the same way): shrink each
-        # distinct entailment once, share the result, and bound the total
-        # predicate evaluations so a finding avalanche cannot stall the
-        # campaign before the report is written.
-        shrunk_cache: Dict[Entailment, Optional[ShrinkResult]] = {}
-        banked: Dict[Entailment, str] = {}  # shrunk entailment -> corpus path
-        shrink_budget = 20_000
-        for finding in report.disagreements:
-            other: Optional[Oracle] = None
-            if finding.kind == "differential":
-                disagreeing = [name for name in finding.verdicts if name != "slp"]
-                if disagreeing:
-                    other = by_name.get(disagreeing[0])
-            elif finding.kind == "metamorphic":
-                # Reduce to a differential shrink when any oracle also splits
-                # from the primary verdict on this mutant; otherwise the pair
-                # stays unshrunk (the relation needs both endpoints).
-                slot_answers = next(
-                    (
-                        answers
-                        for it, answers in zip(items, oracle_verdicts)
-                        if it.entailment == finding.entailment
-                    ),
-                    {},
+        # --------------------------------------------------------------
+        # Differential pass: every instance against every oracle.  Oracle
+        # answers (and crashes) are collected first — from the journal for
+        # restored slots, by running the battery otherwise — and then
+        # accounted uniformly in battery order, so a resumed campaign
+        # produces findings in exactly the order an uninterrupted one does.
+        # --------------------------------------------------------------
+        oracle_verdicts: List[Dict[str, Optional[bool]]] = []
+        for slot, item in enumerate(items):
+            report.instances_checked += 1
+            report.per_strategy[item.case.strategy] = (
+                report.per_strategy.get(item.case.strategy, 0) + 1
+            )
+            if item.is_mutant:
+                report.mutants += 1
+                assert item.transform is not None
+                report.per_transform[item.transform.name] = (
+                    report.per_transform.get(item.transform.name, 0) + 1
                 )
-                ours = slot_answers.get("slp")
-                for oracle in battery:
-                    answer = slot_answers.get(oracle.name)
-                    if answer is not None and ours is not None and answer != ours:
-                        other = oracle
-                        break
-            if other is None:
-                continue
-            if finding.entailment in shrunk_cache:
-                result = shrunk_cache[finding.entailment]
-                if result is None:
-                    continue
-            elif shrink_budget <= 0:
-                continue
+            verdict = primary[slot]
+            if verdict is None:
+                report.undecided += 1
+            elif verdict:
+                report.valid += 1
             else:
-                predicate = _disagreement_predicate(shrink_prover, other)
-                try:
-                    result = shrink(
-                        finding.entailment, predicate, max_candidates=min(shrink_budget, 2000)
+                report.invalid += 1
+
+            answers: Dict[str, Optional[bool]] = {"slp": verdict}
+            crashes: Dict[str, str] = {}
+            restored = restored_oracles.get(slot)
+            if restored is not None:
+                stored = restored.get("a")
+                stored = stored if isinstance(stored, dict) else {}
+                for oracle in battery:
+                    raw = stored.get(oracle.name)
+                    answers[oracle.name] = raw if isinstance(raw, bool) else None
+                for crash in restored.get("crashes") or ():
+                    if (
+                        isinstance(crash, dict)
+                        and isinstance(crash.get("o"), str)
+                        and isinstance(crash.get("detail"), str)
+                    ):
+                        crashes[crash["o"]] = crash["detail"]
+            else:
+                for oracle in battery:
+                    try:
+                        answers[oracle.name] = oracle.check(item.entailment)
+                    except Exception as error:  # noqa: BLE001 - crash is a finding
+                        answers[oracle.name] = None
+                        crashes[oracle.name] = "oracle {} raised {}: {}".format(
+                            oracle.name, type(error).__name__, error
+                        )
+                if journal is not None:
+                    record: Dict[str, object] = {
+                        "t": "oracles",
+                        "s": slot,
+                        "a": {oracle.name: answers[oracle.name] for oracle in battery},
+                    }
+                    if crashes:
+                        record["crashes"] = [
+                            {"o": name, "detail": detail}
+                            for name, detail in crashes.items()
+                        ]
+                    try:
+                        journal.append(record)
+                    except OSError:
+                        pass
+
+            for oracle in battery:
+                report.oracle_checks[oracle.name] = (
+                    report.oracle_checks.get(oracle.name, 0) + 1
+                )
+                if oracle.name in crashes:
+                    report.disagreements.append(
+                        Disagreement(
+                            kind="crash",
+                            index=item.case.index,
+                            strategy=item.case.strategy,
+                            entailment=item.entailment,
+                            transform=item.transform.name if item.transform else None,
+                            detail=crashes[oracle.name],
+                        )
                     )
-                except ValueError:
-                    shrunk_cache[finding.entailment] = None
-                    continue  # the disagreement did not reproduce standalone
-                shrink_budget -= result.candidates_tried
-                shrunk_cache[finding.entailment] = result
-            finding.shrunk = result.entailment
-            finding.shrunk_conjuncts = result.conjuncts
-            truth_answers = {other.name: None}
-            try:
-                truth_answers[other.name] = other.check(result.entailment)
-            except Exception:  # noqa: BLE001
-                pass
-            enum_oracle = next(
-                (o for o in battery if isinstance(o, EnumerationOracle)), None
+                    continue
+                answer = answers[oracle.name]
+                if answer is not None:
+                    report.oracle_decided[oracle.name] = (
+                        report.oracle_decided.get(oracle.name, 0) + 1
+                    )
+                if answer is not None and verdict is not None and answer != verdict:
+                    report.disagreements.append(
+                        Disagreement(
+                            kind="differential",
+                            index=item.case.index,
+                            strategy=item.case.strategy,
+                            entailment=item.entailment,
+                            transform=item.transform.name if item.transform else None,
+                            verdicts={
+                                "slp": _verdict_str(verdict),
+                                oracle.name: _verdict_str(answer),
+                            },
+                            detail="slp and {} split on the same instance".format(
+                                oracle.name
+                            ),
+                        )
+                    )
+            oracle_verdicts.append(answers)
+
+        # ------------------------------------------------------------------
+        # Metamorphic pass: verdict pairs against the transform relations.
+        # ------------------------------------------------------------------
+        for slot, item in enumerate(items):
+            if not item.is_mutant:
+                continue
+            assert item.transform is not None and item.original_slot is not None
+            original_verdict = primary[item.original_slot]
+            mutant_verdict = primary[slot]
+            if original_verdict is None or mutant_verdict is None:
+                continue
+            report.metamorphic_pairs_checked += 1
+            expected = item.transform.relation.expected(original_verdict)
+            if expected is None or mutant_verdict == expected:
+                continue
+            report.disagreements.append(
+                Disagreement(
+                    kind="metamorphic",
+                    index=item.case.index,
+                    strategy=item.case.strategy,
+                    entailment=item.entailment,
+                    transform=item.transform.name,
+                    verdicts={
+                        "original": _verdict_str(original_verdict),
+                        "mutant": _verdict_str(mutant_verdict),
+                    },
+                    detail=(
+                        "transform {} [{}] expected the mutant to be {}; original: {}".format(
+                            item.transform.name,
+                            item.transform.relation,
+                            _verdict_str(expected),
+                            items[item.original_slot].entailment,
+                        )
+                    ),
+                )
             )
-            if enum_oracle is not None and other is not enum_oracle:
+
+        # ------------------------------------------------------------------
+        # Shrink the findings and (optionally) bank reproducers.
+        # ------------------------------------------------------------------
+        if shrink_findings and report.disagreements:
+            shrink_prover: Oracle = (
+                primary_oracle if primary_oracle is not None else ProverOracle(prover_config)
+            )
+            by_name = {oracle.name: oracle for oracle in battery}
+            # A systematic bug yields the same instance disagreeing with several
+            # oracles (and many instances disagreeing the same way): shrink each
+            # distinct entailment once, share the result, and bound the total
+            # predicate evaluations so a finding avalanche cannot stall the
+            # campaign before the report is written.
+            shrunk_cache: Dict[Entailment, Optional[ShrinkResult]] = {}
+            banked: Dict[Entailment, str] = {}  # shrunk entailment -> corpus path
+            shrink_budget = 20_000
+            for finding in report.disagreements:
+                other: Optional[Oracle] = None
+                if finding.kind == "differential":
+                    disagreeing = [name for name in finding.verdicts if name != "slp"]
+                    if disagreeing:
+                        other = by_name.get(disagreeing[0])
+                elif finding.kind == "metamorphic":
+                    # Reduce to a differential shrink when any oracle also splits
+                    # from the primary verdict on this mutant; otherwise the pair
+                    # stays unshrunk (the relation needs both endpoints).
+                    slot_answers = next(
+                        (
+                            answers
+                            for it, answers in zip(items, oracle_verdicts)
+                            if it.entailment == finding.entailment
+                        ),
+                        {},
+                    )
+                    ours = slot_answers.get("slp")
+                    for oracle in battery:
+                        answer = slot_answers.get(oracle.name)
+                        if answer is not None and ours is not None and answer != ours:
+                            other = oracle
+                            break
+                if other is None:
+                    continue
+                if finding.entailment in shrunk_cache:
+                    result = shrunk_cache[finding.entailment]
+                    if result is None:
+                        continue
+                elif shrink_budget <= 0:
+                    continue
+                else:
+                    predicate = _disagreement_predicate(shrink_prover, other)
+                    try:
+                        result = shrink(
+                            finding.entailment, predicate, max_candidates=min(shrink_budget, 2000)
+                        )
+                    except ValueError:
+                        shrunk_cache[finding.entailment] = None
+                        continue  # the disagreement did not reproduce standalone
+                    shrink_budget -= result.candidates_tried
+                    shrunk_cache[finding.entailment] = result
+                finding.shrunk = result.entailment
+                finding.shrunk_conjuncts = result.conjuncts
+                truth_answers = {other.name: None}
                 try:
-                    truth_answers[enum_oracle.name] = enum_oracle.check(result.entailment)
+                    truth_answers[other.name] = other.check(result.entailment)
                 except Exception:  # noqa: BLE001
                     pass
-            finding.expected_valid = _ground_truth(battery, truth_answers)
-            if corpus_dir is not None and finding.expected_valid is not None:
-                if result.entailment in banked:
-                    finding.corpus_path = banked[result.entailment]
-                else:
-                    finding.corpus_path = save_reproducer(
-                        corpus_dir,
-                        result.entailment,
-                        finding.expected_valid,
-                        note=(
-                            "shrunk from seed {} index {} ({}, {} finding vs {})".format(
-                                seed, finding.index, finding.strategy, finding.kind, other.name
-                            )
-                        ),
-                    )
-                    banked[result.entailment] = finding.corpus_path
+                enum_oracle = next(
+                    (o for o in battery if isinstance(o, EnumerationOracle)), None
+                )
+                if enum_oracle is not None and other is not enum_oracle:
+                    try:
+                        truth_answers[enum_oracle.name] = enum_oracle.check(result.entailment)
+                    except Exception:  # noqa: BLE001
+                        pass
+                finding.expected_valid = _ground_truth(battery, truth_answers)
+                if corpus_dir is not None and finding.expected_valid is not None:
+                    if result.entailment in banked:
+                        finding.corpus_path = banked[result.entailment]
+                    else:
+                        finding.corpus_path = save_reproducer(
+                            corpus_dir,
+                            result.entailment,
+                            finding.expected_valid,
+                            note=(
+                                "shrunk from seed {} index {} ({}, {} finding vs {})".format(
+                                    seed, finding.index, finding.strategy, finding.kind, other.name
+                                )
+                            ),
+                        )
+                        banked[result.entailment] = finding.corpus_path
 
-    report.elapsed_seconds = time.perf_counter() - start
-    return report
+        report.elapsed_seconds = time.perf_counter() - start
+        return report
+    finally:
+        if journal is not None:
+            journal.close()

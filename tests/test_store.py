@@ -1,0 +1,375 @@
+"""The crash-safe proof store and run journal (``repro.core.store``).
+
+The contract under test is the durability bar of ISSUE 7: a store or journal
+file damaged at *any* byte — torn tail, flipped bit, truncated header,
+garbage — must open into a usable artifact (truncating the tear or
+quarantining the wreck), never raise, and never return a wrong answer.
+Injected disk faults (``DiskFaultPlan``) must travel the same ``OSError``
+paths a real filesystem failure would.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.faults import (
+    DISK_FAULT_KINDS,
+    DISK_FAULT_PLAN_ENV,
+    DiskFaultPlan,
+    DiskFaultSpec,
+    InjectedDiskFault,
+)
+from repro.core.store import (
+    JournalMismatch,
+    ProofStore,
+    RunJournal,
+    _FRAME_SIZE,
+    _HEADER_SIZE,
+)
+
+
+def _key(i: int) -> tuple:
+    """A canonical-key-shaped tuple (nested tuples of ints and strings)."""
+    return ("entailment", i, (("pts", i, i + 1), ("lseg", 0, i)))
+
+
+def _fill(store: ProofStore, count: int, tag: str = "v") -> None:
+    for i in range(count):
+        store.put(_key(i), "valid", "{}-proof-{}".format(tag, i), None, {"steps": i})
+
+
+# ---------------------------------------------------------------------------
+# Round trips.
+# ---------------------------------------------------------------------------
+
+
+def test_store_round_trip_and_reopen(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path) as store:
+        _fill(store, 8)
+        assert len(store) == 8
+        assert store.get(_key(3)) == ("valid", "v-proof-3", None, {"steps": 3})
+        assert store.get(("absent",)) is None
+    with ProofStore(path) as store:
+        assert len(store) == 8
+        for i in range(8):
+            assert store.get(_key(i)) == ("valid", "v-proof-{}".format(i), None, {"steps": i})
+        assert store.statistics.quarantines == 0
+        assert store.statistics.torn_truncations == 0
+
+
+def test_store_updates_last_write_wins(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path) as store:
+        store.put(_key(0), "valid", "first", None, None)
+        store.put(_key(0), "invalid", "second", None, None)
+        assert store.get(_key(0)) == ("invalid", "second", None, None)
+        assert store.dead_records == 1
+    with ProofStore(path) as store:
+        assert store.get(_key(0)) == ("invalid", "second", None, None)
+
+
+def test_journal_round_trip_and_task_order(tmp_path):
+    path = str(tmp_path / "journal.slp")
+    meta = {"kind": "test", "seed": 7}
+    journal, completed = RunJournal.open_run(path, meta, resume=False)
+    assert completed == []
+    for i in range(5):
+        journal.append({"t": "task", "i": i})
+    journal.close()
+    journal, completed = RunJournal.open_run(path, meta, resume=True)
+    assert [record["i"] for record in completed] == [0, 1, 2, 3, 4]
+    assert list(journal.tasks()) == completed
+    journal.close()
+
+
+def test_journal_meta_mismatch_and_fresh_over_existing(tmp_path):
+    path = str(tmp_path / "journal.slp")
+    journal, _ = RunJournal.open_run(path, {"seed": 7}, resume=False)
+    journal.append({"t": "task", "i": 0})
+    journal.close()
+    # Resuming with different options must refuse, not silently replay.
+    with pytest.raises(JournalMismatch):
+        RunJournal.open_run(path, {"seed": 8}, resume=True)
+    # Starting fresh over finished work must refuse too.
+    with pytest.raises(JournalMismatch):
+        RunJournal.open_run(path, {"seed": 7}, resume=False)
+    # Resuming an empty journal degrades to a fresh run.
+    empty = str(tmp_path / "empty.slp")
+    RunJournal(empty).close()
+    journal, completed = RunJournal.open_run(empty, {"seed": 7}, resume=True)
+    assert completed == []
+    journal.close()
+
+
+# ---------------------------------------------------------------------------
+# Recovery: torn tails, corrupt headers, mid-file damage.
+# ---------------------------------------------------------------------------
+
+
+def test_torn_tail_is_truncated(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path) as store:
+        _fill(store, 4)
+    intact = os.path.getsize(path)
+    with open(path, "ab") as handle:
+        handle.write(b"\xabRC1\x99\x00")  # a frame header torn after 6 bytes
+    with ProofStore(path) as store:
+        assert store.statistics.torn_truncations == 1
+        assert store.statistics.quarantines == 0
+        assert len(store) == 4
+        assert store.get(_key(2)) == ("valid", "v-proof-2", None, {"steps": 2})
+    assert os.path.getsize(path) == intact
+
+
+def test_corrupt_header_quarantines(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path) as store:
+        _fill(store, 2)
+    with open(path, "r+b") as handle:
+        handle.write(b"NOTSTORE")
+    with ProofStore(path) as store:
+        assert store.statistics.quarantines == 1
+        assert len(store) == 0  # fresh store; the wreck is aside, not gone
+    assert os.path.exists(path + ".corrupt-0")
+
+
+def test_wrong_kind_header_quarantines(tmp_path):
+    """A journal opened as a proof store is damage, not data."""
+    path = str(tmp_path / "artifact.slp")
+    RunJournal(path).close()
+    with ProofStore(path) as store:
+        assert store.statistics.quarantines == 1
+        assert len(store) == 0
+
+
+def test_midfile_corruption_quarantines_and_salvages(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path) as store:
+        _fill(store, 6)
+    # Flip one byte inside the *first* record's payload: later records stay
+    # valid, so this is mid-file corruption, not a torn tail.
+    with open(path, "r+b") as handle:
+        handle.seek(_HEADER_SIZE + _FRAME_SIZE + 2)
+        byte = handle.read(1)
+        handle.seek(_HEADER_SIZE + _FRAME_SIZE + 2)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    with ProofStore(path) as store:
+        assert store.statistics.quarantines == 1
+        # Every record after the damaged one was salvaged into the rebuild.
+        assert len(store) == 5
+        for i in range(1, 6):
+            assert store.get(_key(i)) == ("valid", "v-proof-{}".format(i), None, {"steps": i})
+        assert store.get(_key(0)) is None
+    assert os.path.exists(path + ".corrupt-0")
+
+
+def test_truncation_at_every_byte_offset_never_raises(tmp_path):
+    """Exhaustive tier of the hypothesis property below: every prefix of a
+    real store file opens cleanly into a prefix of its records."""
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path) as store:
+        _fill(store, 3)
+    data = open(path, "rb").read()
+    victim = str(tmp_path / "victim.slp")
+    for cut in range(len(data)):
+        with open(victim, "wb") as handle:
+            handle.write(data[:cut])
+        with ProofStore(victim) as store:
+            recovered = len(store)
+            assert recovered <= 3
+            for i in range(recovered):
+                assert store.get(_key(i)) is not None
+        os.unlink(victim)
+        for leftover in os.listdir(str(tmp_path)):
+            if leftover.startswith("victim.slp.corrupt"):
+                os.unlink(str(tmp_path / leftover))
+
+
+@settings(max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+@given(
+    cut=st.integers(min_value=0, max_value=4096),
+    flip=st.tuples(st.integers(min_value=0, max_value=4095), st.integers(0, 7)),
+    records=st.integers(min_value=0, max_value=6),
+)
+def test_damaged_journal_always_recovers_or_quarantines(tmp_path_factory, cut, flip, records):
+    """A journal truncated at any offset *and* bit-flipped anywhere opens
+    cleanly — recovering a prefix of the appended records, salvaging a
+    suffix after quarantine, or starting fresh — and never raises."""
+    directory = tmp_path_factory.mktemp("hyp")
+    path = str(directory / "journal.slp")
+    with RunJournal(path) as journal:
+        for i in range(records):
+            journal.append({"t": "task", "i": i, "payload": "x" * (i * 7)})
+    data = open(path, "rb").read()
+    data = data[: min(cut, len(data))]
+    position, bit = flip
+    if data and position < len(data):
+        mangled = bytearray(data)
+        mangled[position] ^= 1 << bit
+        data = bytes(mangled)
+    with open(path, "wb") as handle:
+        handle.write(data)
+    with RunJournal(path) as journal:  # must not raise, whatever survived
+        entries = journal.entries
+        assert all(isinstance(entry, dict) for entry in entries)
+        journal.append({"t": "task", "i": "post-recovery"})  # and must be writable
+        assert journal.entries[-1]["i"] == "post-recovery"
+
+
+# ---------------------------------------------------------------------------
+# Compaction.
+# ---------------------------------------------------------------------------
+
+
+def test_compaction_drops_dead_records(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path, compact_dead_ratio=0.5, compact_min_records=8) as store:
+        for round_number in range(4):
+            for i in range(4):
+                store.put(_key(i), "valid", "round-{}-{}".format(round_number, i), None, None)
+        assert store.statistics.compactions >= 1
+        assert store.dead_records / max(1, store._records) < 0.5
+        for i in range(4):
+            assert store.get(_key(i)) == ("valid", "round-3-{}".format(i), None, None)
+    with ProofStore(path) as store:  # the compacted file reopens intact
+        assert len(store) == 4
+        assert store.get(_key(1)) == ("valid", "round-3-1", None, None)
+
+
+def test_explicit_compact_shrinks_file(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path, compact_min_records=10_000) as store:  # no auto-compaction
+        for _ in range(10):
+            store.put(_key(0), "valid", "p" * 256, None, None)
+        before = os.path.getsize(path)
+        store.compact()
+        assert os.path.getsize(path) < before
+        assert store.get(_key(0)) == ("valid", "p" * 256, None, None)
+        assert store.statistics.compactions == 1
+
+
+# ---------------------------------------------------------------------------
+# Cross-process sharing (two handles standing in for two slp processes).
+# ---------------------------------------------------------------------------
+
+
+def test_two_handles_share_appends(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path) as writer, ProofStore(path) as reader:
+        writer.put(_key(0), "valid", "from-writer", None, None)
+        # The reader's miss path refreshes and finds the new record.
+        assert reader.get(_key(0)) == ("valid", "from-writer", None, None)
+        reader.put(_key(1), "invalid", "from-reader", None, None)
+        assert writer.get(_key(1)) == ("invalid", "from-reader", None, None)
+
+
+def test_refresh_survives_compaction_by_other_handle(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    with ProofStore(path, compact_min_records=10_000) as a, ProofStore(path) as b:
+        for _ in range(6):
+            a.put(_key(0), "valid", "fat" * 100, None, None)
+        a.compact()  # os.replace: b's inode is now stale
+        a.put(_key(1), "valid", "post-compact", None, None)
+        assert b.get(_key(1)) == ("valid", "post-compact", None, None)
+        assert b.get(_key(0)) == ("valid", "fat" * 100, None, None)
+
+
+# ---------------------------------------------------------------------------
+# Fault injection.
+# ---------------------------------------------------------------------------
+
+
+def test_enospc_fault_raises_and_store_survives(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    plan = DiskFaultPlan(faults={1: DiskFaultSpec(kind="enospc")})
+    with ProofStore(path, fault_plan=plan) as store:
+        store.put(_key(0), "valid", "ok", None, None)  # operation 0: clean
+        with pytest.raises(InjectedDiskFault) as excinfo:
+            store.put(_key(1), "valid", "doomed", None, None)  # operation 1
+        assert isinstance(excinfo.value, OSError)
+        assert store.statistics.append_errors == 1
+        # The failed append wrote nothing; the store keeps working.
+        store.put(_key(2), "valid", "after", None, None)
+        assert store.get(_key(0)) == ("valid", "ok", None, None)
+        assert store.get(_key(1)) is None
+        assert store.get(_key(2)) == ("valid", "after", None, None)
+    with ProofStore(path) as store:
+        assert len(store) == 2
+
+
+def test_bitflip_fault_is_detected_not_served(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    plan = DiskFaultPlan(faults={0: DiskFaultSpec(kind="bitflip")}, seed=5)
+    with ProofStore(path, fault_plan=plan) as store:
+        store.put(_key(0), "valid", "rotten", None, None)  # written corrupted
+        store.put(_key(1), "valid", "sound", None, None)
+    # Whichever byte the seeded RNG hit — payload (CRC mismatch), frame
+    # fields (structural reject) or the key digest (index under the wrong
+    # fingerprint) — the flipped record is a miss, never a wrong answer, and
+    # the clean record behind it survives recovery.
+    with ProofStore(path) as store:
+        assert store.get(_key(0)) is None
+        assert store.get(_key(1)) == ("valid", "sound", None, None)
+
+
+def test_torn_fault_retires_handle_and_reopen_truncates(tmp_path):
+    path = str(tmp_path / "proofs.slp")
+    plan = DiskFaultPlan(faults={1: DiskFaultSpec(kind="torn", fraction=0.5)}, seed=5)
+    with ProofStore(path, fault_plan=plan) as store:
+        store.put(_key(0), "valid", "ok", None, None)
+        with pytest.raises(InjectedDiskFault):
+            store.put(_key(1), "valid", "torn", None, None)
+        assert store.broken
+        # The handle is dead: further writes refuse, reads miss.
+        with pytest.raises(OSError):
+            store.put(_key(2), "valid", "nope", None, None)
+        assert store.get(_key(0)) is None
+    with ProofStore(path) as store:  # the next open cuts the tear
+        assert store.statistics.torn_truncations == 1
+        assert store.get(_key(0)) == ("valid", "ok", None, None)
+        assert store.get(_key(1)) is None
+
+
+def test_seeded_disk_plan_is_deterministic_and_env_round_trips(tmp_path):
+    plan = DiskFaultPlan.seeded(seed=9, rate=0.3, kinds=DISK_FAULT_KINDS, fraction=0.25)
+    decisions = [plan.fault_at(i) for i in range(50)]
+    assert decisions == [plan.fault_at(i) for i in range(50)]
+    assert any(decisions), "a 30% rate over 50 operations should fire at least once"
+    restored = DiskFaultPlan.from_json(plan.to_json())
+    assert [restored.fault_at(i) for i in range(50)] == decisions
+    from_env = DiskFaultPlan.from_env({DISK_FAULT_PLAN_ENV: plan.to_env()})
+    assert [from_env.fault_at(i) for i in range(50)] == decisions
+    assert DiskFaultPlan.from_env({}) is None
+    rng_a = plan.corruption_rng(3).random()
+    assert rng_a == plan.corruption_rng(3).random()
+
+
+def test_chaos_store_never_loses_settled_records(tmp_path):
+    """Under a seeded mix of all disk faults, every append that *returned*
+    must be durable across reopen, and reopening never raises."""
+    path = str(tmp_path / "proofs.slp")
+    plan = DiskFaultPlan.seeded(seed=13, rate=0.35)
+    settled = {}
+    store = ProofStore(path, fault_plan=plan)
+    for i in range(40):
+        if store.broken:
+            store.close()
+            store = ProofStore(path, fault_plan=DiskFaultPlan())  # "new process"
+        try:
+            store.put(_key(i), "valid", "chaos-{}".format(i), None, None)
+        except OSError:
+            continue
+        spec = plan.fault_at(i)  # appends map 1:1 to operations until a reopen
+        if spec is None or spec.kind not in ("bitflip",):
+            settled[i] = "chaos-{}".format(i)
+    store.close()
+    with ProofStore(path) as final:
+        for i, proof in settled.items():
+            recovered = final.get(_key(i))
+            # A record behind a later tear can be cut by recovery; what must
+            # never happen is a wrong answer.
+            assert recovered is None or recovered == ("valid", proof, None, None)
