@@ -1,0 +1,375 @@
+#!/usr/bin/env python
+"""Load-test ``slp serve``: concurrent clients, cold vs warm store.
+
+Boots the real server as a subprocess (ephemeral port, sharded persistent
+store), drives it with concurrent HTTP clients, and reports per-request
+latency (p50/p99) and throughput for two phases:
+
+- **cold**: a fresh store; every request is a distinct entailment the
+  server has never seen, so each one pays real proving plus a write-through
+  persist.
+- **warm**: the server is stopped (SIGTERM, graceful drain) and restarted
+  over the same store; every request is an *alpha-renamed* copy of a cold
+  problem, so each one is answered from the sharded disk store via the
+  canonical-fingerprint cache — no proving at all.
+
+The spread between the two is the point of running a persistent service:
+the warm run must show a >=10x median-latency improvement (checked here,
+recorded in the ``serve`` section of ``BENCH_saturation.json``).
+
+``--smoke`` is the CI mode: one server, 50 concurrent requests (half
+distinct, half alpha-renamed repeats), asserting zero failed requests and a
+nonzero warm-hit count — no benchmark file is touched.
+
+Usage::
+
+    python scripts/bench_load.py                 # full bench, writes BENCH
+    python scripts/bench_load.py --smoke         # CI smoke, exit 1 on failure
+    python scripts/bench_load.py --requests 80 --clients 8 --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import signal
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.core.atomicio import atomic_write_json  # noqa: E402
+from repro.logic.parser import parse_entailment  # noqa: E402
+from repro.logic.printer import format_entailment  # noqa: E402
+from repro.logic.terms import make_const  # noqa: E402
+
+_ANNOUNCE = re.compile(r"listening on http://([0-9.]+):(\d+)")
+
+
+# ---------------------------------------------------------------------------
+# Workload
+# ---------------------------------------------------------------------------
+
+
+def base_problem(index: int) -> str:
+    """One distinct, moderately hard, *valid* entailment per index.
+
+    Points-to chains of varying length whose RHS splits into two list
+    segments at a varying point: distinct canonical fingerprints (length and
+    split point both vary the shape), on the order of 0.1s of saturation
+    each — big enough that a warm hit is a clearly different regime even
+    under client-side queueing, small enough that a bench run stays
+    interactive.
+    """
+    length = 64 + (index % 16)
+    names = ["v{}_{}".format(index, j) for j in range(length)]
+    cells = ["{} |-> {}".format(names[j], names[j + 1]) for j in range(length - 1)]
+    cells.append("{} |-> nil".format(names[-1]))
+    split = names[1 + (index % (length - 2))]
+    return "{} |- lseg({}, {}) * lseg({}, nil)".format(
+        " * ".join(cells), names[0], split, split
+    )
+
+
+def alpha_renamed(line: str, tag: str) -> str:
+    """The same problem under a fresh constant vocabulary."""
+    entailment = parse_entailment(line)
+    renamed = entailment.rename(
+        {
+            constant: make_const("{}_{}".format(tag, constant.name))
+            for constant in entailment.constants()
+            if not constant.is_nil
+        }
+    )
+    return format_entailment(renamed)
+
+
+# ---------------------------------------------------------------------------
+# Server subprocess management
+# ---------------------------------------------------------------------------
+
+
+class Server:
+    """``slp serve`` as a child process with a scraped ephemeral port."""
+
+    def __init__(self, store: str, jobs: int, shards: int, timeout: float):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                "--host",
+                "127.0.0.1",
+                "--port",
+                "0",
+                "--jobs",
+                str(jobs),
+                "--store",
+                store,
+                "--shards",
+                str(shards),
+                "--timeout",
+                str(timeout),
+            ],
+            stderr=subprocess.PIPE,
+            env=env,
+            cwd=REPO_ROOT,
+        )
+        self.base = self._scrape_address()
+
+    def _scrape_address(self) -> str:
+        deadline = time.monotonic() + 30
+        assert self.process.stderr is not None
+        while time.monotonic() < deadline:
+            line = self.process.stderr.readline().decode("utf-8", "replace")
+            if not line:
+                raise RuntimeError(
+                    "server exited before announcing its port (rc={})".format(
+                        self.process.poll()
+                    )
+                )
+            match = _ANNOUNCE.search(line)
+            if match:
+                # Keep draining stderr so the child never blocks on the pipe.
+                threading.Thread(
+                    target=self.process.stderr.read, daemon=True
+                ).start()
+                return "http://{}:{}".format(match.group(1), match.group(2))
+        raise RuntimeError("timed out waiting for the server announcement")
+
+    def stats(self) -> dict:
+        with urllib.request.urlopen(self.base + "/stats", timeout=30) as response:
+            return json.loads(response.read())
+
+    def stop(self) -> None:
+        if self.process.poll() is None:
+            self.process.send_signal(signal.SIGTERM)
+            try:
+                self.process.wait(timeout=30)
+            except subprocess.TimeoutExpired:
+                self.process.kill()
+                self.process.wait(timeout=10)
+
+    def __enter__(self) -> "Server":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Client pool
+# ---------------------------------------------------------------------------
+
+
+def run_phase(base: str, lines, clients: int):
+    """Fire one request per line from a pool of concurrent clients.
+
+    Returns ``(latencies_seconds, wall_seconds, failures)`` where a failure
+    is any transport error, non-200, or per-line status other than ``ok``.
+    """
+    latencies = []
+    failures = []
+    lock = threading.Lock()
+    queue = list(enumerate(lines))
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if not queue:
+                    return
+                index, line = queue.pop()
+            payload = json.dumps({"entailment": line}).encode("utf-8")
+            request = urllib.request.Request(
+                base + "/prove",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            started = time.perf_counter()
+            try:
+                with urllib.request.urlopen(request, timeout=120) as response:
+                    body = json.loads(response.read())
+                elapsed = time.perf_counter() - started
+                entry = body["results"][0]
+                if entry.get("status") != "ok":
+                    raise RuntimeError("request {}: {}".format(index, entry))
+            except Exception as error:  # noqa: BLE001 - tallied, not fatal
+                with lock:
+                    failures.append(str(error))
+                continue
+            with lock:
+                latencies.append(elapsed)
+
+    wall_started = time.perf_counter()
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return latencies, time.perf_counter() - wall_started, failures
+
+
+def summarize(latencies, wall_seconds: float) -> dict:
+    ordered = sorted(latencies)
+    return {
+        "requests": len(ordered),
+        "p50_ms": round(statistics.median(ordered) * 1000.0, 3),
+        "p99_ms": round(ordered[max(0, int(round(0.99 * len(ordered))) - 1)] * 1000.0, 3),
+        "mean_ms": round(statistics.fmean(ordered) * 1000.0, 3),
+        "throughput_rps": round(len(ordered) / wall_seconds, 2),
+        "wall_seconds": round(wall_seconds, 3),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Modes
+# ---------------------------------------------------------------------------
+
+
+def smoke(args) -> int:
+    """CI gate: 50 concurrent requests, zero failures, nonzero warm hits."""
+    total = args.requests
+    distinct = total // 2
+    # Smoke problems are deliberately small: the gate is about plumbing
+    # (concurrency, dedup, cache, shutdown), not prover throughput.
+    bases = [
+        "s{0} |-> t{0} * t{0} |-> nil |- lseg(s{0}, nil)".format(i) for i in range(distinct)
+    ]
+    repeats = [alpha_renamed(line, "w{}".format(i)) for i, line in enumerate(bases)]
+    lines = bases + repeats + bases[: total - 2 * distinct]
+    with tempfile.TemporaryDirectory() as scratch:
+        with Server(
+            os.path.join(scratch, "proofs.store"), args.jobs, args.shards, args.timeout
+        ) as server:
+            latencies, wall, failures = run_phase(server.base, lines, args.clients)
+            stats = server.stats()
+    warm_hits = stats["cache"]["hits"] + stats["cache"]["deduplicated"]
+    print(
+        "[bench_load --smoke] {} requests, {} failures, {} warm hits, {:.1f} rps".format(
+            len(lines), len(failures), warm_hits, len(latencies) / wall
+        )
+    )
+    if failures:
+        for failure in failures[:5]:
+            print("  failure: {}".format(failure), file=sys.stderr)
+        return 1
+    if len(latencies) != len(lines):
+        print("  lost requests: {} != {}".format(len(latencies), len(lines)), file=sys.stderr)
+        return 1
+    if warm_hits == 0:
+        print("  expected nonzero warm hits on repeated workload", file=sys.stderr)
+        return 1
+    return 0
+
+
+def bench(args) -> int:
+    """Cold vs warm phases against a persistent sharded store."""
+    cold_lines = [base_problem(index) for index in range(args.requests)]
+    warm_lines = [
+        alpha_renamed(line, "warm{}".format(index))
+        for index, line in enumerate(cold_lines)
+    ]
+    with tempfile.TemporaryDirectory() as scratch:
+        store = os.path.join(scratch, "proofs.store")
+        print("[bench_load] cold phase: {} distinct problems, {} clients".format(
+            len(cold_lines), args.clients))
+        with Server(store, args.jobs, args.shards, args.timeout) as server:
+            cold_latencies, cold_wall, cold_failures = run_phase(
+                server.base, cold_lines, args.clients
+            )
+            cold_stats = server.stats()
+        print("[bench_load] warm phase: restarted server, alpha-renamed repeats")
+        with Server(store, args.jobs, args.shards, args.timeout) as server:
+            warm_latencies, warm_wall, warm_failures = run_phase(
+                server.base, warm_lines, args.clients
+            )
+            warm_stats = server.stats()
+    if cold_failures or warm_failures:
+        for failure in (cold_failures + warm_failures)[:5]:
+            print("  failure: {}".format(failure), file=sys.stderr)
+        return 1
+
+    cold = summarize(cold_latencies, cold_wall)
+    warm = summarize(warm_latencies, warm_wall)
+    warm["disk_hits"] = warm_stats["cache"]["disk_hits"]
+    speedup = cold["p50_ms"] / warm["p50_ms"] if warm["p50_ms"] else float("inf")
+    section = {
+        "jobs": args.jobs,
+        "clients": args.clients,
+        "shards": args.shards,
+        "cold": cold,
+        "warm": warm,
+        "median_speedup": round(speedup, 1),
+        "cold_store_appends": cold_stats.get("store", {}).get("appends", 0),
+        "notes": (
+            "cold = fresh sharded store, every request a distinct entailment "
+            "(real saturation + write-through persist); warm = server restarted "
+            "over the same store, every request an alpha-renamed repeat answered "
+            "from disk via the canonical-fingerprint cache. Latency is "
+            "client-observed per HTTP request at the given concurrency."
+        ),
+    }
+    print(
+        "[bench_load] cold p50 {} ms / warm p50 {} ms -> {:.1f}x median speedup "
+        "({} disk hits)".format(
+            cold["p50_ms"], warm["p50_ms"], speedup, warm["disk_hits"]
+        )
+    )
+
+    out = args.out or os.path.join(REPO_ROOT, "BENCH_saturation.json")
+    payload = {}
+    if os.path.exists(out):
+        try:
+            with open(out) as handle:
+                payload = json.load(handle)
+        except (ValueError, OSError):
+            payload = {}
+    payload["serve"] = section
+    atomic_write_json(out, payload)
+    print("[bench_load] wrote serve section to {}".format(out))
+
+    if warm["disk_hits"] == 0:
+        print("warm phase never touched the disk store", file=sys.stderr)
+        return 1
+    if speedup < 10.0:
+        print(
+            "warm median speedup {:.1f}x is below the 10x bar".format(speedup),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true", help="CI smoke mode (no BENCH write)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per phase (default: 40 bench, 50 smoke)")
+    parser.add_argument("--clients", type=int, default=8, help="concurrent clients (default 8)")
+    parser.add_argument("--jobs", type=int, default=2, help="server worker processes (default 2)")
+    parser.add_argument("--shards", type=int, default=4, help="store shards (default 4)")
+    parser.add_argument("--timeout", type=float, default=30.0,
+                        help="server per-entailment budget ceiling (default 30)")
+    parser.add_argument("--out", default=None,
+                        help="benchmark JSON to update (default BENCH_saturation.json)")
+    args = parser.parse_args(argv)
+    if args.requests is None:
+        args.requests = 50 if args.smoke else 40
+    return smoke(args) if args.smoke else bench(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -572,14 +572,16 @@ def main(argv=None) -> int:
             "BENCH_saturation.json",
         )
     if out:
-        # The "fuzz" section is maintained by the fuzzing campaigns (see
-        # TESTING.md), not by this script; carry it over on regeneration.
+        # The "fuzz" section is maintained by the fuzzing campaigns and the
+        # "serve" section by scripts/bench_load.py (see TESTING.md), not by
+        # this script; carry both over on regeneration.
         if os.path.exists(out):
             try:
                 with open(out) as handle:
                     previous = json.load(handle)
-                if "fuzz" in previous:
-                    payload["fuzz"] = previous["fuzz"]
+                for foreign in ("fuzz", "serve"):
+                    if foreign in previous:
+                        payload[foreign] = previous[foreign]
             except (ValueError, OSError):
                 pass
         # Atomic: a benchmark run killed mid-write must not leave a truncated

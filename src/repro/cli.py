@@ -51,6 +51,12 @@ The ``fuzz`` subcommand runs a differential fuzzing campaign instead of
 checking a file (see :mod:`repro.fuzz.cli`)::
 
     $ slp fuzz --seed 0 --iterations 200 --jobs 4
+
+The ``serve`` subcommand starts a persistent entailment service — warm
+worker pool plus sharded on-disk proof store, spoken to over HTTP/JSON
+(see :mod:`repro.server`)::
+
+    $ slp serve --port 8080 --jobs 4 --store proofs.store
 """
 
 from __future__ import annotations
@@ -224,6 +230,10 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
         from repro.fuzz.cli import fuzz_main
 
         return fuzz_main(arguments_list[1:])
+    if arguments_list and arguments_list[0] == "serve":
+        from repro.server.cli import serve_main
+
+        return serve_main(arguments_list[1:])
 
     parser = argparse.ArgumentParser(
         prog="slp",
@@ -389,34 +399,39 @@ def main(argv: Optional[Iterable[str]] = None) -> int:
             if arguments.store is not None
             else not arguments.no_cache
         )
-        with BatchProver(
-            config,
-            jobs=arguments.jobs,
-            cache=cache,
-            retries=arguments.retries,
-            grace_factor=arguments.grace,
-        ) as batch:
-            results = batch.iter_ordered(entailments)
-            for line, entailment in parsed:
-                if entailment is None:
-                    print("error    {}".format(line))
-                    continue
-                _, result = next(results)
-                if isinstance(result, FailureInfo):
-                    label = result.kind if result.kind in ("timeout", "oom") else "crashed"
-                    print("{:<8} {}".format(label, line))
-                    continue
-                verdict = "valid" if result.is_valid else "invalid"
-                print("{:<8} {}".format(verdict, line))
-                if arguments.proof and result.proof is not None:
-                    print(result.proof.format())
-                if arguments.counterexample and result.counterexample is not None:
-                    print("    counterexample: {}".format(result.counterexample))
-            for _ in results:  # run the generator to completion: it settles
-                pass  # the batch statistics (counter deltas) in its finally
-            stats = batch.statistics
-        if arguments.store is not None:
-            cache.close()
+        # Every exit from here on — including an exception mid-print (a
+        # closed stdout pipe, say) — must release the store's advisory lock,
+        # so the close lives in a ``finally`` rather than on the happy path.
+        try:
+            with BatchProver(
+                config,
+                jobs=arguments.jobs,
+                cache=cache,
+                retries=arguments.retries,
+                grace_factor=arguments.grace,
+            ) as batch:
+                results = batch.iter_ordered(entailments)
+                for line, entailment in parsed:
+                    if entailment is None:
+                        print("error    {}".format(line))
+                        continue
+                    _, result = next(results)
+                    if isinstance(result, FailureInfo):
+                        label = result.kind if result.kind in ("timeout", "oom") else "crashed"
+                        print("{:<8} {}".format(label, line))
+                        continue
+                    verdict = "valid" if result.is_valid else "invalid"
+                    print("{:<8} {}".format(verdict, line))
+                    if arguments.proof and result.proof is not None:
+                        print(result.proof.format())
+                    if arguments.counterexample and result.counterexample is not None:
+                        print("    counterexample: {}".format(result.counterexample))
+                for _ in results:  # run the generator to completion: it settles
+                    pass  # the batch statistics (counter deltas) in its finally
+                stats = batch.statistics
+        finally:
+            if arguments.store is not None:
+                cache.close()
         if stats.failed:
             summary = []
             if stats.timed_out:

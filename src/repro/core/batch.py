@@ -57,7 +57,7 @@ import time
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.core.cache import ProofCache
+from repro.core.cache import ProofCache, rename_counterexample, rename_proof
 from repro.core.config import ProverConfig
 from repro.core.faults import FaultPlan, InjectedCrash, apply_fault_before_task, make_unpicklable
 from repro.core.prover import Prover, ProverTimeout
@@ -105,6 +105,25 @@ def default_jobs() -> int:
 # ---------------------------------------------------------------------------
 
 _WORKER_PROVER: Optional[Prover] = None
+
+#: Per-batch configuration overrides travelling with every task payload:
+#: ``(max_seconds, record_proof)``, each ``None`` meaning "keep the pool's
+#: configured value".  ``None`` in place of the whole tuple means no override
+#: at all (the common case).  The entailment service uses this to honour
+#: per-request budgets and proof flags on one long-lived warm pool.
+TaskOverrides = Optional[Tuple[Optional[float], Optional[bool]]]
+
+
+def _apply_overrides(config: ProverConfig, overrides: TaskOverrides) -> ProverConfig:
+    """The effective per-task configuration under ``overrides``."""
+    if overrides is None:
+        return config
+    max_seconds, record_proof = overrides
+    if max_seconds is not None and max_seconds != config.max_seconds:
+        config = config.with_timeout(max_seconds)
+    if record_proof is not None and record_proof != config.record_proof:
+        config = replace(config, record_proof=record_proof)
+    return config
 
 _WARMUP = dict(
     lhs=[pts("wk_a", "wk_b"), pts("wk_b", "nil")], rhs=[lseg("wk_a", "nil")]
@@ -165,15 +184,20 @@ def _supervised_worker_init(config: ProverConfig, fault_plan: Optional[FaultPlan
     plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
     prover = _warm_prover(config)
 
-    def prove_task(payload: Tuple[int, Entailment], _position: int, attempt: int):
+    def prove_task(payload: Tuple[int, Entailment, TaskOverrides], _position: int, attempt: int):
         # The payload carries the *batch* index (fault plans target batch
         # indices); the pool's positional index is ignored.
-        index, entailment = payload
+        index, entailment, overrides = payload
         spec = plan.should_fire(index, attempt) if plan is not None else None
         if spec is not None:
             apply_fault_before_task(spec)
+        effective = _apply_overrides(config, overrides)
+        # Prover instances are stateless (the warmth lives in the interning
+        # tables and ordering caches, which are shared), so an override costs
+        # one cheap construction, not a re-warm.
+        active = prover if effective is config else Prover(effective)
         try:
-            result = prover.prove(_reintern(entailment))
+            result = active.prove(_reintern(entailment))
         except ProverTimeout as timeout:
             return "timeout", timeout.statistics
         if spec is not None and spec.kind == "unpicklable":
@@ -190,11 +214,15 @@ def _initialize_worker(config: ProverConfig) -> None:
     _WORKER_PROVER = _warm_prover(config)
 
 
-def _prove_in_worker(task: Tuple[int, Entailment]) -> Tuple[int, Optional[ProofResult]]:
-    index, entailment = task
+def _prove_in_worker(
+    task: Tuple[int, Entailment, TaskOverrides]
+) -> Tuple[int, Optional[ProofResult]]:
+    index, entailment, overrides = task
     assert _WORKER_PROVER is not None, "worker used before initialisation"
+    effective = _apply_overrides(_WORKER_PROVER.config, overrides)
+    active = _WORKER_PROVER if effective is _WORKER_PROVER.config else Prover(effective)
     try:
-        return index, _WORKER_PROVER.prove(_reintern(entailment))
+        return index, active.prove(_reintern(entailment))
     except ProverTimeout:
         return index, None
 
@@ -470,7 +498,9 @@ class BatchProver:
         return self._legacy_pool
 
     # -- in-process execution ---------------------------------------------
-    def _prove_local(self, index: int, entailment: Entailment) -> BatchOutcome:
+    def _prove_local(
+        self, index: int, entailment: Entailment, overrides: TaskOverrides = None
+    ) -> BatchOutcome:
         """One task through the in-process engine: same contract as the pool.
 
         Injected faults degrade sensibly without a process boundary: process
@@ -480,6 +510,8 @@ class BatchProver:
         """
         if self._local_prover is None:
             self._local_prover = Prover(self.config)
+        effective = _apply_overrides(self.config, overrides)
+        active = self._local_prover if effective is self.config else Prover(effective)
         plan = self._fault_plan
         attempt = 1
         started = time.monotonic()
@@ -498,7 +530,7 @@ class BatchProver:
                         )
                 if spec is not None:
                     apply_fault_before_task(spec, in_process=True)
-                return self._local_prover.prove(entailment)
+                return active.prove(entailment)
             except ProverTimeout as timeout:
                 return FailureInfo(
                     kind="timeout",
@@ -548,7 +580,9 @@ class BatchProver:
         return outcome
 
     def _execute(
-        self, tasks: Sequence[Tuple[int, Entailment]]
+        self,
+        tasks: Sequence[Tuple[int, Entailment]],
+        overrides: TaskOverrides = None,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
         """Run the deduplicated tasks, yielding ``(index, outcome)`` as completed."""
         if not tasks:
@@ -565,27 +599,33 @@ class BatchProver:
             if self.supervised:
                 pool = self._ensure_pool()
                 if pool is not None:
-                    yield from self._execute_supervised(pool, tasks)
+                    yield from self._execute_supervised(pool, tasks, overrides)
                     return
             else:
                 legacy = self._ensure_legacy_pool()
                 if legacy is not None:
-                    yield from self._execute_legacy(legacy, tasks)
+                    yield from self._execute_legacy(legacy, tasks, overrides)
                     return
         for index, entailment in tasks:
-            yield index, self._mark_injected(index, self._prove_local(index, entailment))
+            yield index, self._mark_injected(
+                index, self._prove_local(index, entailment, overrides)
+            )
 
     def _execute_supervised(
-        self, pool: SupervisedPool, tasks: Sequence[Tuple[int, Entailment]]
+        self,
+        pool: SupervisedPool,
+        tasks: Sequence[Tuple[int, Entailment]],
+        overrides: TaskOverrides = None,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
         self.statistics.parallel = True
         # The pool indexes payloads by position; faults are planned against
-        # batch indices.  Dispatch (index, entailment) pairs and let the
-        # worker unpack, so ``should_fire`` sees the batch index.
+        # batch indices.  Dispatch (index, entailment, overrides) triples and
+        # let the worker unpack, so ``should_fire`` sees the batch index.
         retried_before = pool.retried
         respawned_before = pool.respawned_workers
         try:
-            for position, outcome in pool.run(list(tasks)):
+            payloads = [(index, entailment, overrides) for index, entailment in tasks]
+            for position, outcome in pool.run(payloads):
                 index = tasks[position][0]
                 yield index, self._mark_injected(index, outcome)
         finally:
@@ -593,19 +633,74 @@ class BatchProver:
             self.statistics.respawned_workers += pool.respawned_workers - respawned_before
 
     def _execute_legacy(
-        self, pool, tasks: Sequence[Tuple[int, Entailment]]
+        self,
+        pool,
+        tasks: Sequence[Tuple[int, Entailment]],
+        overrides: TaskOverrides = None,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
         self.statistics.parallel = True
         chunk = self.chunk_size
         if chunk is None:
             chunk = max(1, len(tasks) // (self.jobs * 4))
-        for index, result in pool.imap_unordered(_prove_in_worker, tasks, chunksize=chunk):
+        payloads = [(index, entailment, overrides) for index, entailment in tasks]
+        for index, result in pool.imap_unordered(_prove_in_worker, payloads, chunksize=chunk):
             if result is None:
                 result = FailureInfo(kind="timeout", detail="cooperative deadline")
             yield index, result
 
+    def _echo_for_follower(
+        self,
+        leader_result: ProofResult,
+        leader_canonical: CanonicalForm,
+        follower_entailment: Entailment,
+        follower_canonical: CanonicalForm,
+    ) -> ProofResult:
+        """The leader's verdict renamed into a duplicate's own vocabulary.
+
+        The leader and its followers share one canonical form, so composing
+        the leader's ``renaming`` (own names -> ``c1..cn``) with the
+        follower's ``inverse`` (``c1..cn`` -> follower names) transports the
+        verdict, the proof and the counterexample directly.  Doing the rename
+        here — instead of round-tripping through ``cache.lookup`` — keeps the
+        echo correct even when the leader's entry has already left the cache:
+        a small ``max_entries`` LRU, a consumer that stores into a shared
+        cache between yields, or a store compaction can all evict it before
+        the echo, and the old lookup round-trip crashed the whole batch on
+        ``assert echoed is not None`` when they did.
+        """
+        start = time.perf_counter()
+        from_canonical = dict(follower_canonical.inverse)
+        mapping = {
+            source: from_canonical.get(target, target)
+            for source, target in leader_canonical.renaming.items()
+        }
+        proof = (
+            rename_proof(leader_result.proof, mapping)
+            if leader_result.proof is not None
+            else None
+        )
+        counterexample = (
+            rename_counterexample(leader_result.counterexample, mapping)
+            if leader_result.counterexample is not None
+            else None
+        )
+        statistics = replace(
+            leader_result.statistics, elapsed_seconds=time.perf_counter() - start
+        )
+        return ProofResult(
+            verdict=leader_result.verdict,
+            entailment=follower_entailment,
+            proof=proof,
+            counterexample=counterexample,
+            statistics=statistics,
+            from_cache=True,
+        )
+
     def iter_results(
-        self, entailments: Iterable[Entailment]
+        self,
+        entailments: Iterable[Entailment],
+        max_seconds: Optional[float] = None,
+        record_proof: Optional[bool] = None,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
         """Yield ``(index, outcome)`` pairs as they complete (not in order).
 
@@ -613,7 +708,23 @@ class BatchProver:
         the pool.  Every outcome is a :class:`ProofResult` or a
         :class:`FailureInfo` — never ``None`` — and every input index is
         yielded exactly once.
+
+        ``max_seconds`` / ``record_proof`` override the pool configuration
+        for this batch only (``None`` keeps the configured value).  The warm
+        workers stay warm — overrides travel with the task payloads.  Note
+        the hard watchdog budget stays derived from ``config.max_seconds``,
+        so a per-batch ``max_seconds`` larger than the configured one is
+        enforced by the watchdog at the *configured* grace budget; callers
+        that allow larger per-batch budgets should configure the pool with
+        the largest budget they will grant (the entailment service clamps
+        per-request timeouts to its configured ceiling for exactly this
+        reason).
         """
+        overrides: TaskOverrides = (
+            None
+            if max_seconds is None and record_proof is None
+            else (max_seconds, record_proof)
+        )
         batch = list(entailments)
         start = time.perf_counter()
         # The cache may be shared across provers; counters are attributed to
@@ -647,7 +758,7 @@ class BatchProver:
                     followers.setdefault(leader, []).append(index)
 
             orphans: List[Tuple[int, Entailment]] = []
-            for index, outcome in self._execute(leaders):
+            for index, outcome in self._execute(leaders, overrides):
                 if isinstance(outcome, ProofResult):
                     self.statistics.absorb_proved(outcome)
                     if self.cache is not None and index in canonicals:
@@ -658,9 +769,16 @@ class BatchProver:
                 yield index, outcome
                 for duplicate in followers.get(index, ()):
                     if isinstance(outcome, ProofResult):
-                        assert self.cache is not None
-                        echoed = self.cache.lookup(batch[duplicate], canonicals[duplicate])
-                        assert echoed is not None, "stored leader result must be retrievable"
+                        # Rename the leader's result directly; echoes are
+                        # *dedup* events, not cache traffic — they must not
+                        # depend on the entry surviving in the cache, and
+                        # they must not inflate its hit counters.
+                        echoed = self._echo_for_follower(
+                            outcome,
+                            canonicals[index],
+                            batch[duplicate],
+                            canonicals[duplicate],
+                        )
                         self.statistics.deduplicated += 1
                         self.statistics.count_verdict(echoed)
                         yield duplicate, echoed
@@ -676,7 +794,7 @@ class BatchProver:
                         # Re-dispatch the copies on their own merits.
                         orphans.append((duplicate, batch[duplicate]))
 
-            for index, outcome in self._execute(orphans):
+            for index, outcome in self._execute(orphans, overrides):
                 if isinstance(outcome, ProofResult):
                     self.statistics.absorb_proved(outcome)
                     if self.cache is not None and index in canonicals:
@@ -692,18 +810,26 @@ class BatchProver:
                 self.statistics.disk_hits += self.cache.disk_hits - disk_hits_before
 
     def iter_ordered(
-        self, entailments: Iterable[Entailment]
+        self,
+        entailments: Iterable[Entailment],
+        max_seconds: Optional[float] = None,
+        record_proof: Optional[bool] = None,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
         """Yield ``(index, outcome)`` in input order, streaming as soon as possible."""
         buffered: Dict[int, BatchOutcome] = {}
         next_index = 0
-        for index, outcome in self.iter_results(entailments):
+        for index, outcome in self.iter_results(entailments, max_seconds, record_proof):
             buffered[index] = outcome
             while next_index in buffered:
                 yield next_index, buffered.pop(next_index)
                 next_index += 1
 
-    def prove_all(self, entailments: Iterable[Entailment]) -> List[BatchOutcome]:
+    def prove_all(
+        self,
+        entailments: Iterable[Entailment],
+        max_seconds: Optional[float] = None,
+        record_proof: Optional[bool] = None,
+    ) -> List[BatchOutcome]:
         """Check the whole batch and return outcomes in input order.
 
         Entries are :class:`ProofResult` for decided instances and
@@ -713,7 +839,7 @@ class BatchProver:
         batch = list(entailments)
         results: List[Optional[BatchOutcome]] = [None] * len(batch)
         delivered = [False] * len(batch)
-        for index, outcome in self.iter_results(batch):
+        for index, outcome in self.iter_results(batch, max_seconds, record_proof):
             results[index] = outcome
             delivered[index] = True
         assert all(delivered), "every batch entry must produce exactly one outcome"

@@ -732,6 +732,120 @@ class ProofStore(_RecordFile):
 
 
 # ---------------------------------------------------------------------------
+# The sharded proof store.
+# ---------------------------------------------------------------------------
+
+
+class ShardedProofStore:
+    """N :class:`ProofStore` files behind one store interface.
+
+    Keys are routed by the first byte of their 16-byte fingerprint digest
+    (``digest[0] % shards``) — digests are uniform, so shards stay balanced.
+    Each shard is a complete, independently crash-safe :class:`ProofStore`
+    with its **own sidecar lock**, which is the point: concurrent writers
+    (several server processes over one store, a campaign running next to a
+    live service) only serialise when they touch the *same* shard, instead
+    of queueing on one global advisory lock, and a compaction pause stalls
+    1/N of the key space instead of all of it.
+
+    Shard files live at ``<path>.shard-K-of-N``.  The shard count is part of
+    the layout: reopening with a different ``shards`` routes keys to
+    different files, which degrades to misses (stores never return wrong
+    answers — every lookup verifies the full key) but wastes the warm state;
+    keep the count stable for a given path.  ``shards=1`` still uses the
+    sharded layout so the count can be raised later without aliasing the
+    unsharded ``<path>`` file.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        shards: int = 4,
+        fsync: bool = True,
+        compact_dead_ratio: float = 0.5,
+        compact_min_records: int = 64,
+        fault_plan: Optional[DiskFaultPlan] = None,
+    ):
+        if shards < 1:
+            raise ValueError("shards must be >= 1")
+        self.path = path
+        self._shards: Tuple[ProofStore, ...] = tuple(
+            ProofStore(
+                self.shard_path(path, index, shards),
+                fsync=fsync,
+                compact_dead_ratio=compact_dead_ratio,
+                compact_min_records=compact_min_records,
+                fault_plan=fault_plan,
+            )
+            for index in range(shards)
+        )
+
+    @staticmethod
+    def shard_path(path: str, index: int, count: int) -> str:
+        return "{}.shard-{}-of-{}".format(path, index, count)
+
+    @property
+    def shards(self) -> Tuple[ProofStore, ...]:
+        return self._shards
+
+    def _shard_for(self, key: Any) -> ProofStore:
+        return self._shards[_key_digest(key)[0] % len(self._shards)]
+
+    # -- the ProofStore surface the caching tier drives --------------------
+    def get(self, key: Any) -> Optional[Tuple[Any, ...]]:
+        return self._shard_for(key).get(key)
+
+    def put(
+        self,
+        key: Any,
+        verdict_value: str,
+        proof: Any,
+        counterexample: Any,
+        statistics: Any,
+    ) -> None:
+        self._shard_for(key).put(key, verdict_value, proof, counterexample, statistics)
+
+    def refresh(self) -> None:
+        for shard in self._shards:
+            shard.refresh()
+
+    def compact(self) -> None:
+        for shard in self._shards:
+            shard.compact()
+
+    def close(self) -> None:
+        for shard in self._shards:
+            shard.close()
+
+    def __enter__(self) -> "ShardedProofStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- introspection -----------------------------------------------------
+    def __len__(self) -> int:
+        return sum(len(shard) for shard in self._shards)
+
+    def keys_on_disk(self) -> int:
+        return sum(shard.keys_on_disk() for shard in self._shards)
+
+    @property
+    def broken(self) -> bool:
+        """True when *every* shard's handle was retired (all writes fail)."""
+        return all(shard.broken for shard in self._shards)
+
+    @property
+    def statistics(self) -> StoreStatistics:
+        """Counters aggregated over all shards (a fresh snapshot each read)."""
+        total = StoreStatistics()
+        for shard in self._shards:
+            for name, value in shard.statistics.to_json().items():
+                setattr(total, name, getattr(total, name) + value)
+        return total
+
+
+# ---------------------------------------------------------------------------
 # The run journal.
 # ---------------------------------------------------------------------------
 

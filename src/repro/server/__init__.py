@@ -1,0 +1,31 @@
+"""The entailment service: a long-lived prover behind an HTTP/JSON API.
+
+Every ``slp`` invocation pays process startup, pool spawn and a cold
+in-memory cache; the ~38-80x leverage of a warm proof cache dies with the
+process.  This package keeps the expensive state alive: one
+:class:`~repro.core.batch.BatchProver` (warm supervised worker pool, alpha-
+equivalence memoisation) and one persistent proof store shared across
+requests, fronted by a small stdlib-only asyncio HTTP server.
+
+Layers, front to back:
+
+- :mod:`repro.server.http` — :class:`ProofServer`, a minimal HTTP/1.1
+  server over ``asyncio.start_server`` (no web framework; the wire format
+  is JSON).  Endpoints: ``POST /prove``, ``GET /healthz``, ``GET /stats``.
+- :mod:`repro.server.service` — :class:`ProofService`, the bridge between
+  the async frontend and the synchronous batch machinery: a priority queue
+  drained by a dispatcher thread that drives ``BatchProver.prove_all``.
+- :mod:`repro.server.cli` — ``slp serve`` argument parsing, signal-driven
+  graceful shutdown.
+
+Failure domains stay exactly the ones the batch layer already defines: a
+crashing worker is respawned (request sees ``crashed`` only after retries
+are exhausted), a timeout is an honest per-instance verdict, a broken disk
+store degrades the cache to memory-only — none of them take the service
+down.
+"""
+
+from repro.server.http import ProofServer
+from repro.server.service import ProofService
+
+__all__ = ["ProofServer", "ProofService"]

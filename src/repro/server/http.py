@@ -1,0 +1,290 @@
+"""A minimal asyncio HTTP/1.1 front for the proof service (stdlib only).
+
+No web framework: requests are small, responses are JSON, and the hot path
+is one ``readline`` loop per connection over ``asyncio.start_server``.
+Connections are keep-alive by default (``Connection: close`` and HTTP/1.0
+are honoured), so a load generator can pipeline many ``/prove`` calls over
+one socket.
+
+Endpoints
+---------
+``POST /prove``
+    Body: ``{"entailments": ["x |-> nil |- lseg(x, nil)", ...]}`` (or a
+    single ``"entailment"`` string).  Optional fields: ``timeout`` (seconds,
+    clamped to the server's configured ceiling), ``priority`` (int, higher
+    first), ``proof`` / ``counterexample`` (booleans — include the artifact
+    in the response; ``proof`` also turns on proof recording for the
+    request).  The response's ``results`` array is aligned with the input:
+    ``{"status": "ok", "verdict": ..., "from_cache": ...}`` for decided
+    instances, ``{"status": "timeout" | "oom" | "crashed"}`` for structured
+    failures, ``{"status": "parse_error", "error": ...}`` for lines that do
+    not parse (the rest of the batch still runs).
+``GET /healthz``
+    Liveness: ``{"status": "ok"}`` plus pool shape — cheap enough to poll.
+``GET /stats``
+    The :meth:`ProofService.stats` snapshot (cache/pool/store counters,
+    latency histogram with p50/p90/p99).
+
+The handler blocks only on ``await``: proving happens on the service's
+dispatcher thread and comes back through ``asyncio.wrap_future``, so one
+slow request never wedges the accept loop or the health endpoint.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import threading
+from typing import Dict, Optional, Set, Tuple
+
+from repro.core.batch import FailureInfo
+from repro.core.result import ProofResult
+from repro.logic.parser import ParseError, parse_entailment
+from repro.server.service import ProofService
+
+__all__ = ["ProofServer"]
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed", 500: "Internal Server Error"}
+
+# One request body cap, far above any sane batch, far below a memory hazard.
+_MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+def _outcome_json(outcome, want_proof: bool, want_counterexample: bool) -> Dict[str, object]:
+    """One ``results`` entry for a batch outcome."""
+    if isinstance(outcome, ProofResult):
+        entry: Dict[str, object] = {
+            "status": "ok",
+            "verdict": "valid" if outcome.is_valid else "invalid",
+            "from_cache": outcome.from_cache,
+            "elapsed_seconds": outcome.statistics.elapsed_seconds,
+        }
+        if want_proof:
+            entry["proof"] = outcome.proof.format() if outcome.proof is not None else None
+        if want_counterexample:
+            entry["counterexample"] = (
+                str(outcome.counterexample) if outcome.counterexample is not None else None
+            )
+        return entry
+    assert isinstance(outcome, FailureInfo)
+    kind = outcome.kind if outcome.kind in ("timeout", "oom") else "crashed"
+    return {
+        "status": kind,
+        "attempts": outcome.attempts,
+        "detail": outcome.detail,
+    }
+
+
+class ProofServer:
+    """The asyncio HTTP server wrapping one :class:`ProofService`.
+
+    ``port=0`` binds an ephemeral port; the bound port is on :attr:`port`
+    after :meth:`start`.  Use :meth:`serve_in_thread` from synchronous code
+    (tests, benchmarks): it runs the event loop on a daemon thread and
+    returns once the socket is listening; :meth:`shutdown` then drains and
+    stops everything, including the service.
+    """
+
+    def __init__(self, service: ProofService, host: str = "127.0.0.1", port: int = 8080):
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._handlers: Set["asyncio.Task"] = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Bind and start accepting; resolves ``port=0`` to the real port."""
+        self._loop = asyncio.get_running_loop()
+        self._server = await asyncio.start_server(self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self, handler_grace: float = 30.0) -> None:
+        """Stop accepting, then wait for in-flight connections to finish.
+
+        In-flight requests keep their dispatcher futures, so draining here
+        plus :meth:`ProofService.close` afterwards loses no accepted work.
+        """
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        pending = [task for task in self._handlers if not task.done()]
+        if pending:
+            await asyncio.wait(pending, timeout=handler_grace)
+
+    def serve_in_thread(self) -> "ProofServer":
+        """Run the server on a background event-loop thread; wait until bound."""
+        started = threading.Event()
+
+        def run() -> None:
+            loop = asyncio.new_event_loop()
+            asyncio.set_event_loop(loop)
+            self._loop = loop
+            loop.run_until_complete(self.start())
+            started.set()
+            try:
+                loop.run_forever()
+            finally:
+                loop.close()
+
+        self._thread = threading.Thread(target=run, name="slp-serve-http", daemon=True)
+        self._thread.start()
+        started.wait()
+        return self
+
+    def shutdown(self, handler_grace: float = 30.0) -> None:
+        """Thread-safe full stop: drain connections, stop the loop, close the service."""
+        if self._loop is not None and self._thread is not None:
+            future = asyncio.run_coroutine_threadsafe(self.drain(handler_grace), self._loop)
+            future.result(timeout=handler_grace + 5.0)
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self.service.close()
+
+    # -- the connection handler --------------------------------------------
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+            task.add_done_callback(self._handlers.discard)
+        try:
+            while True:
+                request_line = await reader.readline()
+                if not request_line:
+                    break
+                try:
+                    method, target, version = request_line.decode("latin-1").split()
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "malformed request line"}, close=True)
+                    break
+                headers: Dict[str, str] = {}
+                while True:
+                    line = await reader.readline()
+                    if line in (b"\r\n", b"\n", b""):
+                        break
+                    name, _, value = line.decode("latin-1").partition(":")
+                    headers[name.strip().lower()] = value.strip()
+                try:
+                    length = int(headers.get("content-length", "0") or "0")
+                except ValueError:
+                    await self._respond(writer, 400, {"error": "bad Content-Length"}, close=True)
+                    break
+                if length > _MAX_BODY_BYTES:
+                    await self._respond(writer, 400, {"error": "request body too large"}, close=True)
+                    break
+                body = await reader.readexactly(length) if length else b""
+                close = (
+                    headers.get("connection", "").lower() == "close"
+                    or version.upper() == "HTTP/1.0"
+                )
+                try:
+                    status, payload = await self._route(method.upper(), target, body)
+                except Exception as error:  # a handler bug must not kill the connection loop
+                    status, payload = 500, {"error": "internal error: {}".format(error)}
+                await self._respond(writer, status, payload, close=close)
+                if close:
+                    break
+        except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        payload: Dict[str, object],
+        close: bool,
+    ) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        head = (
+            "HTTP/1.1 {} {}\r\n"
+            "Content-Type: application/json\r\n"
+            "Content-Length: {}\r\n"
+            "Connection: {}\r\n"
+            "\r\n"
+        ).format(status, _REASONS.get(status, "OK"), len(body), "close" if close else "keep-alive")
+        writer.write(head.encode("latin-1") + body)
+        await writer.drain()
+
+    # -- routing -----------------------------------------------------------
+    async def _route(self, method: str, target: str, body: bytes) -> Tuple[int, Dict[str, object]]:
+        path = target.split("?", 1)[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}
+            return 200, {
+                "status": "ok",
+                "jobs": self.service.batch.jobs,
+                "queue_depth": self.service.queue_depth,
+            }
+        if path == "/stats":
+            if method != "GET":
+                return 405, {"error": "stats is GET-only"}
+            return 200, self.service.stats()
+        if path == "/prove":
+            if method != "POST":
+                return 405, {"error": "prove is POST-only"}
+            return await self._prove(body)
+        return 404, {"error": "no such endpoint: {}".format(path)}
+
+    async def _prove(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as error:
+            return 400, {"error": "invalid JSON body: {}".format(error)}
+        if not isinstance(payload, dict):
+            return 400, {"error": "body must be a JSON object"}
+        if "entailments" in payload:
+            lines = payload["entailments"]
+        elif "entailment" in payload:
+            lines = [payload["entailment"]]
+        else:
+            return 400, {"error": "missing 'entailments' (list of strings) or 'entailment'"}
+        if not isinstance(lines, list) or not all(isinstance(line, str) for line in lines):
+            return 400, {"error": "'entailments' must be a list of strings"}
+        if not lines:
+            return 400, {"error": "empty batch"}
+        try:
+            timeout = self.service.clamp_timeout(payload.get("timeout"))
+        except (TypeError, ValueError):
+            return 400, {"error": "'timeout' must be a positive number"}
+        try:
+            priority = int(payload.get("priority", 0))
+        except (TypeError, ValueError):
+            return 400, {"error": "'priority' must be an integer"}
+        want_proof = bool(payload.get("proof", False))
+        want_counterexample = bool(payload.get("counterexample", False))
+
+        results: list = [None] * len(lines)
+        batch = []
+        positions = []
+        for position, line in enumerate(lines):
+            try:
+                batch.append(parse_entailment(line))
+                positions.append(position)
+            except ParseError as error:
+                results[position] = {"status": "parse_error", "error": str(error)}
+        if batch:
+            try:
+                future = self.service.submit(
+                    batch,
+                    timeout=timeout,
+                    priority=priority,
+                    # Proofs are only recorded when asked for; None keeps the
+                    # service default (record_proof=False) for the common path.
+                    record_proof=True if want_proof else None,
+                )
+            except RuntimeError as error:  # submit raced a shutdown
+                return 500, {"error": str(error)}
+            outcomes = await asyncio.wrap_future(future)
+            for position, outcome in zip(positions, outcomes):
+                results[position] = _outcome_json(outcome, want_proof, want_counterexample)
+        return 200, {"results": results}

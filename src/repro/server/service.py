@@ -1,0 +1,301 @@
+"""The proof service: a priority queue in front of a warm batch prover.
+
+:class:`ProofService` owns the state that makes the server worth running —
+one :class:`~repro.core.batch.BatchProver` whose worker pool stays warm and
+whose cache (optionally a sharded :class:`~repro.core.cache.
+PersistentProofCache`) accumulates across requests — and exposes exactly one
+entry point, :meth:`ProofService.submit`, which enqueues a request and
+returns a :class:`concurrent.futures.Future`.
+
+The batch machinery is synchronous and must be driven from one thread (the
+pool's dispatch bookkeeping is not re-entrant), so requests funnel through a
+``queue.PriorityQueue`` consumed by a single dispatcher thread.  Priority
+entries sort as ``(0, -priority, seq)``: higher ``priority`` first, FIFO
+within a priority class.  The shutdown sentinel ranks as ``(1, 0, 0)`` —
+after *every* real entry — which is what makes :meth:`close` a drain: work
+accepted before shutdown is finished and answered, then the pool and every
+store shard are released.
+
+Per-request ``timeout`` rides the batch layer's per-task overrides.  The
+pool watchdog stays derived from the *configured* ``max_seconds`` (it is a
+pool property, not a task property), so requested timeouts are clamped to
+the configured ceiling — a request can ask for less patience than the
+server has, never more.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import itertools
+import queue
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.core.batch import BatchOutcome, BatchProver
+from repro.core.cache import PersistentProofCache, ProofCache
+from repro.core.config import ProverConfig
+from repro.core.store import ShardedProofStore
+from repro.logic.formula import Entailment
+
+__all__ = ["ProofService", "DEFAULT_SHARDS"]
+
+DEFAULT_SHARDS = 4
+
+# Latency histogram buckets: powers of two in milliseconds.  The last bucket
+# is open-ended; interactive traffic lives in the first few.
+_BUCKET_CAP_MS = 65536
+
+
+def _bucket_ms(elapsed_seconds: float) -> int:
+    """The histogram bucket (upper bound, in ms) a latency falls into."""
+    ms = elapsed_seconds * 1000.0
+    upper = 1
+    while upper < ms and upper < _BUCKET_CAP_MS:
+        upper *= 2
+    return upper
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """The q-quantile (0 < q <= 1) of an already-sorted non-empty sequence."""
+    index = max(0, min(len(sorted_values) - 1, int(round(q * len(sorted_values))) - 1))
+    return sorted_values[index]
+
+
+@dataclass
+class _Request:
+    """One enqueued ``/prove`` call waiting for the dispatcher."""
+
+    entailments: List[Entailment]
+    max_seconds: Optional[float]
+    record_proof: Optional[bool]
+    future: "concurrent.futures.Future[List[BatchOutcome]]"
+    enqueued_at: float = field(default_factory=time.perf_counter)
+
+
+class ProofService:
+    """Long-lived prover state plus the queue that feeds it.
+
+    Parameters
+    ----------
+    config:
+        Prover configuration for the warm pool.  Its ``max_seconds`` is the
+        *ceiling* for per-request timeouts (requests are clamped to it) and
+        what the hard watchdog budget derives from.  The service defaults
+        ``record_proof`` off and turns it on per request — recording every
+        proof just to discard it would tax the common no-proof path.
+    jobs:
+        Worker processes for the underlying :class:`BatchProver` (``1`` runs
+        in-process; the dispatcher thread then does the proving itself).
+    store_path:
+        Back the cache with a persistent store at this path; ``None`` keeps
+        the cache memory-only (still warm across requests, lost on exit).
+    shards:
+        Store files to split the persistent tier over (ignored without
+        ``store_path``).  Values > 1 use a :class:`ShardedProofStore` so
+        concurrent processes sharing the path lock per shard, not globally.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ProverConfig] = None,
+        jobs: int = 1,
+        store_path: Optional[str] = None,
+        shards: int = DEFAULT_SHARDS,
+        cache_entries: int = 4096,
+        retries: int = 2,
+        grace_factor: float = 2.0,
+        fsync: bool = True,
+    ):
+        self.config = config if config is not None else ProverConfig(record_proof=False)
+        if store_path is not None:
+            cache: ProofCache = PersistentProofCache(
+                store_path, max_entries=cache_entries, fsync=fsync, shards=shards
+            )
+        else:
+            cache = ProofCache(max_entries=cache_entries)
+        self.batch = BatchProver(
+            self.config,
+            jobs=jobs,
+            cache=cache,
+            retries=retries,
+            grace_factor=grace_factor,
+        )
+        self._queue: "queue.PriorityQueue" = queue.PriorityQueue()
+        self._sequence = itertools.count()
+        self._lock = threading.Lock()
+        self._latencies: "deque[float]" = deque(maxlen=4096)
+        self._histogram: "Counter[int]" = Counter()
+        self._requests = 0
+        self._entailments_served = 0
+        self._internal_errors = 0
+        self._started_at = time.monotonic()
+        self._closed = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="slp-serve-dispatcher", daemon=True
+        )
+        self._dispatcher.start()
+
+    # -- submission --------------------------------------------------------
+    def clamp_timeout(self, timeout: Optional[float]) -> Optional[float]:
+        """A request's timeout, clamped to the configured ceiling.
+
+        The watchdog that backs the budget with force is a *pool* property
+        sized from ``config.max_seconds``; granting a request more patience
+        than that would leave the excess unenforced against a wedged worker.
+        """
+        if timeout is None:
+            return None
+        timeout = float(timeout)
+        if timeout <= 0:
+            raise ValueError("timeout must be positive")
+        ceiling = self.config.max_seconds
+        return timeout if ceiling is None else min(timeout, ceiling)
+
+    def submit(
+        self,
+        entailments: Iterable[Entailment],
+        timeout: Optional[float] = None,
+        priority: int = 0,
+        record_proof: Optional[bool] = None,
+    ) -> "concurrent.futures.Future[List[BatchOutcome]]":
+        """Enqueue a batch of entailments; the future resolves to outcomes.
+
+        Outcomes are in input order, one per entailment —
+        :class:`~repro.core.result.ProofResult` or
+        :class:`~repro.core.batch.FailureInfo`, exactly as
+        :meth:`BatchProver.prove_all` returns them.  Higher ``priority``
+        jumps the queue (FIFO among equals).  The future carries an
+        exception only on an internal error, never on a per-instance
+        failure.
+        """
+        if self._closed:
+            raise RuntimeError("the proof service is closed")
+        request = _Request(
+            entailments=list(entailments),
+            max_seconds=self.clamp_timeout(timeout),
+            record_proof=record_proof,
+            future=concurrent.futures.Future(),
+        )
+        self._queue.put((0, -int(priority), next(self._sequence), request))
+        return request.future
+
+    # -- the dispatcher ----------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            rank, _, _, request = self._queue.get()
+            if rank != 0:  # the shutdown sentinel sorts after all real work
+                break
+            if not request.future.set_running_or_notify_cancel():
+                continue
+            try:
+                outcomes = self.batch.prove_all(
+                    request.entailments,
+                    max_seconds=request.max_seconds,
+                    record_proof=request.record_proof,
+                )
+            except BaseException as error:  # keep the dispatcher alive
+                with self._lock:
+                    self._internal_errors += 1
+                request.future.set_exception(error)
+                continue
+            elapsed = time.perf_counter() - request.enqueued_at
+            with self._lock:
+                self._requests += 1
+                self._entailments_served += len(outcomes)
+                self._latencies.append(elapsed)
+                self._histogram[_bucket_ms(elapsed)] += 1
+            request.future.set_result(outcomes)
+
+    # -- introspection -----------------------------------------------------
+    @property
+    def queue_depth(self) -> int:
+        return self._queue.qsize()
+
+    def stats(self) -> Dict[str, object]:
+        """A JSON-ready snapshot of service, cache, pool and store counters."""
+        batch_stats = self.batch.statistics
+        cache = self.batch.cache
+        with self._lock:
+            latencies = sorted(self._latencies)
+            histogram = {
+                "<={}ms".format(upper): count
+                for upper, count in sorted(self._histogram.items())
+            }
+            requests = self._requests
+            entailments = self._entailments_served
+            internal_errors = self._internal_errors
+        latency: Dict[str, object] = {"count": len(latencies), "histogram": histogram}
+        if latencies:
+            latency["p50_ms"] = _percentile(latencies, 0.50) * 1000.0
+            latency["p90_ms"] = _percentile(latencies, 0.90) * 1000.0
+            latency["p99_ms"] = _percentile(latencies, 0.99) * 1000.0
+        snapshot: Dict[str, object] = {
+            "uptime_seconds": time.monotonic() - self._started_at,
+            "requests": requests,
+            "entailments": entailments,
+            "internal_errors": internal_errors,
+            "queue_depth": self.queue_depth,
+            "pool": {
+                "jobs": self.batch.jobs,
+                "proved": batch_stats.proved,
+                "valid": batch_stats.valid,
+                "invalid": batch_stats.invalid,
+                "timed_out": batch_stats.timed_out,
+                "oom": batch_stats.oom,
+                "quarantined": batch_stats.quarantined,
+                "retried": batch_stats.retried,
+                "respawned_workers": batch_stats.respawned_workers,
+            },
+            "latency": latency,
+        }
+        if cache is not None:
+            snapshot["cache"] = {
+                "entries": len(cache),
+                "hits": cache.hits,
+                "misses": cache.misses,
+                "uncacheable": cache.uncacheable,
+                "disk_hits": cache.disk_hits,
+                "hit_rate": cache.hit_rate,
+                "deduplicated": batch_stats.deduplicated,
+            }
+        if isinstance(cache, PersistentProofCache):
+            disk = cache.disk
+            store: Dict[str, object] = {
+                "persist_errors": cache.persist_errors,
+                "records_live": len(disk),
+            }
+            store.update(disk.statistics.to_json())
+            if isinstance(disk, ShardedProofStore):
+                store["shards"] = len(disk.shards)
+            else:
+                store["shards"] = 1
+            snapshot["store"] = store
+        return snapshot
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:
+        """Drain the queue, then release the pool and every store shard.
+
+        Everything accepted by :meth:`submit` before the call is answered
+        (the sentinel sorts after all real entries); new submissions are
+        refused.  Idempotent.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._queue.put((1, 0, 0, None))
+        self._dispatcher.join()
+        cache = self.batch.cache
+        self.batch.close()
+        if isinstance(cache, PersistentProofCache):
+            cache.close()
+
+    def __enter__(self) -> "ProofService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -198,6 +198,104 @@ class TestBatchProver:
 
 
 # ---------------------------------------------------------------------------
+# Follower echoes: eviction-safety and exact cache accounting
+# ---------------------------------------------------------------------------
+
+
+class TestFollowerEcho:
+    def test_echo_survives_leader_eviction_between_yields(self):
+        """Regression: the follower echo must not depend on the cache entry.
+
+        ``iter_results`` yields the leader's result to the consumer *before*
+        echoing its duplicates.  A consumer that stores into the shared cache
+        between those yields (here: a tiny ``max_entries=1`` LRU, one foreign
+        store) evicts the leader's entry — the old echo path re-looked the
+        entry up and crashed the whole batch on ``assert echoed is not None``.
+        """
+        cache = ProofCache(max_entries=1)
+        base = Entailment.build(
+            lhs=[pts("x", "y"), pts("y", "nil")], rhs=[lseg("x", "nil")]
+        )
+        copies = [_alpha(base, "dup{}".format(i)) for i in range(3)]
+        evictor = Entailment.build(lhs=[pts("p", "nil")], rhs=[lseg("p", "nil")])
+        evictor_result = Prover(ProverConfig().for_benchmarking()).prove(evictor)
+        with BatchProver(
+            ProverConfig().for_benchmarking(), jobs=1, cache=cache
+        ) as batch:
+            results = batch.iter_results([base] + copies)
+            index, leader = next(results)
+            assert index == 0 and leader.is_valid
+            # The consumer shares the cache and stores a different problem
+            # between yields: with max_entries=1 the leader's entry is gone.
+            cache.store(evictor, evictor_result)
+            echoes = list(results)
+        assert sorted(index for index, _ in echoes) == [1, 2, 3]
+        for index, echoed in echoes:
+            assert echoed.from_cache
+            assert echoed.verdict == leader.verdict
+            assert echoed.entailment == copies[index - 1]
+        assert batch.statistics.deduplicated == len(copies)
+
+    def test_echo_artifacts_are_renamed_into_follower_vocabulary(self):
+        """Echoed counterexamples must falsify the *follower's* entailment."""
+        cache = ProofCache(max_entries=1)
+        invalid = Entailment.build(
+            lhs=[lseg("a", "b")], rhs=[pts("a", "b")]
+        )
+        copy = _alpha(invalid, "twin")
+        with BatchProver(
+            ProverConfig().for_benchmarking(), jobs=1, cache=cache
+        ) as batch:
+            outcomes = dict(batch.iter_results([invalid, copy]))
+        echoed = outcomes[1]
+        assert echoed.from_cache and echoed.is_invalid
+        assert echoed.counterexample is not None
+        assert falsifies_entailment(
+            echoed.counterexample.stack, echoed.counterexample.heap, copy
+        )
+
+    def test_echoes_count_as_dedup_not_cache_traffic(self):
+        """Counter exactness on a dedup-heavy batch.
+
+        Each of the three distinct problems is proved once; each alpha copy
+        misses once at scan time (its leader has not resolved yet) and is
+        then echoed.  Echoes are dedup events: the cache's own ``hits`` (and
+        the batch's ``cache_hits``) must stay untouched by them.
+        """
+        cache = ProofCache()
+        base = [
+            Entailment.build(lhs=[pts("x", "nil")], rhs=[lseg("x", "nil")]),
+            Entailment.build(lhs=[pts("x", "y"), pts("y", "nil")], rhs=[lseg("x", "nil")]),
+            Entailment.build(lhs=[lseg("x", "y"), lseg("y", "nil")], rhs=[lseg("x", "nil")]),
+        ]
+        batch_input = base + [_alpha(e, "echo") for e in base]
+        with BatchProver(
+            ProverConfig().for_benchmarking(), jobs=1, cache=cache
+        ) as batch:
+            batch.prove_all(batch_input)
+            stats = batch.statistics
+        assert stats.proved == len(base)
+        assert stats.deduplicated == len(base)
+        assert stats.cache_hits == 0 and cache.hits == 0
+        assert cache.misses == 2 * len(base)  # one per leader, one per follower
+        assert stats.cache_misses == 2 * len(base)
+        assert cache.uncacheable == 0
+        # A later batch of fresh copies is genuine cache traffic.
+        with BatchProver(
+            ProverConfig().for_benchmarking(), jobs=1, cache=cache
+        ) as later:
+            later.prove_all([_alpha(e, "later") for e in base])
+            assert later.statistics.cache_hits == len(base)
+        assert cache.hits == len(base)
+
+    def test_hit_rate_accounts_for_uncacheable_lookups(self):
+        cache = ProofCache()
+        assert cache.hit_rate == 0.0
+        cache.hits, cache.misses, cache.uncacheable = 3, 1, 4
+        assert cache.hit_rate == pytest.approx(3 / 8)
+
+
+# ---------------------------------------------------------------------------
 # Prover timeout (the harness satellite)
 # ---------------------------------------------------------------------------
 

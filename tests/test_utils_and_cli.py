@@ -1,5 +1,8 @@
 """Tests for the utility helpers, the proof objects and the command-line interface."""
 
+import os
+import sys
+
 import pytest
 
 from repro.cli import main
@@ -172,3 +175,43 @@ class TestCli:
             main([str(path), "--prover", "smallfoot", "--jobs", "2"])
         with pytest.raises(SystemExit):
             main([str(path), "--jobs", "0"])
+
+    @pytest.mark.skipif(
+        not os.path.isdir("/proc/self/fd"), reason="needs /proc to observe open fds"
+    )
+    def test_cli_store_released_even_when_output_pipe_breaks(self, tmp_path, monkeypatch):
+        """Regression: ``--store`` must be closed on *every* exit path.
+
+        A consumer that goes away mid-run (``slp ... | head``) raises from a
+        verdict ``print``; the persistent cache's store handle and advisory
+        lock sidecar must still be closed — pre-fix they leaked until process
+        exit because ``cache.close()`` sat on the happy path only.  The
+        raised exception's traceback keeps the CLI frame (and the cache
+        object) alive, so a leaked fd stays observable in ``/proc/self/fd``.
+        """
+        path = tmp_path / "entailments.txt"
+        path.write_text("x |-> nil |- lseg(x, nil)\n")
+        store = tmp_path / "proofs.store"
+
+        class BrokenPipeStdout:
+            def write(self, text):
+                raise BrokenPipeError("consumer went away")
+
+            def flush(self):
+                pass
+
+        monkeypatch.setattr(sys, "stdout", BrokenPipeStdout())
+        with pytest.raises(BrokenPipeError) as excinfo:
+            main([str(path), "--store", str(store)])
+        monkeypatch.undo()
+        watched = {str(store), str(store) + ".lock"}
+        leaked = []
+        for fd in os.listdir("/proc/self/fd"):
+            try:
+                target = os.readlink(os.path.join("/proc/self/fd", fd))
+            except OSError:
+                continue
+            if target in watched:
+                leaked.append(target)
+        assert leaked == [], "store handles leaked past the CLI exit: {}".format(leaked)
+        del excinfo
