@@ -88,42 +88,91 @@ def run_profile(top: int = 25) -> int:
     return 0
 
 
-def run_ablation_section(instances: int):
-    """Single-lever ablations on the n=20 row (the default config is both levers on).
+def run_ablation_section(instances: int, repeats: int = 3, variables: int = 20,
+                        only: "tuple | None" = None):
+    """Single-lever ablations on the n=20 row (``variables``/``only`` trim it
+    down for the CI quick mode: default vs unit_rewrite only, so the
+    tests.yml demodulation gate always has fresh interleaved data).
 
+    * ``default``      — the full default configuration, re-timed inside this
+      section so the single-lever rows compare against a measurement taken
+      under identical conditions (same batch, same process, adjacent in
+      time);
     * ``kernel_off``   — clause index + incremental models, symbolic engine;
+    * ``dense_model``  — the kernel with the dense-side model generator
+      disabled (candidate models maintained over decoded symbolic clauses);
+      must generate identical clauses to the default;
+    * ``bitset``       — exact bitset subsumption (big-int masks + numpy bulk
+      bucket scans); must generate identical clauses to the default;
     * ``unit_rewrite`` — the kernel plus unit-rewrite demodulation (changes
       ``generated_clauses``; verdict-equivalence is pinned by the fuzzer).
+      Since the backward-demodulation scheduling work this row is expected to
+      *beat* the default wall-clock — CI gates on it (see tests.yml).
+
+    Timings are best-of-``repeats`` with the configurations *interleaved*
+    (round-robin rounds, a fresh warmed prover per measurement): on a busy
+    host, back-to-back sequential passes charge whichever configuration runs
+    during a noisy window — observed inverting the unit_rewrite-vs-default
+    comparison — while interleaved minima converge on the uncontended cost
+    of each lever.
     """
     from dataclasses import replace
 
-    batch = random_unsat_batch(UnsatParameters.paper(20), instances, seed=1020)
-    rows = {}
+    batch = random_unsat_batch(UnsatParameters.paper(variables), instances, seed=1000 + variables)
     base = ProverConfig().for_benchmarking()
-    for label, config in (
+    configs = (
+        ("default", base),
         ("kernel_off", replace(base, use_int_kernel=False)),
+        ("dense_model", replace(base, use_dense_models=False)),
+        ("bitset", base.with_bitset()),
         ("unit_rewrite", base.with_unit_rewrite()),
-    ):
-        prover = Prover(config)
-        prover.prove(batch[0])
-        start = time.perf_counter()
-        valid = 0
-        generated = 0
-        for entailment in batch:
-            result = prover.prove(entailment)
-            valid += result.is_valid
-            generated += result.statistics.generated_clauses
-        elapsed = time.perf_counter() - start
+    )
+    if only is not None:
+        configs = tuple(pair for pair in configs if pair[0] in only)
+    #: rows whose generated_clauses must equal the default's (pure
+    #: optimisations; unit_rewrite legitimately diverges).
+    identical = ("kernel_off", "dense_model", "bitset")
+    best = {}
+    counters = {}
+    for _ in range(repeats):
+        for label, config in configs:
+            prover = Prover(config)
+            prover.prove(batch[0])  # warm the caches outside the timed region
+            start = time.perf_counter()
+            valid = 0
+            generated = 0
+            for entailment in batch:
+                result = prover.prove(entailment)
+                valid += result.is_valid
+                generated += result.statistics.generated_clauses
+            elapsed = time.perf_counter() - start
+            if label in counters and counters[label] != (valid, generated):
+                raise SystemExit(
+                    "bench_perf: ablation {} is not deterministic across "
+                    "repeats".format(label)
+                )
+            counters[label] = (valid, generated)
+            best[label] = min(best.get(label, elapsed), elapsed)
+    rows = {}
+    for label, _ in configs:
+        valid, generated = counters[label]
         rows[label] = {
-            "variables": 20,
+            "variables": variables,
             "instances": instances,
-            "seconds": round(elapsed, 4),
+            "seconds": round(best[label], 4),
             "valid": valid,
             "generated_clauses": generated,
         }
+        if label in identical and generated != rows["default"]["generated_clauses"]:
+            raise SystemExit(
+                "bench_perf: ablation {} diverged from the default configuration "
+                "on generated_clauses ({} vs {})".format(
+                    label, generated, rows["default"]["generated_clauses"]
+                )
+            )
         print(
-            "[bench_perf] ablation/{:<12} n=20 {:>8.3f}s  valid={:<3} generated={}".format(
-                label, elapsed, valid, generated
+            "[bench_perf] ablation/{:<12} n={} {:>8.3f}s  valid={:<3} generated={}".format(
+                label, variables, best[label], valid, generated
             )
         )
     return rows
@@ -197,39 +246,59 @@ def run_supervision_section(quick: bool, jobs: int):
     return row
 
 
-def run_config(label: str, config: ProverConfig, rows, instances: int):
-    """Time one prover configuration over every workload row."""
-    results = []
+def run_rows_section(configs, rows, instances: int, repeats: int = 3):
+    """Time the given ``(label, config)`` pairs over every workload row.
+
+    Per row, every configuration is timed ``repeats`` times with the
+    configurations interleaved (a fresh warmed prover per measurement), and
+    the best round is reported — see ``run_ablation_section`` for why
+    sequential single-pass timing is not trustworthy on a shared host.
+    Returns one result list per configuration, in input order.
+    """
+    results = {label: [] for label, _ in configs}
     for variables in rows:
         batch = random_unsat_batch(
             UnsatParameters.paper(variables), instances, seed=1000 + variables
         )
-        prover = Prover(config)
-        prover.prove(batch[0])  # warm the caches outside the timed region
-        start = time.perf_counter()
-        valid = 0
-        generated = 0
-        for entailment in batch:
-            result = prover.prove(entailment)
-            if result.is_valid:
-                valid += 1
-            generated += result.statistics.generated_clauses
-        elapsed = time.perf_counter() - start
-        results.append(
-            {
-                "variables": variables,
-                "instances": len(batch),
-                "seconds": round(elapsed, 4),
-                "valid": valid,
-                "generated_clauses": generated,
-            }
-        )
-        print(
-            "[bench_perf] {:<9} n={:<3} {:>8.3f}s  valid={:<3} generated={}".format(
-                label, variables, elapsed, valid, generated
+        best = {}
+        counters = {}
+        for _ in range(repeats):
+            for label, config in configs:
+                prover = Prover(config)
+                prover.prove(batch[0])  # warm the caches outside the timed region
+                start = time.perf_counter()
+                valid = 0
+                generated = 0
+                for entailment in batch:
+                    result = prover.prove(entailment)
+                    if result.is_valid:
+                        valid += 1
+                    generated += result.statistics.generated_clauses
+                elapsed = time.perf_counter() - start
+                if label in counters and counters[label] != (valid, generated):
+                    raise SystemExit(
+                        "bench_perf: {} row n={} is not deterministic across "
+                        "repeats".format(label, variables)
+                    )
+                counters[label] = (valid, generated)
+                best[label] = min(best.get(label, elapsed), elapsed)
+        for label, _ in configs:
+            valid, generated = counters[label]
+            results[label].append(
+                {
+                    "variables": variables,
+                    "instances": len(batch),
+                    "seconds": round(best[label], 4),
+                    "valid": valid,
+                    "generated_clauses": generated,
+                }
             )
-        )
-    return results
+            print(
+                "[bench_perf] {:<9} n={:<3} {:>8.3f}s  valid={:<3} generated={}".format(
+                    label, variables, best[label], valid, generated
+                )
+            )
+    return [results[label] for label, _ in configs]
 
 
 def _timed_batch(config, jobs, cache, batch):
@@ -472,8 +541,13 @@ def main(argv=None) -> int:
         parser.error("--jobs must be at least 1")
 
     base = ProverConfig().for_benchmarking()
-    indexed = run_config("indexed", base, rows, instances)
-    reference = run_config("reference", base.reference(), rows, instances)
+    # Best-of-6 on the full run: single-core containers show 20%+ run-to-run
+    # noise, and three samples per side routinely miss the floor for one
+    # side of a comparison (see PERFORMANCE.md, "measurement methodology").
+    repeats = 2 if args.quick else 6
+    indexed, reference = run_rows_section(
+        (("indexed", base), ("reference", base.reference())), rows, instances, repeats
+    )
 
     merged = []
     for idx, ref in zip(indexed, reference):
@@ -505,7 +579,18 @@ def main(argv=None) -> int:
 
     batch_section = run_batch_section(args.quick, jobs)
     theory_section = run_theory_section(args.quick)
-    ablation_section = None if args.quick else run_ablation_section(instances)
+    # Quick mode still produces the default-vs-unit_rewrite pair so the CI
+    # demodulation gate has data, but on the *full* n=20 batch: at the
+    # quick instance counts the pair lands within a few milliseconds and
+    # the margin the gate protects (~10% — see ablations.unit_rewrite in
+    # the committed BENCH file) only shows at real batch sizes.  This adds
+    # a few seconds to the quick run; the full run measures every lever.
+    if args.quick:
+        ablation_section = run_ablation_section(
+            40, repeats=2, variables=20, only=("default", "unit_rewrite")
+        )
+    else:
+        ablation_section = run_ablation_section(instances, repeats=repeats)
     supervision_row = run_supervision_section(args.quick, jobs)
     ablation_section = dict(ablation_section or {})
     ablation_section["supervision_overhead"] = supervision_row
@@ -538,10 +623,15 @@ def main(argv=None) -> int:
             "(--seed-baseline), were measured at the seed commit (da8c932) "
             "with 40 instances per row and are only comparable on the "
             "machine that produced them.  ablations single-lever the n=20 "
-            "row: kernel_off keeps index+incremental on the symbolic "
-            "engine; unit_rewrite adds demodulation (different "
-            "generated_clauses by design, verdict-equivalence pinned by the "
-            "fuzzer); supervision_overhead compares the supervised worker "
+            "row against the co-measured default row: kernel_off keeps "
+            "index+incremental on the symbolic engine; dense_model disables "
+            "the dense-side model generator (decoded-clause model "
+            "maintenance; identical generated_clauses enforced); bitset "
+            "switches subsumption to exact literal bitsets (identical "
+            "generated_clauses enforced); unit_rewrite adds demodulation "
+            "(different generated_clauses by design, verdict-equivalence "
+            "pinned by the fuzzer) and is expected to beat the default "
+            "wall-clock (CI gates on it); supervision_overhead compares the supervised worker "
             "pool against the pre-supervision chunked pool on the n=16 row "
             "with injection disabled, gated at 5% (+0.25s slack).  "
             "batch.parallel scaling is bounded by cpu_count (a "

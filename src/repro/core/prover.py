@@ -106,9 +106,15 @@ class Prover:
             use_index=self.config.use_clause_index,
             use_kernel=self.config.use_int_kernel,
             use_unit_rewrite=self.config.use_unit_rewrite,
+            index_threshold=self.config.index_threshold,
+            use_bitset=self.config.use_bitset_subsumption,
         )
         model_generator = (
-            IncrementalModelGenerator(order, verify=self.config.verify_model)
+            IncrementalModelGenerator(
+                order,
+                verify=self.config.verify_model,
+                dense=self.config.use_dense_models,
+            )
             if self.config.incremental_models
             else None
         )

@@ -53,6 +53,13 @@ def _build_parser() -> argparse.ArgumentParser:
         "enumeration oracle",
     )
     parser.add_argument(
+        "--bitset", action="store_true",
+        help="run the primary prover with bitset subsumption enabled "
+        "(ProverConfig.use_bitset_subsumption): a differential campaign "
+        "over the exact-bitset containment path; composes with "
+        "--unit-rewrite",
+    )
+    parser.add_argument(
         "--max-enum-vars", type=int, default=3, metavar="K",
         help="enumeration-oracle variable bound (default 3; the oracle is exponential)",
     )
@@ -197,10 +204,14 @@ def fuzz_main(argv: Optional[Iterable[str]] = None) -> int:
         parser.error(str(error))
 
     config = None
-    if arguments.unit_rewrite:
+    if arguments.unit_rewrite or arguments.bitset:
         from repro.core.config import ProverConfig
 
-        config = ProverConfig(record_proof=False).with_unit_rewrite()
+        config = ProverConfig(record_proof=False)
+        if arguments.unit_rewrite:
+            config = config.with_unit_rewrite()
+        if arguments.bitset:
+            config = config.with_bitset()
 
     try:
         report = run_campaign(

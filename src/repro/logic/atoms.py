@@ -189,15 +189,21 @@ class PointsTo(SpatialAtom):
 
     @property
     def sort_key(self) -> Tuple[str, ...]:
-        return (self.source.name, self.target.name, self.kind)
+        key = self.__dict__.get("_sort_key")
+        if key is None:
+            key = (self.source.name, self.target.name, self.kind)
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def constants(self) -> FrozenSet[Const]:
         return frozenset((self.source, self.target))
 
     def substitute(self, mapping: Dict[Const, Const]) -> "PointsTo":
-        return PointsTo(
-            mapping.get(self.source, self.source), mapping.get(self.target, self.target)
-        )
+        source = mapping.get(self.source, self.source)
+        target = mapping.get(self.target, self.target)
+        if source is self.source and target is self.target:
+            return self
+        return PointsTo(source, target)
 
     def with_ends(self, source: Const, target: Const) -> "PointsTo":
         return PointsTo(source, target)
@@ -235,15 +241,21 @@ class ListSegment(SpatialAtom):
 
     @property
     def sort_key(self) -> Tuple[str, ...]:
-        return (self.source.name, self.target.name, self.kind)
+        key = self.__dict__.get("_sort_key")
+        if key is None:
+            key = (self.source.name, self.target.name, self.kind)
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def constants(self) -> FrozenSet[Const]:
         return frozenset((self.source, self.target))
 
     def substitute(self, mapping: Dict[Const, Const]) -> "ListSegment":
-        return ListSegment(
-            mapping.get(self.source, self.source), mapping.get(self.target, self.target)
-        )
+        source = mapping.get(self.source, self.source)
+        target = mapping.get(self.target, self.target)
+        if source is self.source and target is self.target:
+            return self
+        return ListSegment(source, target)
 
     def with_ends(self, source: Const, target: Const) -> "ListSegment":
         return ListSegment(source, target)
@@ -278,14 +290,19 @@ class DllCell(SpatialAtom):
 
     @property
     def sort_key(self) -> Tuple[str, ...]:
-        return (self.source.name, self.target.name, self.kind, self.prev.name)
+        key = self.__dict__.get("_sort_key")
+        if key is None:
+            key = (self.source.name, self.target.name, self.kind, self.prev.name)
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def substitute(self, mapping: Dict[Const, Const]) -> "DllCell":
-        return DllCell(
-            mapping.get(self.source, self.source),
-            mapping.get(self.target, self.target),
-            mapping.get(self.prev, self.prev),
-        )
+        source = mapping.get(self.source, self.source)
+        target = mapping.get(self.target, self.target)
+        prev = mapping.get(self.prev, self.prev)
+        if source is self.source and target is self.target and prev is self.prev:
+            return self
+        return DllCell(source, target, prev)
 
     def __str__(self) -> str:
         return "cell({}, {}, {})".format(self.source, self.target, self.prev)
@@ -349,21 +366,31 @@ class DllSegment(SpatialAtom):
 
     @property
     def sort_key(self) -> Tuple[str, ...]:
-        return (
-            self.source.name,
-            self.target.name,
-            self.kind,
-            self.prev.name,
-            self.back.name,
-        )
+        key = self.__dict__.get("_sort_key")
+        if key is None:
+            key = (
+                self.source.name,
+                self.target.name,
+                self.kind,
+                self.prev.name,
+                self.back.name,
+            )
+            object.__setattr__(self, "_sort_key", key)
+        return key
 
     def substitute(self, mapping: Dict[Const, Const]) -> "DllSegment":
-        return DllSegment(
-            mapping.get(self.source, self.source),
-            mapping.get(self.prev, self.prev),
-            mapping.get(self.target, self.target),
-            mapping.get(self.back, self.back),
-        )
+        source = mapping.get(self.source, self.source)
+        prev = mapping.get(self.prev, self.prev)
+        target = mapping.get(self.target, self.target)
+        back = mapping.get(self.back, self.back)
+        if (
+            source is self.source
+            and prev is self.prev
+            and target is self.target
+            and back is self.back
+        ):
+            return self
+        return DllSegment(source, prev, target, back)
 
     def __str__(self) -> str:
         return "dlseg({}, {}, {}, {})".format(self.source, self.prev, self.target, self.back)
@@ -389,7 +416,7 @@ class SpatialFormula:
     Instances are immutable and hashable; all "mutators" return new formulas.
     """
 
-    __slots__ = ("_atoms",)
+    __slots__ = ("_atoms", "_constants")
 
     def __init__(self, atoms: Iterable[SpatialAtom] = ()):  # noqa: D107
         atom_list = list(atoms)
@@ -397,6 +424,7 @@ class SpatialFormula:
             if not isinstance(atom, SpatialAtom):
                 raise TypeError("expected a spatial atom, got {!r}".format(atom))
         self._atoms: Tuple[SpatialAtom, ...] = tuple(sorted(atom_list, key=_atom_sort_key))
+        self._constants: Optional[FrozenSet[Const]] = None
 
     # -- basic protocol ----------------------------------------------------
     @property
@@ -440,11 +468,17 @@ class SpatialFormula:
         return sum(1 for candidate in self._atoms if candidate == atom)
 
     def constants(self) -> FrozenSet[Const]:
-        """All constants occurring in the formula."""
-        result = set()
-        for atom in self._atoms:
-            result.update(atom.constants())
-        return frozenset(result)
+        """All constants occurring in the formula (memoised — instances are
+        immutable, and normalisation re-queries the same formula every
+        saturation round)."""
+        result = self._constants
+        if result is None:
+            collected = set()
+            for atom in self._atoms:
+                collected.update(atom.constants())
+            result = frozenset(collected)
+            self._constants = result
+        return result
 
     def addresses(self) -> Tuple[Const, ...]:
         """The addresses of the basic atoms, with multiplicities, in order."""

@@ -18,6 +18,7 @@ justifies the step.
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -177,9 +178,13 @@ def normalize_clause_fast(clause: Clause, model: EqualityModel) -> Tuple[Clause,
         gamma_parts = [clause.gamma]
         delta_parts = [clause.delta]
         present = set(constants)
+        # The pick order re-sorts the present set by name every step; keep a
+        # name-sorted list in step (one sort up front, splices per step)
+        # instead of sorting from scratch each round of the loop.
+        ordered = sorted(present, key=_const_name)
         while True:
             source = None
-            for constant in sorted(present, key=_const_name):
+            for constant in ordered:
                 if constant in relation:
                     source = constant
                     break
@@ -191,7 +196,10 @@ def normalize_clause_fast(clause: Clause, model: EqualityModel) -> Tuple[Clause,
             gamma_parts.append(generator.leftover_gamma)
             delta_parts.append(generator.leftover_delta)
             present.discard(source)
-            present.add(target)
+            ordered.remove(source)
+            if target not in present:
+                present.add(target)
+                insort(ordered, target, key=_const_name)
             rewrite_steps += 1
         gamma = frozenset().union(*gamma_parts)
         delta = frozenset().union(*delta_parts)

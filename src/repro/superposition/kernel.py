@@ -50,12 +50,29 @@ seed algorithm via ``ProverConfig.reference()``.  Three facts carry the pin:
 a hypothesis round-trip property for the encoding itself.
 
 The **unit-rewrite** layer (``use_unit_rewrite``) sits on top: a union-find
-over dense constant ids absorbs every activated unit positive equality and
-forward-simplifies (demodulates) clauses before they are processed.  This
+over dense constant ids absorbs every activated unit positive equality,
+forward-simplifies (demodulates) clauses before they are processed, and
+**backward-demodulates** the active set whenever a union actually merges two
+classes — only actives whose constant bitmask intersects the ids the merge
+touched are rewritten, and a clause whose union-find generation stamp is
+unchanged since its enqueue-time demodulation skips the second pass at pop.
+The absorbed unit equalities themselves are never demodulated away: they
+carry the equality into the clause set the model generator reads.  This
 *changes the derivation sequence* — it is a genuine simplification, not a
 representation change — so it is gated separately and pinned only for
 verdict equivalence (differential fuzzer + enumeration oracle), never for
 derivation equivalence.
+
+The **bitset subsumption** path (``use_bitset``) re-expresses the literal
+subset checks of subsumption as big-int bitmask tests: every distinct atom
+code is assigned a slot in a per-engine table on first use, each clause's
+``gamma``/``delta`` become one Python int with one bit per literal, and
+``candidate ⊆ clause`` compiles to ``cand & q == cand``.  The slot map is
+injective, so the tests are *exact* — same answers, byte-identical
+derivations, pinned by the ``{kernel} x {index} x {bitset}`` matrix tests.
+Bucket scans additionally take a numpy bulk path (one vectorised
+``rows & ~q == 0`` over a cached per-bucket matrix) once a bucket is large
+enough to amortise the packing.
 """
 
 from __future__ import annotations
@@ -63,6 +80,7 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from bisect import bisect_left
 from collections.abc import Mapping as _MappingBase
 from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
@@ -71,6 +89,11 @@ from repro.logic.clauses import Clause
 from repro.logic.intern import intern_atom
 from repro.logic.ordering import TermOrder
 from repro.logic.terms import Const
+
+try:  # pragma: no cover - import guard; the container ships numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None  # type: ignore[assignment]
 
 __all__ = [
     "SHIFT",
@@ -86,9 +109,21 @@ __all__ = [
 SHIFT = 16
 _MASK = (1 << SHIFT) - 1
 
+#: Tag bit distinguishing a ``delta``-side owner key from a ``gamma``-side
+#: one in the forward-subsumption index (atom codes fit in 2*SHIFT bits).
+_FWD_DELTA = 1 << (2 * SHIFT)
+
 #: Width of the literal feature bitmasks (a prime keeps the ``code % width``
 #: buckets well spread for the arithmetic progressions atom codes form).
 _FEATURE_BITS = 61
+
+#: Bucket size at which the bitset path switches a subsumption scan to the
+#: numpy bulk kernel.  Packing the query row and dispatching the ufunc chain
+#: costs ~10µs per query while a memoised big-int subset compare costs well
+#: under 100ns per candidate, so vectorisation only amortises on genuinely
+#: large buckets (threshold swept on the Table 1 n=20 row, see
+#: PERFORMANCE.md).
+_BULK_THRESHOLD = 256
 
 
 class IntClause:
@@ -112,13 +147,21 @@ class IntClause:
         "is_tautology",
         "production",
         "rest_delta",
+        "rest_set",
+        "const_ids",
         "gamma_pres",
         "delta_pres",
         "sort_key",
+        "fwd_key",
+        "cmask",
+        "gbits",
+        "dbits",
         "ordinal",
         "seen",
         "in_active",
         "in_passive",
+        "uf_gen",
+        "absorbed_unit",
         "decoded",
     )
 
@@ -143,6 +186,41 @@ def _pack(a: int, b: int) -> int:
 
 #: Shared empty literal set — a large fraction of clauses have an empty side.
 _EMPTY_SET: frozenset = frozenset()
+
+
+def _sets_of(clause: IntClause) -> Tuple[frozenset, frozenset]:
+    """The clause's literal frozensets (lazy, memoised).
+
+    Only the subsumption checks read these, and most enqueued clauses die
+    (tautology, subsumed, never popped) before ever being queried, so the
+    sets are not worth building in ``_fill``.
+    """
+    gs = clause.gamma_set
+    if gs is None:
+        gs = frozenset(clause.gamma) if clause.gamma else _EMPTY_SET
+        clause.gamma_set = gs
+        clause.delta_set = frozenset(clause.delta) if clause.delta else _EMPTY_SET
+    return gs, clause.delta_set
+
+
+def _cmask_of(clause: IntClause) -> int:
+    """The clause's constant bitmask — bit ``i`` set iff id ``i`` occurs.
+
+    Lazy and memoised like the other derived fields (reset on an encoder
+    rebuild, where ids change meaning).  The unit-rewrite layer intersects it
+    with the union-find's touched-id mask to skip demodulating clauses that
+    cannot possibly be rewritten, and the dense model generator uses it to
+    key its per-constant verification neighbourhoods.
+    """
+    mask = clause.cmask
+    if mask is None:
+        mask = 0
+        for code in clause.gamma:
+            mask |= (1 << (code >> SHIFT)) | (1 << (code & _MASK))
+        for code in clause.delta:
+            mask |= (1 << (code >> SHIFT)) | (1 << (code & _MASK))
+        clause.cmask = mask
+    return mask
 
 
 class DenseEncoder:
@@ -192,6 +270,10 @@ class DenseEncoder:
     def const_id(self, constant: Const) -> int:
         """The dense id of a registered constant."""
         return self._const_id[constant]
+
+    def const_of(self, identifier: int) -> Const:
+        """The constant a dense id denotes (inverse of :meth:`const_id`)."""
+        return self._consts[identifier]
 
     def _seed(self, constants: Iterable[Const]) -> None:
         self._consts = list(constants)
@@ -272,7 +354,7 @@ class DenseEncoder:
                 )
             )
             self._fill(clause, gamma, delta)
-            self._clauses[gamma + (-1,) + delta] = clause
+            self._clauses[(gamma, delta)] = clause
         self.rebuilds += 1
         if self._on_rebuild is not None:
             self._on_rebuild(remap)
@@ -319,7 +401,7 @@ class DenseEncoder:
     # -- clauses -------------------------------------------------------------
     def intern(self, gamma: Tuple[int, ...], delta: Tuple[int, ...]) -> IntClause:
         """The unique :class:`IntClause` for two ascending-sorted code tuples."""
-        key = gamma + (-1,) + delta
+        key = (gamma, delta)
         clause = self._clauses.get(key)
         if clause is None:
             clause = IntClause()
@@ -328,6 +410,8 @@ class DenseEncoder:
             clause.seen = False
             clause.in_active = False
             clause.in_passive = False
+            clause.uf_gen = -1
+            clause.absorbed_unit = False
             clause.decoded = None
             self._clauses[key] = clause
         return clause
@@ -336,8 +420,18 @@ class DenseEncoder:
         """(Re)compute every derived field from the code tuples."""
         clause.gamma = gamma
         clause.delta = delta
-        clause.gamma_set = frozenset(gamma) if gamma else _EMPTY_SET
-        clause.delta_set = frozenset(delta) if delta else _EMPTY_SET
+        # Literal frozensets serve only the subsumption checks; fill them
+        # lazily (see ``_sets_of``) — most enqueued clauses never get there.
+        clause.gamma_set = None
+        clause.delta_set = None
+        # The clause's owner key in the forward-subsumption index: its
+        # minimal literal (tuples are ascending), gamma side preferred.
+        if gamma:
+            clause.fwd_key = gamma[0]
+        elif delta:
+            clause.fwd_key = _FWD_DELTA | delta[0]
+        else:
+            clause.fwd_key = -1
         # Feature bitmasks serve only the pre-index linear subsumption scans;
         # fill them lazily (see ``_masks_of``) so the indexed steady state
         # never pays for them.
@@ -350,16 +444,27 @@ class DenseEncoder:
             if (code >> SHIFT) == (code & _MASK):
                 tautology = True
                 break
-        if (
-            not tautology
-            and gamma
-            and delta
-            and not clause.gamma_set.isdisjoint(clause.delta_set)
-        ):
-            tautology = True
+        if not tautology and gamma and delta:
+            # Both tuples are ascending, so disjointness is a two-pointer
+            # walk — no set allocation on this per-distinct-clause path.
+            i = j = 0
+            len_g, len_d = len(gamma), len(delta)
+            while i < len_g and j < len_d:
+                a, b = gamma[i], delta[j]
+                if a == b:
+                    tautology = True
+                    break
+                if a < b:
+                    i += 1
+                else:
+                    j += 1
         clause.is_tautology = tautology
         clause.production = None
         clause.rest_delta = ()
+        # Lazy caches over the production remainder and the cmask-derived
+        # constant ids (the latter change meaning on a rebuild, like cmask).
+        clause.rest_set = None
+        clause.const_ids = None
         if not gamma and delta:
             # delta is ascending in atom-code order, which *is* the positive
             # literal ordering, so the last code is the maximal equation; it
@@ -377,6 +482,12 @@ class DenseEncoder:
         clause.gamma_pres = None
         clause.delta_pres = None
         clause.sort_key = None
+        # Id-derived masks and slot bitsets change meaning on a rebuild, so
+        # they are reset here (lazy like the rest; see ``_cmask_of`` and the
+        # engine's ``_bits_of``).
+        clause.cmask = None
+        clause.gbits = None
+        clause.dbits = None
 
     def gamma_pres_of(self, clause: IntClause) -> Tuple[int, ...]:
         """``gamma`` in canonical presentation order (lazy, memoised)."""
@@ -461,7 +572,7 @@ class DenseEncoder:
             )
         except KeyError:
             return None
-        return self._clauses.get(gamma + (-1,) + delta)
+        return self._clauses.get((gamma, delta))
 
     def decode(self, clause: IntClause) -> Clause:
         """The symbolic :class:`Clause` a dense clause denotes (memoised).
@@ -490,16 +601,44 @@ class IntClauseIndex:
     reasoning), but buckets are keyed by atom codes / constant ids and by the
     clause's intern ordinal, and the production facts come precomputed off
     the :class:`IntClause` instead of through the ordering's memo table.
+
+    With ``bits_of``/``slot_count`` wired in (the engine's bitset mode), the
+    subsumption queries test slot bitsets — ``cand & q == cand`` — instead of
+    frozenset containment; large buckets additionally keep a cached numpy
+    matrix of candidate rows so one vectorised compare answers the whole
+    bucket.  The bitset answers are exact (the slot map is injective), so the
+    two modes return identical results.
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        bits_of: Optional[Callable[["IntClause"], Tuple[int, int]]] = None,
+        slot_count: Optional[Callable[[], int]] = None,
+    ) -> None:
         self._tick = itertools.count()
         self._seq: Dict[int, int] = {}
         self._neg_occ: Dict[int, Dict[int, IntClause]] = {}
         self._pos_occ: Dict[int, Dict[int, IntClause]] = {}
+        #: Forward-subsumption buckets: each clause appears under exactly ONE
+        #: key — its minimal literal (``fwd_key``).  A subsumer's literals
+        #: all occur in the query, so its owner literal is a query literal:
+        #: scanning the query's owner buckets visits every possible subsumer
+        #: exactly once, where the occurrence buckets would re-check a
+        #: candidate once per shared literal.
+        self._fwd_occ: Dict[int, Dict[int, IntClause]] = {}
         self._gamma_occ: Dict[int, Dict[int, IntClause]] = {}
         self._maxeq_occ: Dict[int, Dict[int, IntClause]] = {}
         self._productive_by_big: Dict[int, Dict[int, IntClause]] = {}
+        self._bits_of = bits_of
+        self._slot_count = slot_count
+        #: (side, code) -> (candidate-row matrix, candidate snapshot, word
+        #: count).  The snapshot is a *prefix* of the bucket in insertion
+        #: order: additions never invalidate it (queries scan the tail
+        #: scalarly and the matrix is rebuilt once the tail outgrows the
+        #: snapshot — geometric, so amortised O(1) row encodes per add);
+        #: removals drop the entry, since they can evict prefix members.
+        #: Bitset mode only.
+        self._bulk_cache: Dict[Tuple[int, int], Tuple[object, List[IntClause], int]] = {}
 
     def __len__(self) -> int:
         return len(self._seq)
@@ -515,6 +654,9 @@ class IntClauseIndex:
             self._gamma_occ.setdefault(code & _MASK, {})[key] = clause
         for code in clause.delta:
             self._pos_occ.setdefault(code, {})[key] = clause
+        fwd = clause.fwd_key
+        if fwd >= 0:
+            self._fwd_occ.setdefault(fwd, {})[key] = clause
         production = clause.production
         if production is not None:
             big, small, equation = production
@@ -527,12 +669,22 @@ class IntClauseIndex:
         key = clause.ordinal
         if self._seq.pop(key, None) is None:
             return
+        bulk = self._bulk_cache if self._bits_of is not None else None
         for code in clause.gamma:
             self._discard(self._neg_occ, code, key)
             self._discard(self._gamma_occ, code >> SHIFT, key)
             self._discard(self._gamma_occ, code & _MASK, key)
+            if bulk:
+                bulk.pop((0, code), None)
         for code in clause.delta:
             self._discard(self._pos_occ, code, key)
+            if bulk:
+                bulk.pop((1, code), None)
+        fwd = clause.fwd_key
+        if fwd >= 0:
+            self._discard(self._fwd_occ, fwd, key)
+            if bulk:
+                bulk.pop((2, fwd), None)
         production = clause.production
         if production is not None:
             big, small, _ = production
@@ -551,41 +703,171 @@ class IntClauseIndex:
 
     # -- queries -------------------------------------------------------------
     def is_subsumed(self, clause: IntClause) -> bool:
-        # The query is existential, so buckets are scanned directly — the
-        # occasional duplicate candidate check is cheaper than materialising
-        # the union of the buckets per query.  No bitmask prefilter here:
-        # every candidate already shares a literal with the query (that is
-        # what the bucket means), so the C-level subset checks on small int
-        # frozensets beat an extra pair of mask tests (measured; the masks
-        # stay on the pre-index linear path, where candidates are arbitrary).
-        gamma_set, delta_set = clause.gamma_set, clause.delta_set
-        for codes, occ in ((clause.gamma, self._neg_occ), (clause.delta, self._pos_occ)):
+        # Forward queries go through the single-owner buckets (see
+        # ``_fwd_occ``): a subsumer's minimal literal is one of the query's
+        # literals, so the query's owner buckets cover every candidate and
+        # each candidate is tested at most once.  No bitmask prefilter here:
+        # every candidate already shares a literal with the query, so the
+        # C-level subset checks on small int frozensets beat an extra pair
+        # of mask tests (measured; the masks stay on the pre-index linear
+        # path, where candidates are arbitrary).
+        fwd_occ = self._fwd_occ
+        bits_of = self._bits_of
+        if bits_of is not None:
+            qg, qd = bits_of(clause)
+            for side_bit, codes in ((0, clause.gamma), (_FWD_DELTA, clause.delta)):
+                for code in codes:
+                    bucket = fwd_occ.get(side_bit | code)
+                    if not bucket:
+                        continue
+                    candidates = bucket.values()
+                    if _np is not None and len(bucket) >= _BULK_THRESHOLD:
+                        matrix, prefix, words = self._bulk_entry(
+                            2, side_bit | code, bucket
+                        )
+                        row = self._bulk_query_row(qg, qd, words)
+                        if bool(((matrix & ~row) == 0).all(axis=1).any()):
+                            return True
+                        # Additions since the snapshot sit past the prefix in
+                        # insertion order; scan just that tail scalarly.
+                        candidates = itertools.islice(candidates, len(prefix), None)
+                    for candidate in candidates:
+                        # Inline the memoised-bits fast path: one attribute
+                        # read per candidate instead of a function call.
+                        cg = candidate.gbits
+                        if cg is None:
+                            cg, cd = bits_of(candidate)
+                        else:
+                            cd = candidate.dbits
+                        if cg & qg == cg and cd & qd == cd:
+                            return True
+            return False
+        gamma_set, delta_set = _sets_of(clause)
+        for side_bit, codes in ((0, clause.gamma), (_FWD_DELTA, clause.delta)):
             for code in codes:
-                bucket = occ.get(code)
+                bucket = fwd_occ.get(side_bit | code)
                 if not bucket:
                     continue
                 for candidate in bucket.values():
-                    if candidate.gamma_set <= gamma_set and candidate.delta_set <= delta_set:
+                    cg = candidate.gamma_set
+                    if cg is None:
+                        cg, cd = _sets_of(candidate)
+                    else:
+                        cd = candidate.delta_set
+                    if cg <= gamma_set and cd <= delta_set:
                         return True
         return False
 
     def subsumed_by(self, clause: IntClause) -> List[IntClause]:
         smallest: Optional[Dict[int, IntClause]] = None
-        for codes, occ in ((clause.gamma, self._neg_occ), (clause.delta, self._pos_occ)):
+        smallest_key: Optional[Tuple[int, int]] = None
+        for side, codes, occ in (
+            (0, clause.gamma, self._neg_occ),
+            (1, clause.delta, self._pos_occ),
+        ):
             for code in codes:
                 bucket = occ.get(code)
                 if bucket is None:
                     return []
                 if smallest is None or len(bucket) < len(smallest):
                     smallest = bucket
+                    smallest_key = (side, code)
         if smallest is None:
             return []
-        gamma_set, delta_set = clause.gamma_set, clause.delta_set
-        return [
-            candidate
-            for candidate in smallest.values()
-            if gamma_set <= candidate.gamma_set and delta_set <= candidate.delta_set
-        ]
+        bits_of = self._bits_of
+        if bits_of is not None:
+            qg, qd = bits_of(clause)
+            victims: List[IntClause] = []
+            candidates = smallest.values()
+            if _np is not None and len(smallest) >= _BULK_THRESHOLD:
+                matrix, prefix, words = self._bulk_entry(
+                    smallest_key[0], smallest_key[1], smallest
+                )
+                if (qg >> (words * 64)) or (qd >> (words * 64)):
+                    # The query uses a slot no snapshot candidate has, so no
+                    # prefix row can contain it; the tail still can.
+                    pass
+                else:
+                    row = self._bulk_query_row(qg, qd, words)
+                    hits = ((~matrix & row) == 0).all(axis=1)
+                    victims.extend(prefix[i] for i in _np.nonzero(hits)[0])
+                # Prefix victims come first and the tail is scanned in
+                # insertion order, so the combined list matches the scalar
+                # path's bucket order.
+                candidates = itertools.islice(candidates, len(prefix), None)
+            for candidate in candidates:
+                cg = candidate.gbits
+                if cg is None:
+                    cg, cd = bits_of(candidate)
+                else:
+                    cd = candidate.dbits
+                if qg & cg == qg and qd & cd == qd:
+                    victims.append(candidate)
+            return victims
+        gamma_set, delta_set = _sets_of(clause)
+        victims = []
+        for candidate in smallest.values():
+            cg = candidate.gamma_set
+            if cg is None:
+                cg, cd = _sets_of(candidate)
+            else:
+                cd = candidate.delta_set
+            if gamma_set <= cg and delta_set <= cd:
+                victims.append(candidate)
+        return victims
+
+    # -- numpy bulk bucket scans (bitset mode only) --------------------------
+    def _bulk_entry(
+        self, side: int, code: int, bucket: Dict[int, IntClause]
+    ) -> Tuple[object, List[IntClause], int]:
+        """The cached ``(matrix, prefix, words)`` row set of one bucket.
+
+        Rows are the snapshot candidates' ``gamma`` and ``delta`` bitsets
+        side by side as little-endian uint64 words, in bucket insertion
+        order.  The snapshot covers the bucket as of the build; later
+        additions are the bucket's tail (scanned scalarly by the callers)
+        and the matrix is rebuilt only once the tail outgrows the snapshot,
+        so each clause is row-encoded O(1) times amortised.  Removals drop
+        the entry via :meth:`remove` (they can evict snapshot members).
+        Slot-table growth after a build is harmless — snapshot candidates
+        have no bits in slots assigned later, and query rows are truncated
+        to the cached width (see the callers for the containment arguments).
+        """
+        key = (side, code)
+        entry = self._bulk_cache.get(key)
+        if entry is not None and len(bucket) < 2 * len(entry[1]):
+            return entry
+        bits_of = self._bits_of
+        candidates = list(bucket.values())
+        pairs = [bits_of(candidate) for candidate in candidates]
+        words = max(1, (self._slot_count() + 63) // 64)
+        span = words * 8
+        buffer = bytearray(2 * span * len(pairs))
+        offset = 0
+        for gbits, dbits in pairs:
+            buffer[offset : offset + span] = gbits.to_bytes(span, "little")
+            offset += span
+            buffer[offset : offset + span] = dbits.to_bytes(span, "little")
+            offset += span
+        matrix = _np.frombuffer(bytes(buffer), dtype=_np.uint64).reshape(
+            len(pairs), 2 * words
+        )
+        entry = (matrix, candidates, words)
+        self._bulk_cache[key] = entry
+        return entry
+
+    @staticmethod
+    def _bulk_query_row(qg: int, qd: int, words: int):
+        """The query's bitsets as one row of ``2 * words`` uint64 words.
+
+        Bits beyond the cached width are dropped: for the forward query they
+        belong to slots no cached candidate has (``cand & ~q`` is zero there
+        regardless), and the backward caller rejects such queries up front.
+        """
+        span = words * 8
+        gb = qg.to_bytes(max(span, (qg.bit_length() + 7) // 8), "little")[:span]
+        db = qd.to_bytes(max(span, (qd.bit_length() + 7) // 8), "little")[:span]
+        return _np.frombuffer(gb + db, dtype=_np.uint64)
 
     def inference_partners(self, given: IntClause) -> List[IntClause]:
         candidates: Dict[int, IntClause] = {}
@@ -615,13 +897,10 @@ class IntClauseIndex:
             if bucket:
                 candidates.update(bucket)
         candidates.pop(given.ordinal, None)
-        sequence = self._seq
-        return [
-            clause
-            for _, clause in sorted(
-                (sequence[key], clause) for key, clause in candidates.items()
-            )
-        ]
+        # Sort the ordinals alone (a C-level key lookup per element) instead
+        # of building (sequence, clause) pairs to sort.
+        getter = self._seq.__getitem__
+        return [candidates[key] for key in sorted(candidates, key=getter)]
 
 
 class _DerivationView(_MappingBase):
@@ -677,15 +956,24 @@ class IntSaturationCore:
         use_index: bool,
         use_unit_rewrite: bool,
         index_threshold: int,
+        use_bitset: bool = False,
     ):
         self.order = order
         self.max_clauses = max_clauses
         self._encoder = DenseEncoder(order, on_rebuild=self._handle_rebuild)
-        self._index: Optional[IntClauseIndex] = IntClauseIndex() if use_index else None
+        self._use_bitset = use_bitset
+        #: atom code -> bit slot, assigned densely on first use (bitset mode).
+        self._slot: Dict[int, int] = {}
+        self._index: Optional[IntClauseIndex] = self._new_index() if use_index else None
         self._index_live = False
         self._index_threshold = index_threshold
         self._active: List[IntClause] = []
-        self._passive: List[Tuple[int, int, IntClause]] = []
+        #: Min-heap of ``(packed key, clause)`` — the key is
+        #: ``(weight << 40) | tick``, which orders exactly like the
+        #: ``(weight, tick)`` pair (ticks are far below 2**40) while keeping
+        #: heap sift comparisons single int compares.  Ticks are unique, so
+        #: the clause itself is never compared.
+        self._passive: List[Tuple[int, IntClause]] = []
         self._tick = itertools.count()
         #: Net membership changes of the known set (active + queued passive)
         #: since the last :meth:`drain_known_changes`: clause -> +1/-1.
@@ -702,7 +990,48 @@ class IntSaturationCore:
         #: first unit positive equality is absorbed (``_units_absorbed``).
         self._uf: List[int] = []
         self._units_absorbed = False
+        #: Bitmask of every id whose union-find representative differs from
+        #: itself — a clause disjoint from it cannot be demodulated.
+        self._touched_mask = 0
+        #: Bumped on every *effective* union.  Clauses are stamped with the
+        #: generation they were last demodulated under (``IntClause.uf_gen``),
+        #: so the pop-time pass skips clauses nothing has changed for.
+        self._uf_generation = 0
         self._change_feed_consumed = False
+
+    def _new_index(self) -> IntClauseIndex:
+        if self._use_bitset:
+            slot = self._slot
+            return IntClauseIndex(bits_of=self._bits_of, slot_count=lambda: len(slot))
+        return IntClauseIndex()
+
+    def _bits_of(self, clause: IntClause) -> Tuple[int, int]:
+        """The clause's ``(gamma, delta)`` slot bitsets (lazy, memoised).
+
+        One bit per *distinct atom code*, slots handed out densely on first
+        use.  The map is injective, so bitset containment is exactly literal
+        subset — unlike the hashed feature masks of :meth:`_masks_of`, these
+        are decision procedures, not prefilters.
+        """
+        gbits = clause.gbits
+        if gbits is None:
+            slot = self._slot
+            slot_get = slot.get
+            gbits = 0
+            for code in clause.gamma:
+                s = slot_get(code)
+                if s is None:
+                    s = slot[code] = len(slot)
+                gbits |= 1 << s
+            dbits = 0
+            for code in clause.delta:
+                s = slot_get(code)
+                if s is None:
+                    s = slot[code] = len(slot)
+                dbits |= 1 << s
+            clause.gbits = gbits
+            clause.dbits = dbits
+        return gbits, clause.dbits
 
     # -- public surface (mirrors SaturationEngine) --------------------------
     @property
@@ -716,6 +1045,15 @@ class IntSaturationCore:
     @property
     def derivations(self) -> Mapping[Clause, object]:
         return _DerivationView(self)
+
+    @property
+    def encoder(self) -> DenseEncoder:
+        """The engine's per-problem encoder (the dense model generator's boundary)."""
+        return self._encoder
+
+    def dense_core(self) -> "IntSaturationCore":
+        """This core — the dense model generator pairs with it directly."""
+        return self
 
     def add_clauses(self, clauses: Iterable[Clause]) -> None:
         for clause in clauses:
@@ -797,7 +1135,7 @@ class IntSaturationCore:
         decode = self._encoder.decode
         active = [decode(clause) for clause in self._active]
         passive = [
-            decode(clause) for _, _, clause in self._passive if clause.in_passive
+            decode(clause) for _, clause in self._passive if clause.in_passive
         ]
         return tuple(active) + tuple(passive)
 
@@ -823,6 +1161,26 @@ class IntSaturationCore:
                 added.append((decode(clause), sort_key_of(clause)))
             elif net < 0:
                 removed.append((decode(clause), sort_key_of(clause)))
+        self._known_delta.clear()
+        return added, removed
+
+    def drain_known_changes_raw(self) -> Tuple[List[IntClause], List[IntClause]]:
+        """The net known-set changes as bare :class:`IntClause` records.
+
+        The dense model generator's feed: no decoding, no key
+        materialisation — the consumer orders clauses by
+        :meth:`DenseEncoder.sort_key_of` on demand and symbolic objects are
+        built only at the model boundary.  Same destructive single-consumer
+        contract (and the same rebuild guard) as :meth:`drain_known_changes`.
+        """
+        self._change_feed_consumed = True
+        added: List[IntClause] = []
+        removed: List[IntClause] = []
+        for clause, net in self._known_delta.items():
+            if net > 0:
+                added.append(clause)
+            elif net < 0:
+                removed.append(clause)
         self._known_delta.clear()
         return added, removed
 
@@ -886,6 +1244,16 @@ class IntSaturationCore:
         big, small, _ = production
         left_rest = left.rest_delta
         intern = self._encoder.intern
+        # Roughly half the conclusions have been interned already; probing
+        # the intern table directly skips a call frame on that hot half, and
+        # a conclusion that was both interned and enqueued before is a
+        # complete no-op in ``_enqueue`` (the ``seen`` early-return precedes
+        # the generated counter) unless absorbed units mean it must still be
+        # demodulated and generation-stamped — so without them, skip the
+        # call and the premise-tuple allocation outright.
+        interned_get = self._encoder._clauses.get
+        enqueue = self._enqueue
+        skip_seen = not self._units_absorbed
         if right.gamma:
             delta: Optional[Tuple[int, ...]] = None
             for target in self._encoder.gamma_pres_of(right):
@@ -894,26 +1262,44 @@ class IntSaturationCore:
                     continue
                 if delta is None:
                     # The consequent is the same for every rewritten target;
-                    # build it once per premise pair.
+                    # build it once per premise pair, from the memoised
+                    # frozensets of both sides.
                     if left_rest:
-                        merged = set(left_rest)
-                        merged.update(right.delta)
-                        delta = tuple(sorted(merged))
+                        rest_set = left.rest_set
+                        if rest_set is None:
+                            rest_set = frozenset(left_rest)
+                            left.rest_set = rest_set
+                        _, rds = _sets_of(right)
+                        delta = tuple(sorted(rest_set | rds))
                     else:
                         delta = right.delta
-                code = _pack(small if b == big else b, small if s == big else s)
                 # Activated clauses carry no trivial antecedent atoms (they
                 # passed ``_simplify`` at enqueue), so the rewritten target is
-                # the only atom equality resolution could drop here.
-                gamma_codes = set(right.gamma_set)
-                gamma_codes.discard(target)
-                if (code >> SHIFT) != (code & _MASK):
-                    gamma_codes.add(code)
-                self._enqueue(
-                    intern(tuple(sorted(gamma_codes)), delta),
-                    "superposition-left",
-                    (left, right),
-                )
+                # the only atom equality resolution could drop here.  ``gamma``
+                # is already ascending, so the conclusion's antecedent is a
+                # splice — drop the target, insert the rewritten code in
+                # place — done with bisect positions and C-level tuple
+                # slices, not a set round-trip through ``sorted``.
+                right_gamma = right.gamma
+                position = bisect_left(right_gamma, target)
+                stripped = right_gamma[:position] + right_gamma[position + 1 :]
+                lo = small if b == big else b
+                hi = small if s == big else s
+                if lo == hi:
+                    gamma_codes = stripped
+                else:
+                    code = (lo << SHIFT) | hi if lo >= hi else (hi << SHIFT) | lo
+                    slot = bisect_left(stripped, code)
+                    if slot < len(stripped) and stripped[slot] == code:
+                        gamma_codes = stripped
+                    else:
+                        gamma_codes = stripped[:slot] + (code,) + stripped[slot:]
+                conclusion = interned_get((gamma_codes, delta))
+                if conclusion is None:
+                    conclusion = intern(gamma_codes, delta)
+                elif skip_seen and conclusion.seen:
+                    continue
+                enqueue(conclusion, "superposition-left", (left, right))
                 if self._refuted:
                     return
             return
@@ -951,6 +1337,10 @@ class IntSaturationCore:
     ) -> None:
         if self._units_absorbed:
             clause = self._demodulate(clause)
+            # The stamp only matters to the demodulation-skip logic, so
+            # clauses enqueued before any unit was absorbed keep their
+            # intern-time ``-1`` (a stale stamp just re-demodulates).
+            clause.uf_gen = self._uf_generation
         if clause.seen:
             return
         clause.seen = True
@@ -967,10 +1357,19 @@ class IntSaturationCore:
             self._register_active(clause)
             self._refuted = True
             return
-        heapq.heappush(self._passive, (clause.weight, next(self._tick), clause))
+        heapq.heappush(
+            self._passive, ((clause.weight << 40) | next(self._tick), clause)
+        )
         clause.in_passive = True
         if not clause.is_tautology:
-            self._mark_known(clause, 1)
+            # ``_mark_known(clause, 1)``, inlined on the per-generated-clause
+            # hot path (see that method for the tautology rationale).
+            known = self._known_delta
+            net = known.get(clause, 0) + 1
+            if net:
+                known[clause] = net
+            else:
+                known.pop(clause, None)
 
     def _mark_known(self, clause: IntClause, delta: int) -> None:
         # Tautologies never reach the model generator (it would discard them
@@ -987,10 +1386,17 @@ class IntSaturationCore:
 
     def _pop_passive(self) -> Optional[IntClause]:
         while self._passive:
-            _, _, clause = heapq.heappop(self._passive)
+            _, clause = heapq.heappop(self._passive)
             if clause.in_passive:
                 clause.in_passive = False
-                self._mark_known(clause, -1)
+                if not clause.is_tautology:
+                    # ``_mark_known(clause, -1)``, inlined (hot path).
+                    known = self._known_delta
+                    net = known.get(clause, 0) - 1
+                    if net:
+                        known[clause] = net
+                    else:
+                        known.pop(clause, None)
                 return clause
         return None
 
@@ -1011,7 +1417,51 @@ class IntSaturationCore:
         if self._unit_rewrite:
             production = clause.production
             if production is not None and len(clause.delta) == 1:
-                self._union(production[0], production[1])
+                # The absorbed unit must never be demodulated away itself:
+                # rewriting ``b = c`` under ``b ~ c`` trivialises it, and
+                # dropping it would remove the equality from the clause set
+                # the model generator reads (the union-find is engine state,
+                # not part of the set).  Mark it exempt before the union so
+                # the backward pass below skips it.
+                clause.absorbed_unit = True
+                changed = self._union(production[0], production[1])
+                if changed:
+                    self._backward_demodulate(changed)
+
+    def _backward_demodulate(self, changed: int) -> None:
+        """Demodulate actives invalidated by a newly absorbed unit equality.
+
+        ``changed`` is the bitmask of ids whose representative the union just
+        moved; only actives whose constant bitmask intersects it can rewrite.
+        A rewritten victim leaves the active set (its demodulated form
+        subsumes it given the unit) and the demodulated clause is re-enqueued
+        as a ``unit-rewrite`` derivation — the ``seen`` dedup in
+        :meth:`_enqueue` drops forms the engine already knows.  Sound because
+        the absorbed units stay active: ``C[b]`` follows from ``C[c]`` and
+        ``b = c``.
+        """
+        victims: List[Tuple[IntClause, IntClause]] = []
+        for active in self._active:
+            if active.absorbed_unit or active.is_empty:
+                continue
+            if _cmask_of(active) & changed == 0:
+                continue
+            rewritten = self._demodulate(active)
+            if rewritten is not active:
+                victims.append((active, rewritten))
+        if not victims:
+            return
+        index_live = self._index is not None and self._index_live
+        for active, _ in victims:
+            active.in_active = False
+            self._mark_known(active, -1)
+            if index_live:
+                self._index.remove(active)
+        self._active = [active for active in self._active if active.in_active]
+        for active, rewritten in victims:
+            self._enqueue(rewritten, "unit-rewrite", (active,))
+            if self._refuted:
+                return
 
     @staticmethod
     def _masks_of(clause: IntClause) -> Tuple[int, int]:
@@ -1037,18 +1487,23 @@ class IntSaturationCore:
     def _is_subsumed_by_active(self, clause: IntClause) -> bool:
         if self._index is not None and self._index_live:
             return self._index.is_subsumed(clause)
-        gamma_set, delta_set = clause.gamma_set, clause.delta_set
+        if self._use_bitset:
+            bits_of = self._bits_of
+            qg, qd = bits_of(clause)
+            for active in self._active:
+                ag, ad = bits_of(active)
+                if ag & qg == ag and ad & qd == ad:
+                    return True
+            return False
+        gamma_set, delta_set = _sets_of(clause)
         gmask, dmask = self._masks_of(clause)
         masks_of = self._masks_of
         for active in self._active:
             agmask, admask = masks_of(active)
-            if (
-                agmask & ~gmask == 0
-                and admask & ~dmask == 0
-                and active.gamma_set <= gamma_set
-                and active.delta_set <= delta_set
-            ):
-                return True
+            if agmask & ~gmask == 0 and admask & ~dmask == 0:
+                ags, ads = _sets_of(active)
+                if ags <= gamma_set and ads <= delta_set:
+                    return True
         return False
 
     def _remove_subsumed_active(self, clause: IntClause) -> None:
@@ -1061,12 +1516,21 @@ class IntSaturationCore:
                     self._mark_known(victim, -1)
                 self._active = [active for active in self._active if active.in_active]
             return
-        gamma_set, delta_set = clause.gamma_set, clause.delta_set
-        victims = [
-            active
-            for active in self._active
-            if gamma_set <= active.gamma_set and delta_set <= active.delta_set
-        ]
+        if self._use_bitset:
+            bits_of = self._bits_of
+            qg, qd = bits_of(clause)
+            victims = []
+            for active in self._active:
+                ag, ad = bits_of(active)
+                if qg & ag == qg and qd & ad == qd:
+                    victims.append(active)
+        else:
+            gamma_set, delta_set = _sets_of(clause)
+            victims = []
+            for active in self._active:
+                ags, ads = _sets_of(active)
+                if gamma_set <= ags and delta_set <= ads:
+                    victims.append(active)
         if victims:
             for victim in victims:
                 victim.in_active = False
@@ -1096,8 +1560,12 @@ class IntSaturationCore:
                 "dense ids were renumbered after the known-change feed was "
                 "consumed; register all constants before the first drain"
             )
+        # Atom codes changed meaning: the slot table (and with it every
+        # clause's cached bitsets, already reset by the encoder's re-fill)
+        # starts over, handed out lazily against the new codes.
+        self._slot.clear()
         if self._index is not None and self._index_live:
-            self._index = IntClauseIndex()
+            self._index = self._new_index()
             for active in self._active:
                 if not active.is_empty:
                     self._index.add(active)
@@ -1114,6 +1582,10 @@ class IntSaturationCore:
             # rebuild sort is stable over an already-ascending list), so a
             # class's minimal-id root stays minimal after renumbering.
             self._uf = new
+            self._touched_mask = 0
+            for identifier, parent in enumerate(new):
+                if parent != identifier:
+                    self._touched_mask |= 1 << identifier
 
     # -- unit rewriting ------------------------------------------------------
     def _find(self, identifier: int) -> int:
@@ -1125,19 +1597,33 @@ class IntSaturationCore:
             uf[identifier], identifier = root, uf[identifier]
         return root
 
-    def _union(self, a: int, b: int) -> None:
+    def _union(self, a: int, b: int) -> int:
+        """Absorb ``a = b``; returns the bitmask of ids whose normal form moved.
+
+        A no-op union (already equivalent) returns 0.  An effective union
+        repoints the larger root at the smaller — the smaller id is the
+        term-order-smaller constant, so demodulation always rewrites
+        downwards — which changes the representative of *every member of the
+        losing class*; that member set is the returned mask, accumulated into
+        ``_touched_mask`` and used to scope backward demodulation.
+        """
         if not self._uf or len(self._uf) < len(self._encoder):
             self._uf.extend(range(len(self._uf), len(self._encoder)))
         ra, rb = self._find(a), self._find(b)
         if ra == rb:
-            return
-        # The smaller id is the term-order-smaller constant: making it the
-        # representative means demodulation always rewrites downwards.
-        if ra < rb:
-            self._uf[rb] = ra
-        else:
-            self._uf[ra] = rb
+            return 0
+        if ra > rb:
+            ra, rb = rb, ra
+        find = self._find
+        changed = 0
+        for identifier in range(len(self._uf)):
+            if find(identifier) == rb:
+                changed |= 1 << identifier
+        self._uf[rb] = ra
         self._units_absorbed = True
+        self._touched_mask |= changed
+        self._uf_generation += 1
+        return changed
 
     def _demodulate(self, clause: IntClause) -> IntClause:
         """Rewrite every constant to its union-find representative.
@@ -1149,6 +1635,10 @@ class IntSaturationCore:
         """
         if len(self._uf) < len(self._encoder):
             self._uf.extend(range(len(self._uf), len(self._encoder)))
+        if _cmask_of(clause) & self._touched_mask == 0:
+            # No constant of the clause has a moved representative: the walk
+            # below would be an identity.
+            return clause
         find = self._find
         changed = False
         gamma: List[int] = []
@@ -1180,10 +1670,18 @@ class IntSaturationCore:
         Returns ``None`` when the demodulated form is already known (it was
         processed, queued, or discarded before — either way it contributes
         nothing new), mirroring the ``seen`` dedup of :meth:`_enqueue`.
+
+        Every clause is demodulated once at enqueue and stamped with the
+        union-find generation; if no union fired since, this pop-time pass is
+        provably an identity and is skipped outright.
         """
+        if given.uf_gen == self._uf_generation:
+            return given
         rewritten = self._demodulate(given)
         if rewritten is given:
+            given.uf_gen = self._uf_generation
             return given
+        rewritten.uf_gen = self._uf_generation
         if rewritten.seen:
             return None
         rewritten.seen = True

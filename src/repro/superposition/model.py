@@ -36,6 +36,7 @@ from repro.logic.atoms import EqAtom
 from repro.logic.clauses import Clause
 from repro.logic.ordering import TermOrder
 from repro.logic.terms import Const
+from repro.superposition.kernel import _MASK, SHIFT, IntClause, _cmask_of
 from repro.superposition.rewrite import RewriteRelation
 
 
@@ -206,9 +207,14 @@ class IncrementalModelGenerator:
     caches are invalidated exactly when their inputs change.
     """
 
-    def __init__(self, order: TermOrder, verify: bool = True):
+    def __init__(self, order: TermOrder, verify: bool = True, dense: bool = True):
         self.order = order
         self.verify = verify
+        #: Prefer the dense-side generator when the paired engine exposes a
+        #: kernel core (see :class:`_DenseModelGenerator`); disabled by the
+        #: ``use_dense_models`` ablation, which keeps the decoded-clause feed.
+        self.dense = dense
+        self._dense_impl: Optional[_DenseModelGenerator] = None
         self._members: Set[Clause] = set()
         self._keys: List[Tuple] = []
         self._ordered: List[Clause] = []
@@ -232,9 +238,11 @@ class IncrementalModelGenerator:
         #: Normal form of every constant at the last verification.
         self._verified_normal_forms: Dict[Const, Const] = {}
         #: Which key function populated ``_keys``: ``None`` until first use,
-        #: then "symbolic" (``TermOrder.clause_sort_key``) or "dense" (the
-        #: kernel's packed literal keys).  The two orders agree but the key
-        #: values don't, so one generator must never mix them.
+        #: then "symbolic" (``TermOrder.clause_sort_key``), "dense" (the
+        #: kernel's packed literal keys over decoded clauses), or
+        #: "dense-core" (the :class:`_DenseModelGenerator` owns all state).
+        #: The orders agree but the keys/structures don't, so one generator
+        #: must never mix modes.
         self._key_mode: Optional[str] = None
 
     def model_for(self, clauses: Iterable[Clause]) -> EqualityModel:
@@ -249,14 +257,29 @@ class IncrementalModelGenerator:
     def model_for_engine(self, engine) -> EqualityModel:
         """The candidate model of an engine's current known clause set.
 
-        When the engine maintains a change feed (the dense kernel does —
-        ``drain_known_changes``), the ordered list, trail and verification
+        With a kernel engine and ``dense`` enabled (the default), the whole
+        construction runs on the dense side: a :class:`_DenseModelGenerator`
+        consumes the engine's raw :class:`IntClause` feed and maintains the
+        ordered list, trail and verification caches over integer ids —
+        symbolic objects are materialised only at the model boundary.
+
+        Otherwise, when the engine maintains a (decoded) change feed
+        (``drain_known_changes``), the ordered list, trail and verification
         caches are updated from the *deltas* under the engine's precomputed
         dense sort keys, skipping both the full-set diff and the symbolic
-        key computations of :meth:`model_for`; otherwise this falls back to
-        diffing ``known_pure_clauses()``.  The change feed supports one
+        key computations of :meth:`model_for`; failing that, this falls back
+        to diffing ``known_pure_clauses()``.  The change feed supports one
         consumer, which is exactly the pairing the prover creates.
         """
+        if self._dense_impl is not None:
+            return self._dense_impl.model()
+        if self.dense:
+            core_of = getattr(engine, "dense_core", None)
+            core = core_of() if core_of is not None else None
+            if core is not None:
+                self._set_key_mode("dense-core")
+                self._dense_impl = _DenseModelGenerator(core, self.order, self.verify)
+                return self._dense_impl.model()
         changes = engine.drain_known_changes()
         if changes is None:
             return self.model_for(engine.known_pure_clauses())
@@ -512,6 +535,321 @@ class IncrementalModelGenerator:
                     )
                 )
             checked_generators[edge] = generator
+
+
+def _const_ids_of(clause: IntClause) -> List[int]:
+    """The dense constant ids occurring in a kernel clause (via its cmask).
+
+    Memoised on the clause — the change feed adds and later removes the same
+    record, and the cache resets with ``cmask`` on a rebuild.
+    """
+    ids = clause.const_ids
+    if ids is None:
+        mask = _cmask_of(clause)
+        ids = []
+        while mask:
+            low = mask & -mask
+            ids.append(low.bit_length() - 1)
+            mask ^= low
+        clause.const_ids = ids
+    return ids
+
+
+class _DenseModelGenerator:
+    """``Gen(S*)`` over :class:`IntClause` records and dense constant ids.
+
+    The dense twin of :class:`IncrementalModelGenerator`'s internals: the
+    same ordered list / construction trail / per-constant verification cache
+    design, but every structure is keyed by integers — clauses come straight
+    off the kernel's raw change feed (``drain_known_changes_raw``), ordering
+    uses the precomputed packed sort keys, satisfaction checks unpack atom
+    codes with two shifts, and the rewrite relation is a plain ``int -> int``
+    dictionary.  Nothing is decoded during maintenance; symbolic objects are
+    built only in :meth:`_materialise` — and even there, an unchanged
+    edge/generator sequence returns the previous round's
+    :class:`EqualityModel` object outright, with its normal-form cache primed
+    from the construction's own snapshot.
+
+    Equivalence with the symbolic generator is structural: the dense sort key
+    is order- and equality-isomorphic to ``TermOrder.clause_sort_key``, the
+    precomputed ``IntClause.production`` agrees with ``TermOrder.production``
+    literal-for-literal, and satisfaction is evaluated over the same normal
+    forms — so the construction visits the same clauses in the same order and
+    produces the identical edge and generator sequence (pinned by the matrix
+    tests in ``tests/test_kernel.py``).
+    """
+
+    def __init__(self, core, order: TermOrder, verify: bool):
+        self._core = core
+        self._encoder = core.encoder
+        self.order = order
+        self.verify = verify
+        self._members: Set[IntClause] = set()
+        self._keys: List[Tuple[int, ...]] = []
+        self._ordered: List[IntClause] = []
+        #: Per-position construction decision: ``None`` (no edge),
+        #: ``(big, small)`` id pair, or ``_UNDECIDED``; the producing clause
+        #: is the position's clause, so it is not stored.
+        self._decisions: List[object] = []
+        self._replay_barrier = 0
+        #: constant id -> clauses of the current set mentioning it.
+        self._clauses_by_const: Dict[int, Set[IntClause]] = {}
+        self._verified_edges: Optional[FrozenSet[Tuple[int, int]]] = None
+        self._verified_normal_forms: Dict[int, int] = {}
+        self._verified_generators: Dict[Tuple[int, int], IntClause] = {}
+        self._unverified: Set[IntClause] = set()
+        #: IntClause -> its (immutable) GeneratingClause record; an interned
+        #: clause determines its equation, so the record never changes.
+        self._generating_cache: Dict[IntClause, GeneratingClause] = {}
+        self._boundary_signature: Optional[List[Tuple[int, int, int]]] = None
+        self._boundary_model: Optional[EqualityModel] = None
+
+    def model(self) -> EqualityModel:
+        """The candidate model of the paired core's current known set."""
+        added, removed = self._core.drain_known_changes_raw()
+        if added or removed:
+            self._apply_changes(added, removed)
+        edges, gen_of, normal_forms = self._construct()
+        if self.verify:
+            self._verify(edges, gen_of, normal_forms)
+        return self._materialise(edges, gen_of, normal_forms)
+
+    # -- maintenance ---------------------------------------------------------
+    def _apply_changes(self, added: List[IntClause], removed: List[IntClause]) -> None:
+        sort_key_of = self._encoder.sort_key_of
+        by_const = self._clauses_by_const
+        members = self._members
+        unverified = self._unverified
+        keys, ordered, decisions = self._keys, self._ordered, self._decisions
+        for clause in removed:
+            if clause not in members:
+                continue
+            members.discard(clause)
+            position = bisect_left(keys, sort_key_of(clause))
+            decision = decisions[position]
+            del keys[position]
+            del ordered[position]
+            del decisions[position]
+            if decision is not None and decision is not _UNDECIDED:
+                self._replay_barrier = min(self._replay_barrier, position)
+            elif position < self._replay_barrier:
+                self._replay_barrier -= 1
+            unverified.discard(clause)
+            for identifier in _const_ids_of(clause):
+                bucket = by_const.get(identifier)
+                if bucket is not None:
+                    bucket.discard(clause)
+        for clause in added:
+            # Kernel clauses are pure by construction; the feed filters
+            # tautologies, but mirror the symbolic guards for direct users.
+            if clause.is_empty:
+                raise ValueError("cannot generate a model: the empty clause is present")
+            if clause.is_tautology or clause in members:
+                continue
+            members.add(clause)
+            key = sort_key_of(clause)
+            position = bisect_left(keys, key)
+            keys.insert(position, key)
+            ordered.insert(position, clause)
+            decisions.insert(position, _UNDECIDED)
+            if position < self._replay_barrier:
+                self._replay_barrier += 1
+            unverified.add(clause)
+            for identifier in _const_ids_of(clause):
+                by_const.setdefault(identifier, set()).add(clause)
+
+    # -- construction --------------------------------------------------------
+    def _construct(
+        self,
+    ) -> Tuple[Dict[int, int], Dict[Tuple[int, int], IntClause], Dict[int, int]]:
+        decisions = self._decisions
+        barrier = self._replay_barrier
+        trusted = True
+        edges: Dict[int, int] = {}
+        gen_of: Dict[Tuple[int, int], IntClause] = {}
+        # Normal forms of the relation built so far, maintained eagerly per
+        # edge exactly like the symbolic `_construct` (ids absent from the
+        # dict are their own normal form).
+        normal_forms: Dict[int, int] = {}
+        nf_get = normal_forms.get
+        classes: Dict[int, List[int]] = {}
+
+        def apply_edge(big: int, small: int) -> None:
+            edges[big] = small
+            target = nf_get(small, small)
+            group = classes.pop(big, None)
+            if group is None:
+                group = [big]
+            else:
+                group.append(big)
+            for identifier in group:
+                normal_forms[identifier] = target
+            bucket = classes.get(target)
+            if bucket is None:
+                classes[target] = group
+            else:
+                bucket.extend(group)
+
+        for position, clause in enumerate(self._ordered):
+            if trusted:
+                if position >= barrier:
+                    trusted = False
+                else:
+                    decision = decisions[position]
+                    if decision is not _UNDECIDED:
+                        if decision is not None:
+                            big, small = decision
+                            apply_edge(big, small)
+                            gen_of[(big, small)] = clause
+                        continue
+            satisfied = False
+            for code in clause.gamma:
+                big, small = code >> SHIFT, code & _MASK
+                if nf_get(big, big) != nf_get(small, small):
+                    satisfied = True
+                    break
+            if not satisfied:
+                for code in clause.delta:
+                    big, small = code >> SHIFT, code & _MASK
+                    if nf_get(big, big) == nf_get(small, small):
+                        satisfied = True
+                        break
+            fresh = None
+            if not satisfied:
+                production = clause.production
+                if production is not None and production[0] not in edges:
+                    big, small, _equation = production
+                    apply_edge(big, small)
+                    gen_of[(big, small)] = clause
+                    fresh = (big, small)
+            if trusted and fresh is not None:
+                trusted = False
+            decisions[position] = fresh
+        self._replay_barrier = len(self._ordered)
+        return edges, gen_of, normal_forms
+
+    # -- verification --------------------------------------------------------
+    def _verify(
+        self,
+        edges: Dict[int, int],
+        gen_of: Dict[Tuple[int, int], IntClause],
+        normal_forms: Dict[int, int],
+    ) -> None:
+        edge_set = frozenset(edges.items())
+        unverified = self._unverified
+        if edge_set != self._verified_edges:
+            nf_get = normal_forms.get
+            snapshot = {
+                identifier: nf_get(identifier, identifier)
+                for identifier in self._clauses_by_const
+            }
+            previous_get = self._verified_normal_forms.get
+            for identifier, normal in snapshot.items():
+                if previous_get(identifier, identifier) != normal:
+                    unverified |= self._clauses_by_const[identifier]
+            self._verified_normal_forms = snapshot
+            self._verified_edges = edge_set
+            self._verified_generators = {}
+        snapshot_get = self._verified_normal_forms.get
+        if unverified:
+            for clause in list(unverified):
+                satisfied = False
+                for code in clause.gamma:
+                    big, small = code >> SHIFT, code & _MASK
+                    if snapshot_get(big, big) != snapshot_get(small, small):
+                        satisfied = True
+                        break
+                if not satisfied:
+                    for code in clause.delta:
+                        big, small = code >> SHIFT, code & _MASK
+                        if snapshot_get(big, big) == snapshot_get(small, small):
+                            satisfied = True
+                            break
+                if not satisfied:
+                    raise ModelGenerationError(
+                        "the candidate model does not satisfy the clause {}".format(
+                            self._encoder.decode(clause)
+                        )
+                    )
+                unverified.discard(clause)
+        checked = self._verified_generators
+        for edge, generator in gen_of.items():
+            if checked.get(edge) is generator:
+                continue
+            # Lemma 3.1(2): leftover gamma atoms hold, leftover delta atoms
+            # (everything but the generating equation) fail.
+            leftover_ok = True
+            for code in generator.gamma:
+                big, small = code >> SHIFT, code & _MASK
+                if snapshot_get(big, big) != snapshot_get(small, small):
+                    leftover_ok = False
+                    break
+            if leftover_ok:
+                top = generator.production[2]
+                for code in generator.delta:
+                    if code == top:
+                        continue
+                    big, small = code >> SHIFT, code & _MASK
+                    if snapshot_get(big, big) == snapshot_get(small, small):
+                        leftover_ok = False
+                        break
+            if not leftover_ok:
+                const_of = self._encoder.const_of
+                raise ModelGenerationError(
+                    "the generating clause of the edge {} => {} has leftover literals "
+                    "that the candidate model does not refute ({})".format(
+                        const_of(edge[0]), const_of(edge[1]), self._encoder.decode(generator)
+                    )
+                )
+            checked[edge] = generator
+
+    # -- the symbolic boundary -----------------------------------------------
+    def _generating(self, clause: IntClause) -> GeneratingClause:
+        record = self._generating_cache.get(clause)
+        if record is None:
+            decoded = self._encoder.decode(clause)
+            equation = self._encoder.atom_of(clause.production[2])
+            record = GeneratingClause(
+                clause=decoded,
+                equation=equation,
+                leftover_gamma=decoded.gamma,
+                leftover_delta=decoded.delta - {equation},
+            )
+            self._generating_cache[clause] = record
+        return record
+
+    def _materialise(
+        self,
+        edges: Dict[int, int],
+        gen_of: Dict[Tuple[int, int], IntClause],
+        normal_forms: Dict[int, int],
+    ) -> EqualityModel:
+        signature = [
+            (big, small, generator.ordinal)
+            for (big, small), generator in gen_of.items()
+        ]
+        if signature == self._boundary_signature:
+            # Same edges from the same generators: the previous round's model
+            # object (and its warm normal-form cache) is still exact.  The
+            # model is read-only downstream, so sharing it is safe.
+            return self._boundary_model
+        const_of = self._encoder.const_of
+        nf_get = normal_forms.get
+        relation = RewriteRelation.preloaded(
+            {const_of(big): const_of(small) for big, small in edges.items()},
+            {
+                const_of(identifier): const_of(nf_get(identifier, identifier))
+                for identifier in self._clauses_by_const
+            },
+        )
+        generators = {
+            (const_of(big), const_of(small)): self._generating(generator)
+            for (big, small), generator in gen_of.items()
+        }
+        model = EqualityModel(relation=relation, generators=generators, order=self.order)
+        self._boundary_signature = signature
+        self._boundary_model = model
+        return model
 
 
 def _verify_model(

@@ -60,6 +60,25 @@ class RewriteRelation:
         """An independent copy of the relation."""
         return RewriteRelation(dict(self._edges))
 
+    @classmethod
+    def preloaded(
+        cls, edges: Dict[Const, Const], normal_forms: Dict[Const, Const]
+    ) -> "RewriteRelation":
+        """A relation whose normal-form cache starts populated.
+
+        The dense model generator computes every known constant's normal form
+        as a by-product of its own (integer-side) construction; materialising
+        the boundary relation with those values already cached means the
+        downstream satisfaction and normalisation queries never re-chase a
+        rewrite chain the construction has already walked.  The caller
+        vouches that ``normal_forms`` maps constants to their exact normal
+        forms under ``edges`` — a wrong value here silently corrupts
+        satisfaction answers, so only construction-derived snapshots qualify.
+        """
+        relation = cls(edges)
+        relation._nf_cache.update(normal_forms)
+        return relation
+
     # -- basic protocol ----------------------------------------------------
     def __len__(self) -> int:
         return len(self._edges)

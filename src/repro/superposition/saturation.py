@@ -156,6 +156,11 @@ class SaturationEngine:
         Override the adaptive activation point (``None`` uses
         :data:`ADAPTIVE_INDEX_THRESHOLD`; ``0`` builds the index from the
         first clause, the pre-adaptive behaviour).
+    use_bitset:
+        Run subsumption on exact per-clause literal bitsets (big-int masks
+        over a per-engine atom-slot table, with a numpy bulk path for large
+        index buckets).  Containment answers are exact, so derivations stay
+        byte-identical; requires the kernel.
     """
 
     def __init__(
@@ -166,6 +171,7 @@ class SaturationEngine:
         use_kernel: bool = True,
         use_unit_rewrite: bool = False,
         index_threshold: Optional[int] = None,
+        use_bitset: bool = False,
     ):
         self.order = order
         self.calculus = SuperpositionCalculus(order)
@@ -173,11 +179,13 @@ class SaturationEngine:
         threshold = ADAPTIVE_INDEX_THRESHOLD if index_threshold is None else index_threshold
         if use_unit_rewrite and not use_kernel:
             raise ValueError("unit-rewrite simplification requires the integer kernel")
+        if use_bitset and not use_kernel:
+            raise ValueError("bitset subsumption requires the integer kernel")
         if use_kernel:
             from repro.superposition.kernel import IntSaturationCore
 
             self._core: Optional[IntSaturationCore] = IntSaturationCore(
-                order, max_clauses, use_index, use_unit_rewrite, threshold
+                order, max_clauses, use_index, use_unit_rewrite, threshold, use_bitset
             )
             return
         self._core = None
@@ -328,6 +336,15 @@ class SaturationEngine:
         if self._core is not None:
             return self._core.drain_known_changes()
         return None
+
+    def dense_core(self):
+        """The kernel core, or ``None`` on the symbolic path.
+
+        The dense model generator pairs with the core directly (raw
+        :class:`~repro.superposition.kernel.IntClause` feed, no decoding);
+        everything else should go through this facade.
+        """
+        return self._core
 
     def clauses(self) -> Tuple[Clause, ...]:
         """The currently active (saturated so far) clauses."""

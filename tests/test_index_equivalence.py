@@ -64,25 +64,38 @@ def test_indexed_prover_matches_reference_on_corpus():
             assert falsifies_entailment(cex.stack, cex.heap, entailment)
 
 
+#: The {kernel} x {index} x {bitset} engine matrix: bitset subsumption
+#: requires the kernel, so the full cross product has six members.
+ENGINE_MATRIX = tuple(
+    (use_kernel, use_index, use_bitset)
+    for use_kernel in (True, False)
+    for use_index in (True, False)
+    for use_bitset in ((True, False) if use_kernel else (False,))
+)
+
+
 def test_indexed_engine_derives_identical_clause_sets():
     """The given-clause loop itself: same actives, in the same order, same counts.
 
-    The matrix covers the clause index and the integer kernel independently —
-    all four configurations must agree clause-for-clause (see also
-    tests/test_kernel.py for the kernel-specific pins).
+    The matrix covers the clause index, the integer kernel and bitset
+    subsumption independently — all six configurations must agree
+    clause-for-clause (see also tests/test_kernel.py for the kernel-specific
+    pins).
     """
     for entailment in _corpus()[:60]:
         embedding = cnf(entailment)
         engines = []
-        for use_kernel in (True, False):
-            for use_index in (True, False):
-                order = default_order(entailment.constants())
-                engine = SaturationEngine(
-                    order, use_index=use_index, use_kernel=use_kernel
-                )
-                engine.add_clauses(embedding.pure_clauses)
-                engine.saturate()
-                engines.append(engine)
+        for use_kernel, use_index, use_bitset in ENGINE_MATRIX:
+            order = default_order(entailment.constants())
+            engine = SaturationEngine(
+                order,
+                use_index=use_index,
+                use_kernel=use_kernel,
+                use_bitset=use_bitset,
+            )
+            engine.add_clauses(embedding.pure_clauses)
+            engine.saturate()
+            engines.append(engine)
         naive = engines[-1]
         for engine in engines[:-1]:
             assert engine.refuted == naive.refuted
@@ -123,15 +136,17 @@ class TestGeneratorRoutedProperties:
         entailment = EntailmentGenerator(seed=seed).case(0).entailment
         embedding = cnf(entailment)
         engines = []
-        for use_kernel in (True, False):
-            for use_index in (True, False):
-                order = default_order(entailment.constants())
-                engine = SaturationEngine(
-                    order, use_index=use_index, use_kernel=use_kernel
-                )
-                engine.add_clauses(embedding.pure_clauses)
-                engine.saturate()
-                engines.append(engine)
+        for use_kernel, use_index, use_bitset in ENGINE_MATRIX:
+            order = default_order(entailment.constants())
+            engine = SaturationEngine(
+                order,
+                use_index=use_index,
+                use_kernel=use_kernel,
+                use_bitset=use_bitset,
+            )
+            engine.add_clauses(embedding.pure_clauses)
+            engine.saturate()
+            engines.append(engine)
         naive = engines[-1]
         for engine in engines[:-1]:
             assert engine.refuted == naive.refuted

@@ -146,16 +146,25 @@ def _saturate(entailment, use_kernel, use_index, **engine_kwargs):
     return engine
 
 
+#: {kernel} x {index} x {bitset}: bitset subsumption needs the kernel, so
+#: the full cross product has six members; the last is the symbolic,
+#: unindexed reference behaviour.
+ENGINE_MATRIX = tuple(
+    (use_kernel, use_index, use_bitset)
+    for use_kernel in (True, False)
+    for use_index in (True, False)
+    for use_bitset in ((True, False) if use_kernel else (False,))
+)
+
+
 class TestKernelDerivationIdentity:
     def test_kernel_matrix_derives_identical_clauses_on_corpus(self):
-        """All four engine configurations: same actives, same order, same
+        """All six engine configurations: same actives, same order, same
         counts, same derivation records, over the equivalence corpus."""
         for entailment in _mixed_theory_corpus(60):
             engines = [
-                _saturate(entailment, use_kernel, use_index)
-                for use_kernel, use_index in itertools.product(
-                    (True, False), (True, False)
-                )
+                _saturate(entailment, use_kernel, use_index, use_bitset=use_bitset)
+                for use_kernel, use_index, use_bitset in ENGINE_MATRIX
             ]
             base = engines[-1]  # symbolic, unindexed: the reference behaviour
             base_derivations = {
@@ -430,3 +439,296 @@ class TestKnownChangeFeed:
         assert [clause for clause, _ in by_dense] == [
             clause for clause, _ in by_symbolic
         ]
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2 ** 30),
+        late_count=st.integers(min_value=1, max_value=3),
+    )
+    @settings(deadline=None, max_examples=30)
+    def test_feed_keys_stay_order_isomorphic_across_a_rebuild(self, seed, late_count):
+        """A late-constant renumbering happening *before* the first drain must
+        leave the drained dense keys order-isomorphic to (in fact injectively
+        consistent with) ``TermOrder.clause_sort_key``."""
+        entailment = EntailmentGenerator(seed=seed).case(0).entailment
+        order = default_order(entailment.constants())
+        core = IntSaturationCore(
+            order, max_clauses=200000, use_index=True,
+            use_unit_rewrite=False, index_threshold=24,
+        )
+        core.add_clauses(cnf(entailment).pure_clauses)
+        core.saturate()
+        # Capital names sort below every generated constant, so interning
+        # them cannot keep the dense id space monotone: the encoder must
+        # renumber every existing id (and re-fill every interned clause).
+        late = [make_const("A{}".format(i)) for i in range(late_count)]
+        core.add_clauses(
+            [Clause.pure(delta=[intern_atom(constant, NIL)]) for constant in late]
+            + [
+                Clause.pure(gamma=[intern_atom(late[0], NIL)]),
+            ]
+        )
+        core.saturate()
+        added, removed = core.drain_known_changes()
+        clause_sort_key = order.clause_sort_key
+        for feed in (added, removed):
+            by_dense = sorted(feed, key=lambda pair: pair[1])
+            by_symbolic = sorted(feed, key=lambda pair: clause_sort_key(pair[0]))
+            assert [clause for clause, _ in by_dense] == [
+                clause for clause, _ in by_symbolic
+            ]
+            # Injectivity: distinct clauses never share a dense key.
+            keys = [key for _, key in feed]
+            assert len(set(keys)) == len(keys)
+
+    def test_rebuild_after_drain_is_refused(self):
+        """Dense keys already handed out must never be silently invalidated."""
+        a, b = make_const("a"), make_const("b")
+        order = default_order([a, b])
+        core = IntSaturationCore(
+            order, max_clauses=200000, use_index=True,
+            use_unit_rewrite=False, index_threshold=24,
+        )
+        core.add_clauses([Clause.pure(delta=[intern_atom(a, b)])])
+        core.saturate()
+        core.drain_known_changes_raw()
+        with pytest.raises(RuntimeError):
+            core.add_clauses([Clause.pure(delta=[intern_atom(make_const("A"), NIL)])])
+
+
+# ---------------------------------------------------------------------------
+# Bitset subsumption
+# ---------------------------------------------------------------------------
+
+
+class TestBitsetSubsumption:
+    def test_requires_the_kernel(self):
+        order = default_order([make_const("a")])
+        with pytest.raises(ValueError):
+            SaturationEngine(order, use_kernel=False, use_bitset=True)
+
+    def test_bitset_queries_match_brute_force(self):
+        """Forward and backward subsumption answers (and victim order)
+        against set-containment brute force, across adds and removes."""
+        import random
+
+        from repro.logic.clauses import Clause as SymClause
+
+        rng = random.Random(13)
+        pool = list(variable_pool(6)) + [NIL]
+        clauses = []
+        seen = set()
+        while len(clauses) < 140:
+            gamma = frozenset(
+                intern_atom(rng.choice(pool), rng.choice(pool))
+                for _ in range(rng.randint(0, 2))
+            )
+            delta = frozenset(
+                intern_atom(rng.choice(pool), rng.choice(pool))
+                for _ in range(rng.randint(0, 3))
+            )
+            clause = SymClause(gamma, delta, None, True)
+            if not clause.is_empty and not clause.is_tautology and clause not in seen:
+                seen.add(clause)
+                clauses.append(clause)
+        order = default_order([c for clause in clauses for c in clause.constants()])
+        core = IntSaturationCore(
+            order, max_clauses=200000, use_index=True,
+            use_unit_rewrite=False, index_threshold=24, use_bitset=True,
+        )
+        index = core._new_index()
+        active = []
+        for clause in clauses:
+            encoded = core._encoder.encode_clause(clause)
+            # The brute-force oracle works off the raw code tuples: the
+            # memoised frozensets are the implementation under test.
+            eg, ed = frozenset(encoded.gamma), frozenset(encoded.delta)
+            expected_forward = any(
+                frozenset(a.gamma) <= eg and frozenset(a.delta) <= ed
+                for a in active
+            )
+            assert index.is_subsumed(encoded) == expected_forward
+            expected_backward = [
+                a
+                for a in active
+                if eg <= frozenset(a.gamma) and ed <= frozenset(a.delta)
+            ]
+            victims = index.subsumed_by(encoded)
+            assert set(victims) == set(expected_backward)
+            for victim in victims:
+                index.remove(victim)
+                active.remove(victim)
+            index.add(encoded)
+            active.append(encoded)
+        assert len(index) == len(active)
+
+    def test_bulk_path_agrees_with_scalar_path(self, monkeypatch):
+        """Forcing the numpy bulk kernel onto every bucket must not change a
+        single derivation (prefix matrix + tail scan + removal invalidation
+        all get exercised)."""
+        import repro.superposition.kernel as kernel_module
+
+        if kernel_module._np is None:
+            pytest.skip("numpy not available")
+        corpus = _mixed_theory_corpus(20)
+        corpus.extend(random_unsat_batch(UnsatParameters.paper(10), 4, seed=10))
+        baseline = [
+            _saturate(entailment, True, True, use_bitset=True) for entailment in corpus
+        ]
+        monkeypatch.setattr(kernel_module, "_BULK_THRESHOLD", 2)
+        forced = [
+            _saturate(entailment, True, True, use_bitset=True) for entailment in corpus
+        ]
+        for fast, slow in zip(forced, baseline):
+            assert fast.refuted == slow.refuted
+            assert fast.clauses() == slow.clauses()
+            assert fast.generated_count == slow.generated_count
+
+    def test_prover_with_bitset_matches_default(self):
+        bitset = Prover(ProverConfig().for_benchmarking().with_bitset())
+        default = Prover(ProverConfig().for_benchmarking())
+        corpus = _mixed_theory_corpus(40)
+        corpus.extend(random_unsat_batch(UnsatParameters.paper(11), 6, seed=11))
+        for entailment in corpus:
+            ours = bitset.prove(entailment)
+            theirs = default.prove(entailment)
+            assert ours.is_valid == theirs.is_valid, entailment
+            assert (
+                ours.statistics.generated_clauses
+                == theirs.statistics.generated_clauses
+            ), entailment
+
+
+# ---------------------------------------------------------------------------
+# The dense-side model generator
+# ---------------------------------------------------------------------------
+
+
+class TestDenseModelGenerator:
+    def _paired(self, entailment, dense):
+        from repro.superposition.model import IncrementalModelGenerator
+
+        order = default_order(entailment.constants())
+        engine = SaturationEngine(order, use_kernel=True)
+        engine.add_clauses(cnf(entailment).pure_clauses)
+        generator = IncrementalModelGenerator(order, verify=True, dense=dense)
+        return engine, generator
+
+    def test_models_match_symbolic_round_for_round(self):
+        """Byte-identical edges and generating clauses at every saturation
+        pause, including rounds where the set shrinks (subsumption)."""
+        for entailment in _mixed_theory_corpus(25):
+            dense_engine, dense_gen = self._paired(entailment, dense=True)
+            sym_engine, sym_gen = self._paired(entailment, dense=False)
+            while True:
+                dense_result = dense_engine.saturate(max_given=5)
+                sym_result = sym_engine.saturate(max_given=5)
+                assert dense_result.refuted == sym_result.refuted
+                if dense_result.refuted:
+                    break
+                dense_model = dense_gen.model_for_engine(dense_engine)
+                sym_model = sym_gen.model_for_engine(sym_engine)
+                assert dense_model.relation == sym_model.relation
+                assert set(dense_model.generators) == set(sym_model.generators)
+                for edge, record in dense_model.generators.items():
+                    other = sym_model.generators[edge]
+                    assert record.clause == other.clause
+                    assert record.equation == other.equation
+                    assert record.leftover_gamma == other.leftover_gamma
+                    assert record.leftover_delta == other.leftover_delta
+                if dense_result.complete:
+                    break
+
+    def test_dense_generator_is_actually_used_by_the_prover(self):
+        from repro.superposition import model as model_module
+
+        calls = []
+        original = model_module._DenseModelGenerator.model
+
+        def spy(self):
+            calls.append(self)
+            return original(self)
+
+        model_module._DenseModelGenerator.model = spy
+        try:
+            result = Prover(ProverConfig()).prove(_mixed_theory_corpus(1)[0])
+        finally:
+            model_module._DenseModelGenerator.model = original
+        assert result.verdict is not None
+        assert calls, "the default configuration should route through the dense generator"
+
+    def test_dense_flag_off_keeps_the_decoded_feed(self):
+        from repro.superposition import model as model_module
+
+        calls = []
+        original = model_module._DenseModelGenerator.model
+
+        def spy(self):
+            calls.append(self)
+            return original(self)
+
+        model_module._DenseModelGenerator.model = spy
+        try:
+            Prover(ProverConfig(use_dense_models=False)).prove(_mixed_theory_corpus(1)[0])
+        finally:
+            model_module._DenseModelGenerator.model = original
+        assert not calls
+
+    def test_empty_clause_is_rejected(self):
+        from repro.superposition.model import _DenseModelGenerator
+
+        a, b = make_const("a"), make_const("b")
+        order = default_order([a, b])
+        core = IntSaturationCore(
+            order, max_clauses=200000, use_index=True,
+            use_unit_rewrite=False, index_threshold=24,
+        )
+        core.add_clauses(
+            [
+                Clause.pure(delta=[intern_atom(a, b)]),
+                Clause.pure(gamma=[intern_atom(a, b)]),
+            ]
+        )
+        core.saturate()
+        generator = _DenseModelGenerator(core, order, verify=True)
+        with pytest.raises(ValueError):
+            generator.model()
+
+
+# ---------------------------------------------------------------------------
+# Config threading (index threshold via ProverConfig)
+# ---------------------------------------------------------------------------
+
+
+class TestConfigThreading:
+    def test_index_threshold_reaches_the_engine(self, monkeypatch):
+        import repro.core.prover as prover_module
+
+        captured = {}
+
+        class CapturingEngine(SaturationEngine):
+            def __init__(self, order, **kwargs):
+                captured.update(kwargs)
+                super().__init__(order, **kwargs)
+
+        monkeypatch.setattr(prover_module, "SaturationEngine", CapturingEngine)
+        config = ProverConfig(record_proof=False).with_index_threshold(7).with_bitset()
+        Prover(config).prove(_mixed_theory_corpus(1)[0])
+        assert captured["index_threshold"] == 7
+        assert captured["use_bitset"] is True
+
+    def test_index_threshold_is_behaviour_invisible(self):
+        """Any activation point, same verdicts and counters."""
+        corpus = _mixed_theory_corpus(20)
+        default = Prover(ProverConfig().for_benchmarking())
+        for threshold in (0, 3, 10 ** 9):
+            tuned = Prover(
+                ProverConfig().for_benchmarking().with_index_threshold(threshold)
+            )
+            for entailment in corpus:
+                ours = tuned.prove(entailment)
+                theirs = default.prove(entailment)
+                assert ours.is_valid == theirs.is_valid
+                assert (
+                    ours.statistics.generated_clauses
+                    == theirs.statistics.generated_clauses
+                )
