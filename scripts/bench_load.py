@@ -21,10 +21,23 @@ recorded in the ``serve`` section of ``BENCH_saturation.json``).
 distinct, half alpha-renamed repeats), asserting zero failed requests and a
 nonzero warm-hit count — no benchmark file is touched.
 
+``--overload`` is the chaos-under-load acceptance: offered load far above
+capacity (more concurrent clients than the service will queue, each firing
+multi-entailment batches back-to-back) against a server with a deliberately
+small admission queue and a seeded 10% worker-kill fault plan
+(``SLP_FAULT_PLAN``).  The gates are *robustness*, not throughput: zero
+connection errors, every response a verdict / structured failure / ``429``
+(+ ``Retry-After``) / ``503``, nonzero sheds, nonzero injected faults, and
+p99 of the accepted requests within the deadline-derived bound.  Results
+land in the ``serve_overload`` section of ``BENCH_saturation.json``
+(``--overload --smoke`` gates without writing).
+
 Usage::
 
     python scripts/bench_load.py                 # full bench, writes BENCH
     python scripts/bench_load.py --smoke         # CI smoke, exit 1 on failure
+    python scripts/bench_load.py --overload      # chaos acceptance, writes BENCH
+    python scripts/bench_load.py --overload --smoke   # CI chaos gate, no write
     python scripts/bench_load.py --requests 80 --clients 8 --jobs 2
 """
 
@@ -41,12 +54,14 @@ import sys
 import tempfile
 import threading
 import time
+import urllib.error
 import urllib.request
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 
 from repro.core.atomicio import atomic_write_json  # noqa: E402
+from repro.core.faults import FAULT_PLAN_ENV, FaultPlan  # noqa: E402
 from repro.logic.parser import parse_entailment  # noqa: E402
 from repro.logic.printer import format_entailment  # noqa: E402
 from repro.logic.terms import make_const  # noqa: E402
@@ -100,11 +115,21 @@ def alpha_renamed(line: str, tag: str) -> str:
 class Server:
     """``slp serve`` as a child process with a scraped ephemeral port."""
 
-    def __init__(self, store: str, jobs: int, shards: int, timeout: float):
+    def __init__(
+        self,
+        store: str,
+        jobs: int,
+        shards: int,
+        timeout: float,
+        extra_args=(),
+        extra_env=None,
+    ):
         env = dict(os.environ)
         env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src") + (
             os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
         )
+        if extra_env:
+            env.update(extra_env)
         self.process = subprocess.Popen(
             [
                 sys.executable,
@@ -123,7 +148,8 @@ class Server:
                 str(shards),
                 "--timeout",
                 str(timeout),
-            ],
+            ]
+            + list(extra_args),
             stderr=subprocess.PIPE,
             env=env,
             cwd=REPO_ROOT,
@@ -220,6 +246,312 @@ def run_phase(base: str, lines, clients: int):
     for thread in threads:
         thread.join()
     return latencies, time.perf_counter() - wall_started, failures
+
+
+def overload_problems(count: int):
+    """``count`` small valid entailments with *distinct canonical forms*.
+
+    Alpha-renaming is not enough — the canonical-fingerprint cache exists to
+    see through it, and a workload of alpha-variants would be absorbed by
+    the cache instead of reaching the pool.  Structural distinctness comes
+    from enumerating (chain length, RHS split point, extra disequalities):
+    each combination is a different shape, so every line costs real proving.
+    """
+    descriptors = []
+    for extras in range(4):
+        for length in range(8, 24):
+            for split in range(1, length - 1):
+                descriptors.append((length, split, extras))
+    if count > len(descriptors):
+        raise ValueError(
+            "only {} structurally distinct overload problems available; "
+            "asked for {} (lower --requests)".format(len(descriptors), count)
+        )
+    lines = []
+    for k, (length, split, extras) in enumerate(descriptors[:count]):
+        names = ["p{}_{}".format(k, j) for j in range(length)]
+        cells = ["{} |-> {}".format(names[j], names[j + 1]) for j in range(length - 1)]
+        cells.append("{} |-> nil".format(names[-1]))
+        pure = []
+        if extras & 1:
+            pure.append("{} != {}".format(names[0], names[-1]))
+        if extras & 2:
+            pure.append("{} != {}".format(names[1], names[-1]))
+        lhs = " * ".join(cells + pure)
+        lines.append(
+            "{} |- lseg({}, {}) * lseg({}, nil)".format(
+                lhs, names[0], names[split], names[split]
+            )
+        )
+    return lines
+
+
+def kill_plan(batch_size: int, rate: float = 0.1) -> FaultPlan:
+    """A seeded transient worker-kill plan verified to hit the batch shape.
+
+    The fault decision is a pure function of ``(seed, batch index)``, so a
+    seed is chosen (deterministically) such that at least one index of a
+    ``batch_size``-entailment request is targeted — a seed whose targets all
+    fall outside ``range(batch_size)`` would silently test nothing.
+    ``times=1`` makes every kill transient: the retry must recover the
+    verdict, so chaos costs latency, never answers.
+    """
+    for seed in range(1, 1000):
+        plan = FaultPlan.seeded(seed=seed, rate=rate, kinds=("exit",), times=1)
+        if plan.injected_indices(batch_size):
+            return plan
+    raise RuntimeError("no seed under 1000 targets a batch of {}".format(batch_size))
+
+
+def run_overload_phase(base: str, batches, clients: int, request_timeout: float):
+    """Fire multi-entailment batches from far more clients than capacity.
+
+    Every response is classified: ``accepted`` (HTTP 200, every per-line
+    status structured), ``shed`` (429 with a Retry-After header),
+    ``unavailable`` (503), or — the failure classes the gates forbid —
+    ``unstructured`` (anything else that came back over a working
+    connection) and ``connection_errors`` (the socket itself failed).
+    """
+    lock = threading.Lock()
+    work = list(enumerate(batches))
+    accepted_latencies = []
+    tally = {
+        "accepted": 0,
+        "shed": 0,
+        "unavailable": 0,
+        "unstructured": [],
+        "connection_errors": [],
+        "missing_retry_after": 0,
+        "structured_failures": 0,
+    }
+    allowed_line_statuses = {"ok", "timeout", "oom", "crashed"}
+
+    def worker() -> None:
+        while True:
+            with lock:
+                if not work:
+                    return
+                request_id, lines = work.pop()
+            payload = json.dumps(
+                {"entailments": lines, "timeout": request_timeout}
+            ).encode("utf-8")
+            request = urllib.request.Request(
+                base + "/prove",
+                data=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            started = time.perf_counter()
+            try:
+                with urllib.request.urlopen(request, timeout=120) as response:
+                    body = json.loads(response.read())
+                elapsed = time.perf_counter() - started
+            except urllib.error.HTTPError as refusal:
+                try:
+                    detail = json.loads(refusal.read())
+                except Exception:
+                    detail = None
+                with lock:
+                    if refusal.code == 429 and isinstance(detail, dict):
+                        tally["shed"] += 1
+                        if refusal.headers.get("Retry-After") is None:
+                            tally["missing_retry_after"] += 1
+                    elif refusal.code == 503 and isinstance(detail, dict):
+                        tally["unavailable"] += 1
+                    else:
+                        tally["unstructured"].append(
+                            "request {}: HTTP {} body {!r}".format(
+                                request_id, refusal.code, detail
+                            )
+                        )
+                continue
+            except Exception as error:  # URLError, socket errors, bad JSON
+                with lock:
+                    tally["connection_errors"].append(
+                        "request {}: {}: {}".format(request_id, type(error).__name__, error)
+                    )
+                continue
+            statuses = [entry.get("status") for entry in body.get("results", [])]
+            with lock:
+                if len(statuses) == len(lines) and all(
+                    status in allowed_line_statuses for status in statuses
+                ):
+                    tally["accepted"] += 1
+                    tally["structured_failures"] += sum(
+                        1 for status in statuses if status != "ok"
+                    )
+                    accepted_latencies.append(elapsed)
+                else:
+                    tally["unstructured"].append(
+                        "request {}: statuses {}".format(request_id, statuses)
+                    )
+
+    wall_started = time.perf_counter()
+    threads = [threading.Thread(target=worker) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return accepted_latencies, time.perf_counter() - wall_started, tally
+
+
+def overload(args) -> int:
+    """Chaos-under-load acceptance; ``--smoke`` gates without a BENCH write."""
+    batch_size = 10
+    max_queue_requests = 4
+    lanes = min(args.jobs, 4)
+    capacity = lanes + max_queue_requests
+    clients = max(args.clients, 4 * capacity)
+    requests = args.requests
+    request_timeout = min(args.timeout, 20.0)
+    ratio = clients / capacity
+    plan = kill_plan(batch_size)
+    targeted = plan.injected_indices(batch_size)
+    lines = overload_problems(requests * batch_size)
+    batches = [
+        lines[request_id * batch_size:(request_id + 1) * batch_size]
+        for request_id in range(requests)
+    ]
+    print(
+        "[bench_load --overload] {} batches x {} entailments, {} clients vs "
+        "capacity {} ({} lanes + {} queue slots) = {:.1f}x offered load; "
+        "kill plan seed {} targets indices {} of each batch".format(
+            requests, batch_size, clients, capacity, lanes, max_queue_requests,
+            ratio, plan.seed, targeted,
+        )
+    )
+    with tempfile.TemporaryDirectory() as scratch:
+        with Server(
+            os.path.join(scratch, "proofs.store"),
+            args.jobs,
+            args.shards,
+            args.timeout,
+            extra_args=[
+                "--lanes", str(lanes),
+                "--max-queue-requests", str(max_queue_requests),
+                "--max-queue-entailments", str(max_queue_requests * batch_size * 4),
+            ],
+            extra_env={FAULT_PLAN_ENV: plan.to_env()},
+        ) as server:
+            latencies, wall, tally = run_overload_phase(
+                server.base, batches, clients, request_timeout
+            )
+            stats = server.stats()
+
+    pool = stats["pool"]
+    split = {
+        "queue_wait_p50_ms": stats["queue_wait"].get("p50_ms", 0.0),
+        "queue_wait_p99_ms": stats["queue_wait"].get("p99_ms", 0.0),
+        "execution_p50_ms": stats["execution"].get("p50_ms", 0.0),
+        "execution_p99_ms": stats["execution"].get("p99_ms", 0.0),
+    }
+    print(
+        "[bench_load --overload] accepted {} / shed {} / unavailable {} of {} "
+        "({} structured per-line failures, {} expired in queue) in {:.1f}s".format(
+            tally["accepted"], tally["shed"], tally["unavailable"], requests,
+            tally["structured_failures"], stats["expired_in_queue"], wall,
+        )
+    )
+    print(
+        "[bench_load --overload] chaos: {} injected faults, {} retries, "
+        "{} respawned workers".format(
+            pool["injected_faults"], pool["retried"], pool["respawned_workers"]
+        )
+    )
+    print(
+        "[bench_load --overload] latency split: queue-wait p50 {:.1f} ms / "
+        "p99 {:.1f} ms, execution p50 {:.1f} ms / p99 {:.1f} ms".format(
+            split["queue_wait_p50_ms"], split["queue_wait_p99_ms"],
+            split["execution_p50_ms"], split["execution_p99_ms"],
+        )
+    )
+
+    failures = []
+    if tally["connection_errors"]:
+        failures.append(
+            "{} connection errors (first: {})".format(
+                len(tally["connection_errors"]), tally["connection_errors"][0]
+            )
+        )
+    if tally["unstructured"]:
+        failures.append(
+            "{} unstructured responses (first: {})".format(
+                len(tally["unstructured"]), tally["unstructured"][0]
+            )
+        )
+    if tally["missing_retry_after"]:
+        failures.append(
+            "{} 429s without Retry-After".format(tally["missing_retry_after"])
+        )
+    answered = tally["accepted"] + tally["shed"] + tally["unavailable"]
+    if answered != requests:
+        failures.append(
+            "accounting leak: accepted+shed+unavailable = {} != {} submitted".format(
+                answered, requests
+            )
+        )
+    if tally["shed"] == 0:
+        failures.append("no request was shed — the offered load never exceeded capacity")
+    if tally["accepted"] == 0:
+        failures.append("no request was accepted — nothing was actually measured")
+    if pool["injected_faults"] == 0:
+        failures.append("the kill plan never fired (injected_faults == 0)")
+    p99_bound = 2.0 * request_timeout
+    accepted = summarize(latencies, wall) if latencies else {}
+    if latencies and accepted["p99_ms"] > p99_bound * 1000.0:
+        failures.append(
+            "accepted p99 {} ms exceeds the {:.0f} ms bound".format(
+                accepted["p99_ms"], p99_bound * 1000.0
+            )
+        )
+    if not args.smoke and ratio < 4.0:
+        failures.append("offered load {:.1f}x is below the 4x acceptance bar".format(ratio))
+
+    if failures:
+        for failure in failures:
+            print("  GATE FAILED: {}".format(failure), file=sys.stderr)
+        return 1
+
+    if not args.smoke:
+        section = {
+            "jobs": args.jobs,
+            "lanes": lanes,
+            "clients": clients,
+            "capacity": capacity,
+            "offered_ratio": round(ratio, 1),
+            "batch_size": batch_size,
+            "requests": requests,
+            "request_timeout_seconds": request_timeout,
+            "fault_plan": {"seed": plan.seed, "rate": plan.rate, "kinds": list(plan.kinds),
+                           "times": plan.times, "targets_per_batch": targeted},
+            "accepted": dict(accepted, structured_failures=tally["structured_failures"]),
+            "shed": tally["shed"],
+            "unavailable": tally["unavailable"],
+            "expired_in_queue": stats["expired_in_queue"],
+            "connection_errors": 0,
+            "unstructured_responses": 0,
+            "injected_faults": pool["injected_faults"],
+            "respawned_workers": pool["respawned_workers"],
+            "latency_split": split,
+            "notes": (
+                "offered load far above capacity (clients vs lanes + queue slots) "
+                "with a seeded transient worker-kill plan; gates: zero connection "
+                "errors, every response a verdict / structured failure / 429+"
+                "Retry-After / 503, accepted p99 within 2x the request timeout."
+            ),
+        }
+        out = args.out or os.path.join(REPO_ROOT, "BENCH_saturation.json")
+        payload = {}
+        if os.path.exists(out):
+            try:
+                with open(out) as handle:
+                    payload = json.load(handle)
+            except (ValueError, OSError):
+                payload = {}
+        payload["serve_overload"] = section
+        atomic_write_json(out, payload)
+        print("[bench_load --overload] wrote serve_overload section to {}".format(out))
+    print("[bench_load --overload] all gates passed")
+    return 0
 
 
 def summarize(latencies, wall_seconds: float) -> dict:
@@ -356,8 +688,12 @@ def bench(args) -> int:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true", help="CI smoke mode (no BENCH write)")
+    parser.add_argument("--overload", action="store_true",
+                        help="chaos-under-load acceptance (small admission queue,"
+                        " seeded worker-kill plan, robustness gates)")
     parser.add_argument("--requests", type=int, default=None,
-                        help="requests per phase (default: 40 bench, 50 smoke)")
+                        help="requests per phase (default: 40 bench, 50 smoke,"
+                        " 48 overload, 24 overload smoke)")
     parser.add_argument("--clients", type=int, default=8, help="concurrent clients (default 8)")
     parser.add_argument("--jobs", type=int, default=2, help="server worker processes (default 2)")
     parser.add_argument("--shards", type=int, default=4, help="store shards (default 4)")
@@ -366,6 +702,10 @@ def main(argv=None) -> int:
     parser.add_argument("--out", default=None,
                         help="benchmark JSON to update (default BENCH_saturation.json)")
     args = parser.parse_args(argv)
+    if args.overload:
+        if args.requests is None:
+            args.requests = 24 if args.smoke else 48
+        return overload(args)
     if args.requests is None:
         args.requests = 50 if args.smoke else 40
     return smoke(args) if args.smoke else bench(args)

@@ -669,7 +669,7 @@ def main(argv=None) -> int:
             try:
                 with open(out) as handle:
                     previous = json.load(handle)
-                for foreign in ("fuzz", "serve"):
+                for foreign in ("fuzz", "serve", "serve_overload"):
                     if foreign in previous:
                         payload[foreign] = previous[foreign]
             except (ValueError, OSError):

@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import queue
 import threading
 import time
 from dataclasses import dataclass, field, fields, replace
@@ -280,6 +281,29 @@ class BatchStatistics:
         """Batch entries that resolved to no verdict, of any kind."""
         return self.timed_out + self.oom + self.quarantined
 
+    #: Counter fields summed by :meth:`fold` (everything except ``jobs``,
+    #: ``parallel`` and the nested :class:`ProverStatistics` pair).
+    _FOLD_COUNTERS = (
+        "total", "proved", "cache_hits", "cache_misses", "disk_hits",
+        "deduplicated", "timed_out", "oom", "quarantined", "retried",
+        "respawned_workers", "injected_faults", "valid", "invalid",
+        "elapsed_seconds",
+    )
+
+    def fold(self, other: "BatchStatistics") -> None:
+        """Absorb another accounting object (used to merge per-batch stats).
+
+        Concurrent dispatcher lanes each accumulate into a private
+        :class:`BatchStatistics` and fold it into the shared one under a
+        lock when their batch finishes — the shared object never sees a
+        torn read-modify-write.
+        """
+        for name in self._FOLD_COUNTERS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        self.parallel = self.parallel or other.parallel
+        _fold_statistics(self.prover, other.prover)
+        _fold_statistics(self.timeout_work, other.timeout_work)
+
     def absorb_proved(self, result: ProofResult) -> None:
         """Fold one freshly proved result into the aggregate counters."""
         self.proved += 1
@@ -372,6 +396,7 @@ class BatchProver:
         fault_plan: Optional[FaultPlan] = None,
         supervised: bool = True,
         drain_seconds: float = 5.0,
+        shared_dispatch: bool = False,
     ):
         if jobs < 1:
             raise ValueError("jobs must be at least 1")
@@ -394,13 +419,22 @@ class BatchProver:
         self.backoff_cap = backoff_cap
         self.supervised = supervised
         self.drain_seconds = drain_seconds
+        #: Thread-safe dispatch facade: ``True`` lets any number of threads
+        #: call :meth:`iter_results`/:meth:`prove_all` concurrently against
+        #: the one shared pool — tasks from all callers interleave per-task
+        #: in the pool's serve-mode reactor, ranked by ``priority``.  The
+        #: entailment service's dispatcher lanes run this way.
+        self.shared_dispatch = shared_dispatch
         self.statistics = BatchStatistics(jobs=jobs)
+        self._stats_lock = threading.Lock()
         self._fault_plan = fault_plan if fault_plan is not None else FaultPlan.from_env()
         self._mp_context = mp_context
+        self._pool_lock = threading.Lock()
         self._pool: Optional[SupervisedPool] = None
         self._legacy_pool = None
         self._pool_unavailable = False
         self._local_prover: Optional[Prover] = None
+        self._thread_local = threading.local()
         self._closed = False
 
     @property
@@ -415,10 +449,18 @@ class BatchProver:
 
         Idempotent; a later batch on the same instance starts a fresh pool.
         """
-        pool, self._pool = self._pool, None
-        legacy, self._legacy_pool = self._legacy_pool, None
-        self._closed = True
+        with self._pool_lock:
+            pool, self._pool = self._pool, None
+            legacy, self._legacy_pool = self._legacy_pool, None
+            self._closed = True
         if pool is not None:
+            if self.shared_dispatch:
+                # Serve-mode supervision counters live on the pool (they are
+                # shared across lanes, so no lane may delta-fold them); bank
+                # them into the aggregate before the pool goes away.
+                with self._stats_lock:
+                    self.statistics.retried += pool.retried
+                    self.statistics.respawned_workers += pool.respawned_workers
             pool.close(self.drain_seconds)
         if legacy is not None:
             legacy.close()  # no more tasks; lets workers finish and exit
@@ -446,30 +488,52 @@ class BatchProver:
             pass
 
     def _ensure_pool(self) -> Optional[SupervisedPool]:
-        """The persistent supervised pool, or ``None`` when unavailable."""
-        self._closed = False
-        if self._pool is not None:
-            return self._pool
-        if self._pool_unavailable:
-            return None
-        try:
-            pool = SupervisedPool(
-                jobs=self.jobs,
-                initializer=_supervised_worker_init,
-                init_args=(self.config, self._fault_plan),
-                task_timeout=self._task_timeout,
-                retries=self.retries,
-                backoff_base=self.backoff_base,
-                backoff_cap=self.backoff_cap,
-                mp_context=self._mp_context,
-                drain_seconds=self.drain_seconds,
-            )
-            pool.start()
-        except _POOL_UNAVAILABLE_ERRORS:
-            self._pool_unavailable = True
-            return None
-        self._pool = pool
-        return pool
+        """The persistent supervised pool, or ``None`` when unavailable.
+
+        Locked: under shared dispatch any number of lane threads race the
+        first batch here, and two winners would each spawn a full worker set
+        (the loser's pool leaking its processes until interpreter exit).
+        """
+        with self._pool_lock:
+            self._closed = False
+            if self._pool is not None:
+                return self._pool
+            if self._pool_unavailable:
+                return None
+            try:
+                pool = SupervisedPool(
+                    jobs=self.jobs,
+                    initializer=_supervised_worker_init,
+                    init_args=(self.config, self._fault_plan),
+                    task_timeout=self._task_timeout,
+                    retries=self.retries,
+                    backoff_base=self.backoff_base,
+                    backoff_cap=self.backoff_cap,
+                    mp_context=self._mp_context,
+                    drain_seconds=self.drain_seconds,
+                )
+                pool.start()
+                if self.shared_dispatch:
+                    pool.serve()
+            except _POOL_UNAVAILABLE_ERRORS:
+                self._pool_unavailable = True
+                return None
+            self._pool = pool
+            return pool
+
+    def pool_counters(self) -> Dict[str, int]:
+        """Live serve-mode supervision counters not yet folded into ``statistics``.
+
+        In shared-dispatch mode retries and respawns are pool-global (no
+        lane can attribute a delta to itself without double counting), so
+        they stay on the pool until :meth:`close` banks them; consumers that
+        report totals add these to ``statistics``.  Zero in solo mode, where
+        :meth:`_execute_supervised` already delta-folds per batch.
+        """
+        pool = self._pool
+        if self.shared_dispatch and pool is not None:
+            return {"retried": pool.retried, "respawned_workers": pool.respawned_workers}
+        return {"retried": 0, "respawned_workers": 0}
 
     def _ensure_legacy_pool(self):
         """The unsupervised chunked pool (ablation benchmark only)."""
@@ -498,8 +562,29 @@ class BatchProver:
         return self._legacy_pool
 
     # -- in-process execution ---------------------------------------------
+    def _local_prover_for_thread(self) -> Prover:
+        """The warm in-process prover — per-thread under shared dispatch.
+
+        Prover instances are cheap after the module-level interning tables
+        are warm, so giving each dispatcher lane its own keeps the in-process
+        path lock-free without re-warming anything that matters.
+        """
+        if not self.shared_dispatch:
+            if self._local_prover is None:
+                self._local_prover = Prover(self.config)
+            return self._local_prover
+        prover = getattr(self._thread_local, "prover", None)
+        if prover is None:
+            prover = Prover(self.config)
+            self._thread_local.prover = prover
+        return prover
+
     def _prove_local(
-        self, index: int, entailment: Entailment, overrides: TaskOverrides = None
+        self,
+        index: int,
+        entailment: Entailment,
+        overrides: TaskOverrides,
+        stats: BatchStatistics,
     ) -> BatchOutcome:
         """One task through the in-process engine: same contract as the pool.
 
@@ -508,10 +593,9 @@ class BatchProver:
         longer than the watchdog budget becomes the ``timeout`` the watchdog
         would have produced (there is no second process to do the killing).
         """
-        if self._local_prover is None:
-            self._local_prover = Prover(self.config)
+        local = self._local_prover_for_thread()
         effective = _apply_overrides(self.config, overrides)
-        active = self._local_prover if effective is self.config else Prover(effective)
+        active = local if effective is self.config else Prover(effective)
         plan = self._fault_plan
         attempt = 1
         started = time.monotonic()
@@ -548,7 +632,7 @@ class BatchProver:
                 )
             except InjectedCrash as crash:
                 if attempt <= self.retries:
-                    self.statistics.retried += 1
+                    stats.retried += 1
                     backoff = min(self.backoff_cap, self.backoff_base * (2 ** (attempt - 1)))
                     if backoff > 0.0:
                         time.sleep(backoff)
@@ -582,7 +666,9 @@ class BatchProver:
     def _execute(
         self,
         tasks: Sequence[Tuple[int, Entailment]],
-        overrides: TaskOverrides = None,
+        overrides: TaskOverrides,
+        stats: BatchStatistics,
+        priority: int = 0,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
         """Run the deduplicated tasks, yielding ``(index, outcome)`` as completed."""
         if not tasks:
@@ -592,32 +678,82 @@ class BatchProver:
             # fault the retry loop recovered from still disturbed the run.
             # The decision function is pure, so the coordinator knows without
             # hearing from the (possibly killed) worker.
-            self.statistics.injected_faults += sum(
+            stats.injected_faults += sum(
                 1 for index, _ in tasks if self._fault_plan.fault_at(index) is not None
             )
         if self.jobs > 1:
             if self.supervised:
                 pool = self._ensure_pool()
                 if pool is not None:
-                    yield from self._execute_supervised(pool, tasks, overrides)
+                    if self.shared_dispatch:
+                        yield from self._execute_shared(
+                            pool, tasks, overrides, stats, priority
+                        )
+                    else:
+                        yield from self._execute_supervised(
+                            pool, tasks, overrides, stats
+                        )
                     return
             else:
                 legacy = self._ensure_legacy_pool()
                 if legacy is not None:
-                    yield from self._execute_legacy(legacy, tasks, overrides)
+                    yield from self._execute_legacy(legacy, tasks, overrides, stats)
                     return
         for index, entailment in tasks:
             yield index, self._mark_injected(
-                index, self._prove_local(index, entailment, overrides)
+                index, self._prove_local(index, entailment, overrides, stats)
             )
+
+    def _execute_shared(
+        self,
+        pool: SupervisedPool,
+        tasks: Sequence[Tuple[int, Entailment]],
+        overrides: TaskOverrides,
+        stats: BatchStatistics,
+        priority: int,
+    ) -> Iterator[Tuple[int, BatchOutcome]]:
+        """Run one batch through the serve-mode reactor (thread-safe).
+
+        Each task is submitted individually with the batch's priority, so
+        tasks from concurrent batches interleave per-task in the pool —
+        a large batch no longer occupies the dispatch head-of-line.  The
+        reactor guarantees exactly one delivery per submission (broken pools
+        and shutdown deliver structured failures), so the collection loop
+        below cannot lose an index; the ``serving`` check is a belt-and-
+        braces escape hatch against a reactor that died to a bug.
+        """
+        stats.parallel = True
+        done: "queue.SimpleQueue" = queue.SimpleQueue()
+        for index, entailment in tasks:
+            pool.submit(
+                (index, entailment, overrides),
+                (lambda outcome, _index=index: done.put((_index, outcome))),
+                priority=priority,
+            )
+        delivered = 0
+        expected = len(tasks)
+        while delivered < expected:
+            try:
+                index, outcome = done.get(timeout=1.0)
+            except queue.Empty:
+                if not pool.serving:
+                    detail = "pool reactor is gone"
+                    seen = delivered
+                    for index, _ in tasks[seen:]:
+                        yield index, FailureInfo(kind="crash", detail=detail)
+                        delivered += 1
+                continue
+            delivered += 1
+            yield index, self._mark_injected(index, outcome)
 
     def _execute_supervised(
         self,
         pool: SupervisedPool,
         tasks: Sequence[Tuple[int, Entailment]],
-        overrides: TaskOverrides = None,
+        overrides: TaskOverrides,
+        stats: BatchStatistics,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
-        self.statistics.parallel = True
+        stats.parallel = True
         # The pool indexes payloads by position; faults are planned against
         # batch indices.  Dispatch (index, entailment, overrides) triples and
         # let the worker unpack, so ``should_fire`` sees the batch index.
@@ -629,16 +765,17 @@ class BatchProver:
                 index = tasks[position][0]
                 yield index, self._mark_injected(index, outcome)
         finally:
-            self.statistics.retried += pool.retried - retried_before
-            self.statistics.respawned_workers += pool.respawned_workers - respawned_before
+            stats.retried += pool.retried - retried_before
+            stats.respawned_workers += pool.respawned_workers - respawned_before
 
     def _execute_legacy(
         self,
         pool,
         tasks: Sequence[Tuple[int, Entailment]],
-        overrides: TaskOverrides = None,
+        overrides: TaskOverrides,
+        stats: BatchStatistics,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
-        self.statistics.parallel = True
+        stats.parallel = True
         chunk = self.chunk_size
         if chunk is None:
             chunk = max(1, len(tasks) // (self.jobs * 4))
@@ -701,6 +838,7 @@ class BatchProver:
         entailments: Iterable[Entailment],
         max_seconds: Optional[float] = None,
         record_proof: Optional[bool] = None,
+        priority: int = 0,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
         """Yield ``(index, outcome)`` pairs as they complete (not in order).
 
@@ -719,6 +857,16 @@ class BatchProver:
         the largest budget they will grant (the entailment service clamps
         per-request timeouts to its configured ceiling for exactly this
         reason).
+
+        ``priority`` ranks this batch's tasks against other concurrent
+        batches under shared dispatch (higher runs first); solo mode ignores
+        it — there is nothing to rank against.
+
+        Statistics are accumulated batch-locally and folded into
+        :attr:`statistics` under a lock when the iteration finishes, so
+        concurrent callers (dispatcher lanes) never tear the shared
+        counters.  Consequently ``statistics`` moves at batch granularity:
+        readers mid-batch see the totals as of the last completed batch.
         """
         overrides: TaskOverrides = (
             None
@@ -727,10 +875,12 @@ class BatchProver:
         )
         batch = list(entailments)
         start = time.perf_counter()
-        # The cache may be shared across provers; counters are attributed to
-        # this batch by delta, not by absolute value.
-        misses_before = self.cache.misses if self.cache is not None else 0
-        disk_hits_before = self.cache.disk_hits if self.cache is not None else 0
+        # Batch-local accounting: the shared object is only touched in the
+        # ``finally`` fold.  The shared cache's own counters move under its
+        # internal lock; this batch's share is attributed per-lookup (a
+        # before/after delta over the whole batch would double-count under
+        # concurrent lanes).
+        stats = BatchStatistics(jobs=self.jobs)
         try:
             leaders: List[Tuple[int, Entailment]] = []
             canonicals: Dict[int, CanonicalForm] = {}
@@ -744,12 +894,19 @@ class BatchProver:
                     leaders.append((index, entailment))
                     continue
                 canonicals[index] = canonical
-                cached = self.cache.lookup(entailment, canonical)
+                # Hold the cache lock across lookup + disk_hits delta so the
+                # "did the second tier answer this?" attribution is atomic.
+                with self.cache.lock:
+                    disk_hits_before = self.cache.disk_hits
+                    cached = self.cache.lookup(entailment, canonical)
+                    if cached is not None:
+                        stats.disk_hits += self.cache.disk_hits - disk_hits_before
                 if cached is not None:
-                    self.statistics.cache_hits += 1
-                    self.statistics.count_verdict(cached)
+                    stats.cache_hits += 1
+                    stats.count_verdict(cached)
                     yield index, cached
                     continue
+                stats.cache_misses += 1
                 leader = leader_of.get(canonical.key)
                 if leader is None:
                     leader_of[canonical.key] = index
@@ -758,14 +915,14 @@ class BatchProver:
                     followers.setdefault(leader, []).append(index)
 
             orphans: List[Tuple[int, Entailment]] = []
-            for index, outcome in self._execute(leaders, overrides):
+            for index, outcome in self._execute(leaders, overrides, stats, priority):
                 if isinstance(outcome, ProofResult):
-                    self.statistics.absorb_proved(outcome)
+                    stats.absorb_proved(outcome)
                     if self.cache is not None and index in canonicals:
                         self.cache.store(batch[index], outcome, canonicals[index])
                 else:
-                    self.statistics.absorb_failure(outcome)
-                self.statistics.count_verdict(outcome)
+                    stats.absorb_failure(outcome)
+                stats.count_verdict(outcome)
                 yield index, outcome
                 for duplicate in followers.get(index, ()):
                     if isinstance(outcome, ProofResult):
@@ -779,14 +936,14 @@ class BatchProver:
                             batch[duplicate],
                             canonicals[duplicate],
                         )
-                        self.statistics.deduplicated += 1
-                        self.statistics.count_verdict(echoed)
+                        stats.deduplicated += 1
+                        stats.count_verdict(echoed)
                         yield duplicate, echoed
                     elif outcome.kind in ("timeout", "oom") and not outcome.injected:
                         # A genuine budget exhaustion is a property of the
                         # instance; its alpha-equivalent copies would exhaust
                         # the same budget.  Echo the failure (frozen, shareable).
-                        self.statistics.count_verdict(outcome)
+                        stats.count_verdict(outcome)
                         yield duplicate, outcome
                     else:
                         # The representative crashed (or its failure was
@@ -794,31 +951,33 @@ class BatchProver:
                         # Re-dispatch the copies on their own merits.
                         orphans.append((duplicate, batch[duplicate]))
 
-            for index, outcome in self._execute(orphans, overrides):
+            for index, outcome in self._execute(orphans, overrides, stats, priority):
                 if isinstance(outcome, ProofResult):
-                    self.statistics.absorb_proved(outcome)
+                    stats.absorb_proved(outcome)
                     if self.cache is not None and index in canonicals:
                         self.cache.store(batch[index], outcome, canonicals[index])
                 else:
-                    self.statistics.absorb_failure(outcome)
-                self.statistics.count_verdict(outcome)
+                    stats.absorb_failure(outcome)
+                stats.count_verdict(outcome)
                 yield index, outcome
         finally:
-            self.statistics.elapsed_seconds += time.perf_counter() - start
-            if self.cache is not None:
-                self.statistics.cache_misses += self.cache.misses - misses_before
-                self.statistics.disk_hits += self.cache.disk_hits - disk_hits_before
+            stats.elapsed_seconds += time.perf_counter() - start
+            with self._stats_lock:
+                self.statistics.fold(stats)
 
     def iter_ordered(
         self,
         entailments: Iterable[Entailment],
         max_seconds: Optional[float] = None,
         record_proof: Optional[bool] = None,
+        priority: int = 0,
     ) -> Iterator[Tuple[int, BatchOutcome]]:
         """Yield ``(index, outcome)`` in input order, streaming as soon as possible."""
         buffered: Dict[int, BatchOutcome] = {}
         next_index = 0
-        for index, outcome in self.iter_results(entailments, max_seconds, record_proof):
+        for index, outcome in self.iter_results(
+            entailments, max_seconds, record_proof, priority
+        ):
             buffered[index] = outcome
             while next_index in buffered:
                 yield next_index, buffered.pop(next_index)
@@ -829,6 +988,7 @@ class BatchProver:
         entailments: Iterable[Entailment],
         max_seconds: Optional[float] = None,
         record_proof: Optional[bool] = None,
+        priority: int = 0,
     ) -> List[BatchOutcome]:
         """Check the whole batch and return outcomes in input order.
 
@@ -839,7 +999,7 @@ class BatchProver:
         batch = list(entailments)
         results: List[Optional[BatchOutcome]] = [None] * len(batch)
         delivered = [False] * len(batch)
-        for index, outcome in self.iter_results(batch, max_seconds, record_proof):
+        for index, outcome in self.iter_results(batch, max_seconds, record_proof, priority):
             results[index] = outcome
             delivered[index] = True
         assert all(delivered), "every batch entry must produce exactly one outcome"

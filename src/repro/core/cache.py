@@ -33,6 +33,7 @@ working), a damaged record is a miss.
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
@@ -141,6 +142,14 @@ class ProofCache:
     The cache is a plain in-process object; in the batch engine it lives in
     the coordinating process (workers stay stateless).  ``max_entries``
     bounds memory; the least recently used entry is evicted first.
+
+    Lookups, stores and counter updates are serialised by an internal
+    re-entrant lock, so concurrent dispatcher lanes may share one cache.
+    Note the sidecar file locks of a persistent second tier are advisory
+    *inter-process* locks (fcntl) — they do nothing between threads of one
+    process, which is exactly what this lock covers.  Callers needing a
+    multi-step atomic read (e.g. a lookup plus a ``disk_hits`` delta) can
+    hold :attr:`lock` around the sequence; it is re-entrant.
     """
 
     def __init__(self, max_entries: int = 4096):
@@ -148,10 +157,16 @@ class ProofCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._entries: "OrderedDict[tuple, _CacheEntry]" = OrderedDict()
+        self._lock = threading.RLock()
         self.hits = 0
         self.misses = 0
         self.uncacheable = 0
         self.disk_hits = 0  # subset of ``hits`` answered by the second tier
+
+    @property
+    def lock(self) -> "threading.RLock":
+        """The cache's re-entrant lock, for callers composing atomic sequences."""
+        return self._lock
 
     # -- introspection -----------------------------------------------------
     def __len__(self) -> int:
@@ -173,11 +188,12 @@ class ProofCache:
 
     def clear(self) -> None:
         """Drop all entries and reset the counters."""
-        self._entries.clear()
-        self.hits = 0
-        self.misses = 0
-        self.uncacheable = 0
-        self.disk_hits = 0
+        with self._lock:
+            self._entries.clear()
+            self.hits = 0
+            self.misses = 0
+            self.uncacheable = 0
+            self.disk_hits = 0
 
     # -- second-tier hooks -------------------------------------------------
     def _fetch_second_tier(self, key: tuple) -> Optional[_CacheEntry]:
@@ -193,7 +209,8 @@ class ProofCache:
         try:
             return canonicalize(entailment)
         except TooSymmetricError:
-            self.uncacheable += 1
+            with self._lock:
+                self.uncacheable += 1
             return None
 
     # -- lookup / store ----------------------------------------------------
@@ -212,18 +229,21 @@ class ProofCache:
             canonical = self.canonical_form(entailment)
         if canonical is None:
             return None
-        entry = self._entries.get(canonical.key)
-        if entry is None:
-            entry = self._fetch_second_tier(canonical.key)
+        with self._lock:
+            entry = self._entries.get(canonical.key)
             if entry is None:
-                self.misses += 1
-                return None
-            self.disk_hits += 1
-            self._entries[canonical.key] = entry  # promote into the LRU
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
-        self._entries.move_to_end(canonical.key)
-        self.hits += 1
+                entry = self._fetch_second_tier(canonical.key)
+                if entry is None:
+                    self.misses += 1
+                    return None
+                self.disk_hits += 1
+                self._entries[canonical.key] = entry  # promote into the LRU
+                while len(self._entries) > self.max_entries:
+                    self._entries.popitem(last=False)
+            self._entries.move_to_end(canonical.key)
+            self.hits += 1
+        # Entries are immutable; renaming happens outside the lock so slow
+        # proof/counterexample transport doesn't serialise other lanes.
         inverse = dict(canonical.inverse)
         proof = rename_proof(entry.proof, inverse) if entry.proof is not None else None
         counterexample = (
@@ -270,11 +290,14 @@ class ProofCache:
             counterexample=counterexample,
             statistics=result.statistics,
         )
-        self._entries[canonical.key] = entry
-        self._entries.move_to_end(canonical.key)
-        while len(self._entries) > self.max_entries:
-            self._entries.popitem(last=False)
-        self._persist(canonical.key, entry)
+        with self._lock:
+            self._entries[canonical.key] = entry
+            self._entries.move_to_end(canonical.key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+            # Persisting under the lock also serialises the second tier's
+            # file handle, which is not thread-safe on its own.
+            self._persist(canonical.key, entry)
         return True
 
 

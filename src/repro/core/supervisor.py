@@ -21,6 +21,14 @@ raw ``multiprocessing.Process`` workers and explicit duplex pipes:
   that holds a task longer than ``task_timeout`` (the cooperative deadline
   times a grace factor, in the batch prover's use).  The kill is surfaced as
   a ``timeout`` failure; the worker is respawned.
+* **Liveness acks** — workers ack every task (``("started", task_id)``)
+  before running it and report ``("ready", pid)`` after initialising.  A
+  dispatched task that is never acked within ``ack_timeout`` is retried on a
+  respawned worker instead of burning its whole watchdog budget; a worker
+  that never reports ready within ``init_timeout`` is respawned instead of
+  silently shrinking the pool.  Both close the gap left by a worker that is
+  alive but wedged — e.g. a child forked from a multi-threaded coordinator
+  at an unlucky moment — which produces neither a result nor an EOF.
 * **Warm workers** — workers survive across :meth:`run` calls, so per-worker
   initialisation (warming a prover's caches) is paid once per worker
   lifetime, exactly like the pool it replaces.
@@ -40,6 +48,9 @@ import heapq
 import itertools
 import multiprocessing
 import os
+import queue as _queue_module
+import socket
+import threading
 import time
 import traceback
 from collections import deque
@@ -131,9 +142,10 @@ def _worker_loop(conn, initializer, init_args) -> None:
 
     Protocol (worker's view): send ``("ready", pid)`` once initialised, then
     loop — receive ``(task_id, index, attempt, payload)`` or the ``None``
-    shutdown sentinel, run the task, reply ``("result", task_id, status,
-    body)``.  Initialisation failure sends ``("init_error", detail)`` and
-    exits, so the coordinator can tell a broken environment from a crash.
+    shutdown sentinel, ack ``("started", task_id)``, run the task, reply
+    ``("result", task_id, status, body)``.  Initialisation failure sends
+    ``("init_error", detail)`` and exits, so the coordinator can tell a
+    broken environment from a crash.
     """
     try:
         task_fn = initializer(*init_args)
@@ -155,6 +167,14 @@ def _worker_loop(conn, initializer, init_args) -> None:
         if message is None:
             return
         task_id, index, attempt, payload = message
+        # Ack before executing: the coordinator can now tell a worker that
+        # is *running* a task (hard watchdog applies, no retry) from one that
+        # never picked it up at all (dispatch lost to a sick worker — retry
+        # on a respawn instead of burning the whole watchdog budget).
+        try:
+            conn.send(("started", task_id))
+        except Exception:
+            return
         try:
             status, body = task_fn(payload, index, attempt)
             if status not in _TASK_STATUSES:
@@ -190,10 +210,59 @@ def _worker_loop(conn, initializer, init_args) -> None:
 # ---------------------------------------------------------------------------
 
 
+class _PriorityPending:
+    """A deque-shaped view over a priority heap of ``(ticket, attempt)`` pairs.
+
+    The solo :meth:`SupervisedPool.run` loop keeps its pending tasks in a
+    plain FIFO deque; the shared serve-mode reactor needs the same structure
+    ordered by *request priority* so that a one-task priority request does
+    not queue behind a 200-task batch.  This adapter speaks just enough of
+    the deque protocol (``append``/``appendleft``/``popleft``/``__len__``/
+    ``__iter__``/``clear``) that the dispatch, retry, and broken-pool helpers
+    work on either unchanged.  Priorities are remembered per ticket, so a
+    crash-retried attempt keeps its original rank (FIFO among equals via a
+    monotonic sequence).
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, int, int]] = []  # (-prio, seq, ticket, attempt)
+        self._seq = itertools.count()
+        self._priorities: Dict[int, int] = {}
+
+    def set_priority(self, ticket: int, priority: int) -> None:
+        self._priorities[ticket] = int(priority)
+
+    def forget(self, ticket: int) -> None:
+        self._priorities.pop(ticket, None)
+
+    def append(self, entry: Tuple[int, int]) -> None:
+        ticket, attempt = entry
+        priority = self._priorities.get(ticket, 0)
+        heapq.heappush(self._heap, (-priority, next(self._seq), ticket, attempt))
+
+    # A put-back after a failed dispatch re-ranks by priority, which is at
+    # least as good as the deque's literal left-append.
+    appendleft = append
+
+    def popleft(self) -> Tuple[int, int]:
+        _, _, ticket, attempt = heapq.heappop(self._heap)
+        return ticket, attempt
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __iter__(self) -> Iterator[Tuple[int, int]]:
+        for _, _, ticket, attempt in self._heap:
+            yield ticket, attempt
+
+    def clear(self) -> None:
+        self._heap.clear()
+
+
 class _Worker:
     """Coordinator-side record of one worker process."""
 
-    __slots__ = ("process", "conn", "ready", "assignment")
+    __slots__ = ("process", "conn", "ready", "assignment", "acked", "spawned_at")
 
     def __init__(self, process, conn):
         self.process = process
@@ -201,6 +270,10 @@ class _Worker:
         self.ready = False
         #: ``(task_id, index, attempt, started_at)`` while busy, else None.
         self.assignment: Optional[Tuple[int, int, int, float]] = None
+        #: Did the worker ack (``("started", task_id)``) the current assignment?
+        self.acked = False
+        #: When this worker process was forked (init-watchdog reference point).
+        self.spawned_at = time.monotonic()
 
 
 class SupervisedPool:
@@ -228,6 +301,12 @@ class SupervisedPool:
         A multiprocessing context or start-method name; default prefers
         ``fork`` (cheap respawns, inherited env) and falls back to the
         platform default.
+    ack_timeout:
+        How long a dispatched task may sit un-acked before the worker is
+        written off as never having picked it up (respawn + retry).
+    init_timeout:
+        How long a freshly spawned worker may take to report ready before
+        it is killed and respawned; ``None`` disables the init watchdog.
     """
 
     def __init__(
@@ -241,6 +320,8 @@ class SupervisedPool:
         backoff_cap: float = 1.0,
         mp_context: Any = None,
         drain_seconds: float = 5.0,
+        ack_timeout: float = 5.0,
+        init_timeout: Optional[float] = 60.0,
     ) -> None:
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got {}".format(jobs))
@@ -250,6 +331,17 @@ class SupervisedPool:
         self.initializer = initializer
         self.init_args = tuple(init_args)
         self.task_timeout = task_timeout
+        #: A dispatched task must be acked (``("started", ...)``) within this
+        #: budget; a worker that never picks the task up is respawned and the
+        #: attempt retried, instead of the task burning its whole watchdog
+        #: budget on a worker that was never going to run it.
+        self.ack_timeout = ack_timeout
+        #: A freshly forked worker must report ``("ready", ...)`` within this
+        #: budget or it is killed and respawned (``None`` disables).  A child
+        #: wedged during initialisation — e.g. poisoned by forking a
+        #: multi-threaded parent at the wrong moment — otherwise sits there
+        #: forever: never ready, never EOF, starving dispatch.
+        self.init_timeout = init_timeout
         self.retries = retries
         self.backoff_base = backoff_base
         self.backoff_cap = backoff_cap
@@ -264,6 +356,13 @@ class SupervisedPool:
         self.respawned_workers = 0
         #: Attempts re-dispatched after a crash.
         self.retried = 0
+        # Serve-mode (shared dispatch) state: a reactor thread owns the
+        # worker pipes and multiplexes tasks submitted from any thread.
+        self._serve_thread: Optional[threading.Thread] = None
+        self._intake: "_queue_module.SimpleQueue" = _queue_module.SimpleQueue()
+        self._wakeup_recv: Optional[socket.socket] = None
+        self._wakeup_send: Optional[socket.socket] = None
+        self._serve_tickets = itertools.count(1)
 
     @staticmethod
     def _resolve_context(mp_context: Any):
@@ -326,6 +425,145 @@ class SupervisedPool:
         worker.conn = replacement.conn
         worker.ready = False
         worker.assignment = None
+        worker.acked = False
+        worker.spawned_at = replacement.spawned_at
+
+    # -- shared serve mode --------------------------------------------------
+
+    def serve(self) -> None:
+        """Start the shared-dispatch reactor thread (idempotent, thread-safe).
+
+        In serve mode the pool accepts tasks from *any* thread via
+        :meth:`submit`; one reactor thread owns every worker pipe and
+        multiplexes dispatch, liveness, retries, the hard watchdog and
+        respawns across all submitters.  Pending tasks are ranked by the
+        submitting request's priority (FIFO among equals), which is what
+        lets a one-task priority request overtake a large batch that is
+        still queued.  :meth:`run` must not be used while serving — the two
+        modes share the worker pipes.
+        """
+        if self._closed:
+            raise RuntimeError("pool is closed")
+        if self._serve_thread is not None and self._serve_thread.is_alive():
+            return
+        self.start()
+        if self._wakeup_recv is None:
+            recv_end, send_end = socket.socketpair()
+            recv_end.setblocking(False)
+            send_end.setblocking(False)
+            self._wakeup_recv, self._wakeup_send = recv_end, send_end
+        self._serve_thread = threading.Thread(
+            target=self._serve_loop, name="slp-pool-reactor", daemon=True
+        )
+        self._serve_thread.start()
+
+    @property
+    def serving(self) -> bool:
+        return self._serve_thread is not None and self._serve_thread.is_alive()
+
+    def submit(
+        self,
+        payload: Any,
+        deliver: Callable[[Any], None],
+        priority: int = 0,
+    ) -> int:
+        """Enqueue one task for the serving reactor (thread-safe).
+
+        ``deliver(outcome)`` is invoked exactly once, on the reactor thread,
+        with the task function's body or a :class:`FailureInfo` — the same
+        outcome contract as :meth:`run`.  Returns an opaque ticket.
+        """
+        if not self.serving:
+            raise RuntimeError("pool is not serving (call serve() first)")
+        ticket = next(self._serve_tickets)
+        self._intake.put((ticket, payload, deliver, int(priority)))
+        self._wake_reactor()
+        return ticket
+
+    def _wake_reactor(self) -> None:
+        sender = self._wakeup_send
+        if sender is None:
+            return
+        try:
+            sender.send(b"\x00")
+        except (BlockingIOError, OSError):
+            pass  # the reactor has unread wake bytes already, or is gone
+
+    def _serve_loop(self) -> None:
+        tasks: Dict[int, Any] = {}
+        deliver: Dict[int, Callable[[Any], None]] = {}
+        pending = _PriorityPending()
+        delayed: List[Tuple[float, int, int]] = []
+        elapsed: Dict[int, float] = {}
+
+        def finish(ticket: int, outcome: Any) -> None:
+            tasks.pop(ticket, None)
+            pending.forget(ticket)
+            callback = deliver.pop(ticket, None)
+            if callback is None:
+                return
+            try:
+                callback(outcome)
+            except Exception:  # a consumer bug must not kill the reactor
+                pass
+
+        while True:
+            # Drain the intake: new submissions and the shutdown sentinel.
+            while True:
+                try:
+                    item = self._intake.get_nowait()
+                except _queue_module.Empty:
+                    break
+                if item is None:
+                    detail = "pool closed with the task outstanding"
+                    for ticket in list(deliver):
+                        finish(ticket, FailureInfo(kind="crash", detail=detail))
+                    return
+                ticket, payload, callback, priority = item
+                if self._broken is not None:
+                    try:
+                        callback(
+                            FailureInfo(
+                                kind="crash",
+                                detail="worker pool broken: {}".format(self._broken),
+                            )
+                        )
+                    except Exception:
+                        pass
+                    continue
+                tasks[ticket] = payload
+                deliver[ticket] = callback
+                pending.set_priority(ticket, priority)
+                pending.append((ticket, 1))
+            if self._broken is not None:
+                for ticket, attempt, info in self._drain_broken(pending, delayed):
+                    finish(ticket, info)
+                # Keep looping: future submissions fail fast at intake until
+                # close() delivers the sentinel.
+            now = time.monotonic()
+            while delayed and delayed[0][0] <= now:
+                _, ticket, attempt = heapq.heappop(delayed)
+                pending.append((ticket, attempt))
+            wait_on: List[Any] = []
+            if self._broken is None:
+                self._dispatch_pending(pending, tasks)
+                wait_on.extend(worker.conn for worker in self._workers)
+            if self._wakeup_recv is not None:
+                wait_on.append(self._wakeup_recv)
+            ready = _wait_on_connections(wait_on, self._wait_timeout(delayed))
+            if self._wakeup_recv in ready:
+                try:
+                    while self._wakeup_recv.recv(4096):
+                        pass
+                except (BlockingIOError, OSError):
+                    pass
+            for worker in list(self._workers):
+                if worker.conn not in ready:
+                    continue
+                for ticket, outcome in self._consume(worker, pending, delayed, elapsed):
+                    finish(ticket, outcome)
+            for ticket, info in self._watchdog_sweep(pending, delayed, elapsed):
+                finish(ticket, info)
 
     # -- the run loop -------------------------------------------------------
 
@@ -340,6 +578,8 @@ class SupervisedPool:
         """
         if self._closed:
             raise RuntimeError("pool is closed")
+        if self.serving:
+            raise RuntimeError("pool is serving; use submit(), not run()")
         tasks = list(payloads)
         self.start()
         pending: deque = deque((index, 1) for index in range(len(tasks)))
@@ -368,7 +608,7 @@ class SupervisedPool:
                     for index, outcome in self._consume(worker, pending, delayed, elapsed):
                         yield index, outcome
                         outstanding -= 1
-                for index, info in self._watchdog_sweep(elapsed):
+                for index, info in self._watchdog_sweep(pending, delayed, elapsed):
                     yield index, info
                     outstanding -= 1
         finally:
@@ -398,16 +638,22 @@ class SupervisedPool:
                     return
                 continue
             worker.assignment = (task_id, index, attempt, time.monotonic())
+            worker.acked = False
 
     def _wait_timeout(self, delayed: List[Tuple[float, int, int]]) -> Optional[float]:
         now = time.monotonic()
         horizons = []
         if delayed:
             horizons.append(delayed[0][0] - now)
-        if self.task_timeout is not None:
-            for worker in self._workers:
-                if worker.assignment is not None:
-                    horizons.append(worker.assignment[3] + self.task_timeout - now)
+        for worker in self._workers:
+            assignment = worker.assignment
+            if assignment is not None:
+                if not worker.acked:
+                    horizons.append(assignment[3] + self.ack_timeout - now)
+                elif self.task_timeout is not None:
+                    horizons.append(assignment[3] + self.task_timeout - now)
+            elif self.init_timeout is not None and not worker.ready:
+                horizons.append(worker.spawned_at + self.init_timeout - now)
         if not horizons:
             return None
         return max(0.01, min(horizons))
@@ -428,6 +674,11 @@ class SupervisedPool:
         if tag == "ready":
             worker.ready = True
             self._init_failures = 0
+            return []
+        if tag == "started":
+            assignment = worker.assignment
+            if assignment is not None and assignment[0] == message[1]:
+                worker.acked = True
             return []
         if tag == "init_error":
             self._init_failures += 1
@@ -532,18 +783,56 @@ class SupervisedPool:
             )
         ]
 
-    def _watchdog_sweep(self, elapsed: Dict[int, float]) -> List[Tuple[int, Any]]:
-        if self.task_timeout is None:
-            return []
+    def _watchdog_sweep(
+        self,
+        pending: deque,
+        delayed: List[Tuple[float, int, int]],
+        elapsed: Dict[int, float],
+    ) -> List[Tuple[int, Any]]:
         now = time.monotonic()
         finished: List[Tuple[int, Any]] = []
         for worker in self._workers:
             assignment = worker.assignment
             if assignment is None:
+                # No task in flight; check the init watchdog — a worker that
+                # never reports ready would otherwise starve dispatch forever
+                # (no EOF to react to, nothing for the task watchdog to see).
+                if (
+                    self.init_timeout is not None
+                    and not worker.ready
+                    and now - worker.spawned_at > self.init_timeout
+                ):
+                    self._init_failures += 1
+                    if self._init_failures > self.jobs + _INIT_FAILURE_SLACK:
+                        self._broken = (
+                            "workers hang during initialisation "
+                            "(no ready within {:.0f}s)".format(self.init_timeout)
+                        )
+                    self._respawn(worker)
                 continue
             _, index, attempt, started_at = assignment
             overrun = now - started_at
-            if overrun <= self.task_timeout:
+            if not worker.acked:
+                # The worker never even picked the task up.  A healthy worker
+                # acks within microseconds, so past ack_timeout the dispatch
+                # is written off as lost and the attempt retried on a fresh
+                # worker — spending the whole task budget here would punish
+                # the task for the worker's sickness.
+                if overrun <= self.ack_timeout:
+                    continue
+                worker.assignment = None
+                self._respawn(worker)
+                total = elapsed.pop(index, 0.0) + overrun
+                detail = "worker never started the task (no ack within {:.1f}s)".format(
+                    self.ack_timeout
+                )
+                finished.extend(
+                    self._retry_or_quarantine(
+                        index, attempt, total, detail, pending, delayed, elapsed
+                    )
+                )
+                continue
+            if self.task_timeout is None or overrun <= self.task_timeout:
                 continue
             worker.assignment = None
             self._respawn(worker)
@@ -594,6 +883,21 @@ class SupervisedPool:
             return
         self._closed = True
         budget = self.drain_seconds if drain_seconds is None else drain_seconds
+        reactor = self._serve_thread
+        if reactor is not None and reactor.is_alive():
+            # Stop the reactor before touching worker pipes: it fails any
+            # outstanding submissions structurally, then exits.
+            self._intake.put(None)
+            self._wake_reactor()
+            reactor.join(max(1.0, budget))
+        self._serve_thread = None
+        for sock in (self._wakeup_recv, self._wakeup_send):
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+        self._wakeup_recv = self._wakeup_send = None
         deadline = time.monotonic() + max(0.0, budget)
         for worker in self._workers:
             try:

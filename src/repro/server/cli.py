@@ -26,7 +26,12 @@ from typing import Iterable, List, Optional
 
 from repro.core.config import ProverConfig
 from repro.server.http import ProofServer
-from repro.server.service import DEFAULT_SHARDS, ProofService
+from repro.server.service import (
+    DEFAULT_MAX_QUEUE_ENTAILMENTS,
+    DEFAULT_MAX_QUEUE_REQUESTS,
+    DEFAULT_SHARDS,
+    ProofService,
+)
 
 __all__ = ["serve_main"]
 
@@ -99,6 +104,30 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip per-record fsync in the store (faster, loses crash-durability)",
     )
+    parser.add_argument(
+        "--lanes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="dispatcher lanes consuming the queue concurrently"
+        " (default min(jobs, 4); >1 interleaves batches per-task in the pool)",
+    )
+    parser.add_argument(
+        "--max-queue-requests",
+        type=int,
+        default=DEFAULT_MAX_QUEUE_REQUESTS,
+        metavar="N",
+        help="admission cap on queued requests; past it /prove answers 429"
+        " (default {})".format(DEFAULT_MAX_QUEUE_REQUESTS),
+    )
+    parser.add_argument(
+        "--max-queue-entailments",
+        type=int,
+        default=DEFAULT_MAX_QUEUE_ENTAILMENTS,
+        metavar="N",
+        help="admission cap on queued entailments across all requests"
+        " (default {})".format(DEFAULT_MAX_QUEUE_ENTAILMENTS),
+    )
     return parser
 
 
@@ -129,6 +158,12 @@ def serve_main(argv: Optional[Iterable[str]] = None) -> int:
     if arguments.timeout <= 0:
         print("slp serve: --timeout must be positive", file=sys.stderr)
         return 2
+    if arguments.lanes is not None and arguments.lanes < 1:
+        print("slp serve: --lanes must be at least 1", file=sys.stderr)
+        return 2
+    if arguments.max_queue_requests < 1 or arguments.max_queue_entailments < 1:
+        print("slp serve: queue caps must be at least 1", file=sys.stderr)
+        return 2
     config = ProverConfig(record_proof=False).with_timeout(arguments.timeout)
     service = ProofService(
         config,
@@ -139,11 +174,14 @@ def serve_main(argv: Optional[Iterable[str]] = None) -> int:
         retries=arguments.retries,
         grace_factor=arguments.grace,
         fsync=not arguments.no_fsync,
+        lanes=arguments.lanes,
+        max_queue_requests=arguments.max_queue_requests,
+        max_queue_entailments=arguments.max_queue_entailments,
     )
     server = ProofServer(service, host=arguments.host, port=arguments.port)
 
     def announce(bound: ProofServer) -> None:
-        details: List[str] = ["jobs={}".format(arguments.jobs)]
+        details: List[str] = ["jobs={}".format(arguments.jobs), "lanes={}".format(service.lanes)]
         if arguments.store is not None:
             details.append("store={} ({} shards)".format(arguments.store, arguments.shards))
         print(

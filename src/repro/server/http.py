@@ -6,6 +6,20 @@ Connections are keep-alive by default (``Connection: close`` and HTTP/1.0
 are honoured), so a load generator can pipeline many ``/prove`` calls over
 one socket.
 
+The read path is hardened against slow and vanished clients:
+
+* **Slowloris** — headers and body reads run under ``read_timeout`` once a
+  request has started (a client that sends ``Content-Length`` and never the
+  body gets ``408`` and the socket closed, instead of holding a handler slot
+  forever); idle keep-alive connections are reaped after ``idle_timeout``.
+  Header count and total header bytes are capped.
+* **Disconnect-cancel** — while a ``/prove`` awaits its dispatcher future,
+  the handler watches the socket; a client that hangs up mid-wait cancels
+  the future if it is still queued (running work completes into the cache).
+* **Overload mapping** — :class:`~repro.server.service.ServiceOverloaded`
+  becomes ``429`` with a ``Retry-After`` header;
+  :class:`~repro.server.service.ServiceClosed` becomes ``503``.
+
 Endpoints
 ---------
 ``POST /prove``
@@ -20,13 +34,16 @@ Endpoints
     failures, ``{"status": "parse_error", "error": ...}`` for lines that do
     not parse (the rest of the batch still runs).
 ``GET /healthz``
-    Liveness: ``{"status": "ok"}`` plus pool shape — cheap enough to poll.
+    The service's admission state machine: ``200`` with
+    ``status: healthy | degraded`` while accepting, ``503`` with
+    ``status: overloaded | draining`` when not — cheap enough to poll.
 ``GET /stats``
     The :meth:`ProofService.stats` snapshot (cache/pool/store counters,
-    latency histogram with p50/p90/p99).
+    queue-wait and execution histograms with p50/p90/p99, shed/expired/
+    cancelled counters).
 
 The handler blocks only on ``await``: proving happens on the service's
-dispatcher thread and comes back through ``asyncio.wrap_future``, so one
+dispatcher lanes and comes back through ``asyncio.wrap_future``, so one
 slow request never wedges the accept loop or the health endpoint.
 """
 
@@ -34,20 +51,41 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import threading
 from typing import Dict, Optional, Set, Tuple
 
 from repro.core.batch import FailureInfo
 from repro.core.result import ProofResult
 from repro.logic.parser import ParseError, parse_entailment
-from repro.server.service import ProofService
+from repro.server.service import ProofService, ServiceClosed, ServiceOverloaded
 
 __all__ = ["ProofServer"]
 
-_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found", 405: "Method Not Allowed", 500: "Internal Server Error"}
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
 
 # One request body cap, far above any sane batch, far below a memory hazard.
 _MAX_BODY_BYTES = 8 * 1024 * 1024
+
+# Header caps: no legitimate client of a JSON proving API sends hundreds of
+# headers or tens of kilobytes of them; a slowloris drip-feeding them does.
+_MAX_HEADER_COUNT = 100
+_MAX_HEADER_BYTES = 32 * 1024
+
+#: A 4-tuple every route resolves to: status, JSON payload, extra response
+#: headers, and bytes read past the current request (pushed back into the
+#: connection loop — the disconnect monitor may swallow the first byte of a
+#: pipelined follow-up request).
+_RouteResult = Tuple[int, Dict[str, object], Dict[str, str], bytes]
 
 
 def _outcome_json(outcome, want_proof: bool, want_counterexample: bool) -> Dict[str, object]:
@@ -85,6 +123,13 @@ class ProofServer:
     stops everything, including the service.
     """
 
+    #: Budget for reading the rest of a request once its first line arrived
+    #: (headers + body).  A drip-feeding client hits this and gets ``408``.
+    read_timeout = 30.0
+    #: How long an idle keep-alive connection may sit between requests
+    #: before the server closes it (no response — nothing was asked).
+    idle_timeout = 300.0
+
     def __init__(self, service: ProofService, host: str = "127.0.0.1", port: int = 8080):
         self.service = service
         self.host = host
@@ -112,7 +157,14 @@ class ProofServer:
             await self._server.wait_closed()
         pending = [task for task in self._handlers if not task.done()]
         if pending:
-            await asyncio.wait(pending, timeout=handler_grace)
+            _, stragglers = await asyncio.wait(pending, timeout=handler_grace)
+            # Whatever is still running is an idle keep-alive or a client
+            # that stopped cooperating; cancel instead of abandoning the
+            # tasks to loop teardown (which would warn and skip cleanup).
+            for task in stragglers:
+                task.cancel()
+            if stragglers:
+                await asyncio.wait(stragglers, timeout=1.0)
 
     def serve_in_thread(self) -> "ProofServer":
         """Run the server on a background event-loop thread; wait until bound."""
@@ -150,23 +202,37 @@ class ProofServer:
         if task is not None:
             self._handlers.add(task)
             task.add_done_callback(self._handlers.discard)
+        pushback = b""
         try:
             while True:
-                request_line = await reader.readline()
+                # Between requests the connection may idle (keep-alive); once
+                # a request line lands, the rest must arrive promptly.
+                try:
+                    request_line = pushback + await asyncio.wait_for(
+                        reader.readline(), self.idle_timeout
+                    )
+                    pushback = b""
+                except asyncio.TimeoutError:
+                    break  # idle keep-alive reaped; nothing owed to anyone
                 if not request_line:
                     break
+                if request_line in (b"\r\n", b"\n"):
+                    continue  # leading CRLF tolerance (RFC 7230 §3.5)
                 try:
                     method, target, version = request_line.decode("latin-1").split()
                 except ValueError:
                     await self._respond(writer, 400, {"error": "malformed request line"}, close=True)
                     break
-                headers: Dict[str, str] = {}
-                while True:
-                    line = await reader.readline()
-                    if line in (b"\r\n", b"\n", b""):
-                        break
-                    name, _, value = line.decode("latin-1").partition(":")
-                    headers[name.strip().lower()] = value.strip()
+                try:
+                    headers, header_error = await asyncio.wait_for(
+                        self._read_headers(reader), self.read_timeout
+                    )
+                except asyncio.TimeoutError:
+                    await self._respond(writer, 408, {"error": "timed out reading headers"}, close=True)
+                    break
+                if header_error is not None:
+                    await self._respond(writer, 400, {"error": header_error}, close=True)
+                    break
                 try:
                     length = int(headers.get("content-length", "0") or "0")
                 except ValueError:
@@ -175,16 +241,31 @@ class ProofServer:
                 if length > _MAX_BODY_BYTES:
                     await self._respond(writer, 400, {"error": "request body too large"}, close=True)
                     break
-                body = await reader.readexactly(length) if length else b""
+                try:
+                    body = (
+                        await asyncio.wait_for(reader.readexactly(length), self.read_timeout)
+                        if length
+                        else b""
+                    )
+                except asyncio.TimeoutError:
+                    await self._respond(writer, 408, {"error": "timed out reading body"}, close=True)
+                    break
                 close = (
                     headers.get("connection", "").lower() == "close"
                     or version.upper() == "HTTP/1.0"
                 )
                 try:
-                    status, payload = await self._route(method.upper(), target, body)
+                    status, payload, extra, pushback = await self._route(
+                        method.upper(), target, body, reader
+                    )
                 except Exception as error:  # a handler bug must not kill the connection loop
-                    status, payload = 500, {"error": "internal error: {}".format(error)}
-                await self._respond(writer, status, payload, close=close)
+                    status, payload, extra, pushback = (
+                        500,
+                        {"error": "internal error: {}".format(error)},
+                        {},
+                        b"",
+                    )
+                await self._respond(writer, status, payload, close=close, extra_headers=extra)
                 if close:
                     break
         except (asyncio.IncompleteReadError, ConnectionResetError, BrokenPipeError):
@@ -196,70 +277,102 @@ class ProofServer:
             except (ConnectionResetError, BrokenPipeError):
                 pass
 
+    @staticmethod
+    async def _read_headers(
+        reader: asyncio.StreamReader,
+    ) -> Tuple[Dict[str, str], Optional[str]]:
+        """Read the header block; ``(headers, None)`` or ``({}, error)``."""
+        headers: Dict[str, str] = {}
+        total_bytes = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                return headers, None
+            total_bytes += len(line)
+            if len(headers) >= _MAX_HEADER_COUNT:
+                return {}, "too many headers"
+            if total_bytes > _MAX_HEADER_BYTES:
+                return {}, "header block too large"
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+
     async def _respond(
         self,
         writer: asyncio.StreamWriter,
         status: int,
         payload: Dict[str, object],
         close: bool,
+        extra_headers: Optional[Dict[str, str]] = None,
     ) -> None:
         body = json.dumps(payload).encode("utf-8")
-        head = (
-            "HTTP/1.1 {} {}\r\n"
-            "Content-Type: application/json\r\n"
-            "Content-Length: {}\r\n"
-            "Connection: {}\r\n"
-            "\r\n"
-        ).format(status, _REASONS.get(status, "OK"), len(body), "close" if close else "keep-alive")
+        lines = [
+            "HTTP/1.1 {} {}".format(status, _REASONS.get(status, "OK")),
+            "Content-Type: application/json",
+            "Content-Length: {}".format(len(body)),
+            "Connection: {}".format("close" if close else "keep-alive"),
+        ]
+        for name, value in (extra_headers or {}).items():
+            lines.append("{}: {}".format(name, value))
+        head = "\r\n".join(lines) + "\r\n\r\n"
         writer.write(head.encode("latin-1") + body)
         await writer.drain()
 
     # -- routing -----------------------------------------------------------
-    async def _route(self, method: str, target: str, body: bytes) -> Tuple[int, Dict[str, object]]:
+    async def _route(
+        self, method: str, target: str, body: bytes, reader: asyncio.StreamReader
+    ) -> _RouteResult:
         path = target.split("?", 1)[0]
         if path == "/healthz":
             if method != "GET":
-                return 405, {"error": "healthz is GET-only"}
-            return 200, {
-                "status": "ok",
-                "jobs": self.service.batch.jobs,
-                "queue_depth": self.service.queue_depth,
-            }
+                return 405, {"error": "healthz is GET-only"}, {}, b""
+            health = self.service.health()
+            health["jobs"] = self.service.batch.jobs
+            health["queue_depth"] = health["queue"]["requests"]  # type: ignore[index]
+            status = 200 if health.get("accepting") else 503
+            extra: Dict[str, str] = {}
+            if "retry_after" in health:
+                extra["Retry-After"] = str(int(math.ceil(float(health["retry_after"]))))
+            return status, health, extra, b""
         if path == "/stats":
             if method != "GET":
-                return 405, {"error": "stats is GET-only"}
-            return 200, self.service.stats()
+                return 405, {"error": "stats is GET-only"}, {}, b""
+            return 200, self.service.stats(), {}, b""
         if path == "/prove":
             if method != "POST":
-                return 405, {"error": "prove is POST-only"}
-            return await self._prove(body)
-        return 404, {"error": "no such endpoint: {}".format(path)}
+                return 405, {"error": "prove is POST-only"}, {}, b""
+            return await self._prove(body, reader)
+        return 404, {"error": "no such endpoint: {}".format(path)}, {}, b""
 
-    async def _prove(self, body: bytes) -> Tuple[int, Dict[str, object]]:
+    async def _prove(self, body: bytes, reader: asyncio.StreamReader) -> _RouteResult:
         try:
             payload = json.loads(body.decode("utf-8"))
         except (UnicodeDecodeError, json.JSONDecodeError) as error:
-            return 400, {"error": "invalid JSON body: {}".format(error)}
+            return 400, {"error": "invalid JSON body: {}".format(error)}, {}, b""
         if not isinstance(payload, dict):
-            return 400, {"error": "body must be a JSON object"}
+            return 400, {"error": "body must be a JSON object"}, {}, b""
         if "entailments" in payload:
             lines = payload["entailments"]
         elif "entailment" in payload:
             lines = [payload["entailment"]]
         else:
-            return 400, {"error": "missing 'entailments' (list of strings) or 'entailment'"}
+            return (
+                400,
+                {"error": "missing 'entailments' (list of strings) or 'entailment'"},
+                {},
+                b"",
+            )
         if not isinstance(lines, list) or not all(isinstance(line, str) for line in lines):
-            return 400, {"error": "'entailments' must be a list of strings"}
+            return 400, {"error": "'entailments' must be a list of strings"}, {}, b""
         if not lines:
-            return 400, {"error": "empty batch"}
+            return 400, {"error": "empty batch"}, {}, b""
         try:
             timeout = self.service.clamp_timeout(payload.get("timeout"))
         except (TypeError, ValueError):
-            return 400, {"error": "'timeout' must be a positive number"}
+            return 400, {"error": "'timeout' must be a positive number"}, {}, b""
         try:
             priority = int(payload.get("priority", 0))
         except (TypeError, ValueError):
-            return 400, {"error": "'priority' must be an integer"}
+            return 400, {"error": "'priority' must be an integer"}, {}, b""
         want_proof = bool(payload.get("proof", False))
         want_counterexample = bool(payload.get("counterexample", False))
 
@@ -272,6 +385,7 @@ class ProofServer:
                 positions.append(position)
             except ParseError as error:
                 results[position] = {"status": "parse_error", "error": str(error)}
+        pushback = b""
         if batch:
             try:
                 future = self.service.submit(
@@ -282,9 +396,57 @@ class ProofServer:
                     # service default (record_proof=False) for the common path.
                     record_proof=True if want_proof else None,
                 )
-            except RuntimeError as error:  # submit raced a shutdown
-                return 500, {"error": str(error)}
-            outcomes = await asyncio.wrap_future(future)
+            except ServiceOverloaded as refused:
+                return (
+                    429,
+                    {"error": str(refused), "retry_after": refused.retry_after},
+                    {"Retry-After": str(int(math.ceil(refused.retry_after)))},
+                    b"",
+                )
+            except ServiceClosed as refused:
+                return 503, {"error": str(refused)}, {}, b""
+            outcomes, pushback = await self._await_watching_client(future, reader)
+            if outcomes is None:
+                # The client hung up while the request was still queued; the
+                # future was cancelled and nobody is listening for a reply.
+                raise ConnectionResetError("client disconnected while queued")
             for position, outcome in zip(positions, outcomes):
                 results[position] = _outcome_json(outcome, want_proof, want_counterexample)
-        return 200, {"results": results}
+        return 200, {"results": results}, {}, pushback
+
+    @staticmethod
+    async def _await_watching_client(future, reader: asyncio.StreamReader):
+        """Await the dispatcher future while watching the socket for a hangup.
+
+        Returns ``(outcomes, pushback)``; ``outcomes`` is ``None`` when the
+        client disconnected and the still-queued future was cancelled.  A
+        byte the monitor read that was *not* EOF belongs to the client's next
+        pipelined request and is returned as pushback.  If the future is
+        already running when the client vanishes, the work is let finish —
+        it completes into the cache, so the cost is not wasted.
+        """
+        wrapped = asyncio.ensure_future(asyncio.wrap_future(future))
+        monitor = asyncio.ensure_future(reader.read(1))
+        try:
+            await asyncio.wait({wrapped, monitor}, return_when=asyncio.FIRST_COMPLETED)
+            if not wrapped.done():
+                hangup = False
+                if monitor.done():
+                    exception = monitor.exception()
+                    if exception is not None:
+                        hangup = True
+                    elif monitor.result() == b"":
+                        hangup = True
+                if hangup and future.cancel():
+                    wrapped.cancel()
+                    await asyncio.gather(wrapped, return_exceptions=True)
+                    return None, b""
+            outcomes = await wrapped
+            pushback = b""
+            if monitor.done() and monitor.exception() is None:
+                pushback = monitor.result() or b""
+            return outcomes, pushback
+        finally:
+            if not monitor.done():
+                monitor.cancel()
+                await asyncio.gather(monitor, return_exceptions=True)

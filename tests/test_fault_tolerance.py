@@ -523,3 +523,84 @@ def test_smoke_valid_entailment_unaffected_by_machinery():
     with BatchProver(ProverConfig().for_benchmarking(), jobs=1) as batch:
         (outcome,) = batch.prove_all([entailment])
     assert isinstance(outcome, ProofResult) and outcome.is_valid
+
+
+# ---------------------------------------------------------------------------
+# Liveness acks: workers that are alive but wedged — never ready, or never
+# picking a dispatched task up — must be reclaimed, not waited on forever.
+# ---------------------------------------------------------------------------
+
+
+def _echo_task(payload, index, attempt):
+    return "ok", payload
+
+
+def _echo_init():
+    return _echo_task
+
+
+def _hang_once_init(flag_path):
+    # The first spawn to grab the flag wedges forever (a stand-in for a child
+    # poisoned at fork time); every later spawn initialises normally.
+    import os as _os
+
+    try:
+        fd = _os.open(flag_path, _os.O_CREAT | _os.O_EXCL | _os.O_WRONLY)
+    except FileExistsError:
+        return _echo_task
+    _os.close(fd)
+    time.sleep(3600)
+    return _echo_task
+
+
+class TestLivenessAcks:
+    def test_never_ready_worker_is_respawned(self, tmp_path):
+        """A worker wedged in initialisation must not starve the pool: the
+        init watchdog respawns it and the batch completes."""
+        from repro.core.supervisor import SupervisedPool
+
+        pool = SupervisedPool(
+            jobs=1,
+            initializer=_hang_once_init,
+            init_args=(str(tmp_path / "hung-once"),),
+            retries=0,
+            init_timeout=0.5,
+        )
+        try:
+            started = time.monotonic()
+            outcomes = dict(pool.run(["a", "b"]))
+            took = time.monotonic() - started
+        finally:
+            pool.close()
+        assert outcomes == {0: "a", 1: "b"}
+        assert pool.respawned_workers >= 1
+        assert took < 30.0
+
+    def test_unacked_dispatch_is_retried_not_watchdogged(self):
+        """A live-but-wedged worker (SIGSTOP) never acks its task: the ack
+        watchdog must retry on a respawn within ``ack_timeout``, not burn the
+        full ``task_timeout`` and fail the task."""
+        import os as _os
+        import signal as _signal
+
+        from repro.core.supervisor import SupervisedPool
+
+        pool = SupervisedPool(
+            jobs=1,
+            initializer=_echo_init,
+            task_timeout=60.0,
+            retries=1,
+            backoff_base=0.0,
+            ack_timeout=0.5,
+        )
+        try:
+            assert dict(pool.run(["warm"])) == {0: "warm"}  # worker is ready
+            _os.kill(pool._workers[0].process.pid, _signal.SIGSTOP)
+            started = time.monotonic()
+            outcomes = dict(pool.run(["x"]))
+            took = time.monotonic() - started
+        finally:
+            pool.close()
+        assert outcomes == {0: "x"}
+        assert pool.retried == 1
+        assert took < 30.0  # far under task_timeout: the ack tier fired

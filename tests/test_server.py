@@ -56,7 +56,7 @@ class TestHttpApi:
     def test_healthz_and_stats(self, server):
         base = "http://127.0.0.1:{}".format(server.port)
         status, health = _get(base, "/healthz")
-        assert status == 200 and health["status"] == "ok"
+        assert status == 200 and health["status"] == "healthy"
         status, stats = _get(base, "/stats")
         assert status == 200
         assert stats["requests"] == 0 and "pool" in stats and "cache" in stats
@@ -119,7 +119,7 @@ class TestHttpApi:
                 _post(base, "/prove", payload)
             assert excinfo.value.code == 400
         status, health = _get(base, "/healthz")  # the server survived all of it
-        assert status == 200 and health["status"] == "ok"
+        assert status == 200 and health["status"] == "healthy"
 
     def test_concurrent_clients(self, server):
         base = "http://127.0.0.1:{}".format(server.port)
